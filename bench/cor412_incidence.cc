@@ -1,0 +1,76 @@
+// Corollary 4.12 / Section 4.2: relational structures of higher arity are
+// embedded via their incidence structures. We check that (1) renamed
+// (isomorphic) ternary structures are incidence-1-WL-indistinguishable,
+// (2) structurally different ones are separated, and (3) the incidence
+// encoding remembers tuple positions that the Gaifman graph forgets.
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+int main() {
+  using namespace x2vec;
+  using relational::Structure;
+  std::printf("=== Corollary 4.12: incidence structures & 1-WL ===\n\n");
+
+  const relational::Vocabulary ternary = {{"R", 3}};
+
+  // (1) Random structures vs renamings.
+  Rng rng = MakeRng(412);
+  int renamed_pass = 0;
+  const int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Structure a = relational::RandomStructure(ternary, 6, 0.1, rng);
+    const std::vector<int> perm = RandomPermutation(6, rng);
+    Structure b(ternary, 6);
+    for (const std::vector<int>& t : a.Tuples(0)) {
+      b.AddTuple(0, {perm[t[0]], perm[t[1]], perm[t[2]]});
+    }
+    renamed_pass +=
+        relational::IncidenceWlIndistinguishable(a, b) ? 1 : 0;
+  }
+  std::printf("renamed ternary structures indistinguishable: %d/%d\n",
+              renamed_pass, kTrials);
+
+  // (2) Random non-isomorphic pairs are (almost always) separated.
+  int separated = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Structure a = relational::RandomStructure(ternary, 6, 0.1, rng);
+    const Structure b = relational::RandomStructure(ternary, 6, 0.1, rng);
+    if (a.TotalTuples() != b.TotalTuples()) {
+      ++separated;  // Trivially separated by fact count.
+      continue;
+    }
+    separated += relational::IncidenceWlIndistinguishable(a, b) ? 0 : 1;
+  }
+  std::printf("random pairs separated:                      %d/%d\n\n",
+              separated, kTrials);
+
+  // (3) Position sensitivity: R(0,1,2)+R(0,2,1) vs R(0,1,2)+R(1,0,2) have
+  // identical Gaifman graphs but different incidence structures.
+  Structure a(ternary, 3);
+  a.AddTuple(0, {0, 1, 2});
+  a.AddTuple(0, {0, 2, 1});
+  Structure b(ternary, 3);
+  b.AddTuple(0, {0, 1, 2});
+  b.AddTuple(0, {1, 0, 2});
+  const graph::Graph gaifman_a = relational::GaifmanGraph(a);
+  const graph::Graph gaifman_b = relational::GaifmanGraph(b);
+  std::printf("position test: Gaifman graphs isomorphic? %s\n",
+              graph::AreIsomorphic(gaifman_a, gaifman_b) ? "yes" : "no");
+  std::printf("               incidence 1-WL separates?  %s\n\n",
+              relational::IncidenceWlIndistinguishable(a, b) ? "no" : "YES");
+
+  // Structure homomorphisms = conjunctive-query counting (Section 4's
+  // CQ connection): count R(x,y,z) patterns.
+  Structure pattern(ternary, 3);
+  pattern.AddTuple(0, {0, 1, 2});
+  const Structure database = relational::RandomStructure(ternary, 7, 0.05,
+                                                         rng);
+  std::printf("conjunctive query |R(x,y,z)| on a random database: %lld\n",
+              static_cast<long long>(
+                  relational::CountStructureHoms(pattern, database)));
+  std::printf("(= #facts = %lld: one match per stored tuple)\n",
+              static_cast<long long>(database.TotalTuples()));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Section 4.3's complexity landscape: hom(F, G) is polynomial-time exactly
+// for bounded-treewidth pattern classes [Dalmau-Jonsson]. Benchmarks the
+// three counting engines — tree DP (width 1), variable elimination
+// (width w), and brute force (exponential) — as the pattern grows, making
+// the tractability frontier visible in wall-clock time.
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "hom/brute_force.h"
+#include "hom/path_cycle.h"
+#include "hom/tree_hom.h"
+#include "hom/treewidth.h"
+
+namespace {
+
+using x2vec::graph::Graph;
+
+Graph Host(int n) {
+  x2vec::Rng rng = x2vec::MakeRng(43);
+  return x2vec::graph::ErdosRenyiGnm(n, 3 * n, rng);
+}
+
+void BM_TreeDp(benchmark::State& state) {
+  const Graph host = Host(200);
+  x2vec::Rng rng = x2vec::MakeRng(1);
+  const Graph tree = x2vec::graph::RandomTree(
+      static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::hom::CountTreeHomsDouble(tree, host));
+  }
+}
+BENCHMARK(BM_TreeDp)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
+
+void BM_CycleViaTrace(benchmark::State& state) {
+  const Graph host = Host(60);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::hom::CountCycleHoms(k, host));
+  }
+}
+BENCHMARK(BM_CycleViaTrace)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_EliminationCycle(benchmark::State& state) {
+  // Treewidth-2 pattern via bucket elimination: n_G^3 per step.
+  const Graph host = Host(24);
+  const Graph cycle = Graph::Cycle(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::hom::CountHoms(cycle, host));
+  }
+}
+BENCHMARK(BM_EliminationCycle)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EliminationClique(benchmark::State& state) {
+  // Treewidth k-1: the exponential wall of Section 4.3.
+  const Graph host = Host(16);
+  const Graph clique = Graph::Complete(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::hom::CountHoms(clique, host));
+  }
+}
+BENCHMARK(BM_EliminationClique)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BruteForcePath(benchmark::State& state) {
+  // Brute force on the same width-1 patterns the DP solves instantly.
+  const Graph host = Host(24);
+  const Graph path = Graph::Path(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        x2vec::hom::CountHomomorphismsBruteForce(path, host));
+  }
+}
+BENCHMARK(BM_BruteForcePath)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

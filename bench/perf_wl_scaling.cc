@@ -1,0 +1,63 @@
+// Section 3.1's complexity claim: 1-WL runs in O((n + m) log n). Benchmarks
+// the asynchronous partition-refinement implementation and the per-round
+// hash implementation on sparse random graphs of increasing size; the
+// reported time per (n + m) should grow only logarithmically for the fast
+// variant.
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "wl/color_refinement.h"
+
+namespace {
+
+using x2vec::graph::Graph;
+
+Graph SparseGraph(int n) {
+  x2vec::Rng rng = x2vec::MakeRng(31);
+  // Average degree 6 — comfortably in the sparse regime.
+  return x2vec::graph::ErdosRenyiGnm(n, 3 * n, rng);
+}
+
+void BM_StableColoringFast(benchmark::State& state) {
+  const Graph g = SparseGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::wl::StableColoringFast(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StableColoringFast)
+    ->RangeMultiplier(2)
+    ->Range(256, 32768)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HashRefinement(benchmark::State& state) {
+  const Graph g = SparseGraph(static_cast<int>(state.range(0)));
+  x2vec::wl::RefinementOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::wl::ColorRefinement(g, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HashRefinement)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JointRefinementPair(benchmark::State& state) {
+  const Graph g = SparseGraph(static_cast<int>(state.range(0)));
+  const Graph h = SparseGraph(static_cast<int>(state.range(0)) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x2vec::wl::WlIndistinguishable(g, h));
+  }
+}
+BENCHMARK(BM_JointRefinementPair)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

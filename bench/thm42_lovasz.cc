@@ -1,0 +1,77 @@
+// Verifies Theorem 4.2 (Lovász 1967): Hom_G(G) = Hom_G(H) over ALL graphs
+// iff G and H are isomorphic — exhaustively on all graphs with up to 5
+// vertices, with patterns restricted to order <= 5 (sufficient: the proof
+// only needs patterns up to max(|G|, |H|)). Also demonstrates the proof's
+// hom = epi * emb / aut decomposition (eq. 4.2) numerically.
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+int main() {
+  using namespace x2vec;
+  using graph::Graph;
+  std::printf("=== Theorem 4.2 (Lovász): Hom_G <=> isomorphism ===\n\n");
+
+  const std::vector<Graph> all5 = graph::AllGraphs(5);
+  std::vector<Graph> patterns;
+  for (int n = 1; n <= 5; ++n) {
+    for (Graph& g : graph::AllGraphs(n)) patterns.push_back(std::move(g));
+  }
+  std::printf("universe: %zu non-isomorphic graphs on 5 vertices;\n",
+              all5.size());
+  std::printf("patterns: all %zu graphs with <= 5 vertices\n\n",
+              patterns.size());
+
+  // Compute each graph's full hom vector and confirm all are distinct.
+  std::vector<std::vector<int64_t>> vectors;
+  vectors.reserve(all5.size());
+  for (const Graph& g : all5) {
+    std::vector<int64_t> hom_vector;
+    hom_vector.reserve(patterns.size());
+    for (const Graph& f : patterns) {
+      hom_vector.push_back(
+          static_cast<int64_t>(static_cast<__int128>(hom::CountHoms(f, g))));
+    }
+    vectors.push_back(std::move(hom_vector));
+  }
+  int collisions = 0;
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    for (size_t j = i + 1; j < vectors.size(); ++j) {
+      if (vectors[i] == vectors[j]) ++collisions;
+    }
+  }
+  std::printf("pairs of non-isomorphic graphs with equal hom vectors: %d\n",
+              collisions);
+  std::printf("Theorem 4.2 on this universe: %s\n\n",
+              collisions == 0 ? "VERIFIED" : "FAILED");
+
+  // The decomposition hom(F, F') = sum_{F''} epi(F,F'') emb(F'',F')/aut(F'')
+  // behind the proof, checked for F = P4, F' = C4 over all images F''.
+  const Graph f = Graph::Path(4);
+  const Graph f_prime = Graph::Cycle(4);
+  __int128 total = 0;
+  std::printf("decomposition of hom(P4, C4) (eq. 4.2):\n");
+  for (int n = 1; n <= 4; ++n) {
+    for (const Graph& image : graph::AllGraphs(n)) {
+      const int64_t epi = hom::CountEpimorphismsBruteForce(f, image);
+      if (epi == 0) continue;
+      const int64_t emb = hom::CountEmbeddingsBruteForce(image, f_prime);
+      const int64_t aut = graph::CountAutomorphisms(image);
+      std::printf("  image n=%d m=%d: epi=%lld emb=%lld aut=%lld  -> %lld\n",
+                  image.NumVertices(), image.NumEdges(),
+                  static_cast<long long>(epi), static_cast<long long>(emb),
+                  static_cast<long long>(aut),
+                  static_cast<long long>(epi * emb / aut));
+      total += static_cast<__int128>(epi) * emb / aut;
+    }
+  }
+  std::printf("  sum = %s; direct hom(P4, C4) = %lld  -> %s\n",
+              linalg::Int128ToString(total).c_str(),
+              static_cast<long long>(
+                  hom::CountHomomorphismsBruteForce(f, f_prime)),
+              total == hom::CountHomomorphismsBruteForce(f, f_prime)
+                  ? "MATCHES"
+                  : "MISMATCH");
+  return 0;
+}

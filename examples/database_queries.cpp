@@ -1,0 +1,109 @@
+// Database scenario (the paper's concluding Section 6 questions): embed
+// relational data and answer queries on the embedding. We build a small
+// ternary relational database, encode it as an incidence graph
+// (Section 4.2), and demonstrate
+//   - conjunctive-query counting as homomorphism counting,
+//   - C^2 queries answered both directly and via WL colours
+//     (Corollary 4.15: the rooted-hom embedding determines all C^2 facts),
+//   - which distinct databases an embedding can and cannot distinguish.
+//
+// Run: ./build/examples/example_database_queries
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+#include "hom/tree_depth.h"
+
+int main() {
+  using namespace x2vec;
+  std::printf("=== Querying embedded relational data ===\n\n");
+
+  // A ternary schema: Supplies(supplier, part, project).
+  const relational::Vocabulary schema = {{"Supplies", 3}};
+  relational::Structure db(schema, 7);
+  // Suppliers 0-1, parts 2-4, projects 5-6.
+  db.AddTuple(0, {0, 2, 5});
+  db.AddTuple(0, {0, 3, 5});
+  db.AddTuple(0, {1, 3, 6});
+  db.AddTuple(0, {1, 4, 6});
+  db.AddTuple(0, {0, 2, 6});
+  std::printf("database: universe 7, %lld Supplies facts\n\n",
+              static_cast<long long>(db.TotalTuples()));
+
+  // --- Conjunctive queries as homomorphism counting. -------------------
+  // Q1: count pairs of facts sharing a supplier:
+  //   Supplies(s, p1, j1) AND Supplies(s, p2, j2).
+  relational::Structure q1(schema, 5);
+  q1.AddTuple(0, {0, 1, 2});
+  q1.AddTuple(0, {0, 3, 4});
+  std::printf("Q1 (two facts, shared supplier): %lld answers\n",
+              static_cast<long long>(relational::CountStructureHoms(q1, db)));
+
+  // Q2: facts sharing supplier AND project.
+  relational::Structure q2(schema, 4);
+  q2.AddTuple(0, {0, 1, 2});
+  q2.AddTuple(0, {0, 3, 2});
+  std::printf("Q2 (shared supplier and project): %lld answers\n\n",
+              static_cast<long long>(relational::CountStructureHoms(q2, db)));
+
+  // --- The incidence encoding carries the structure. --------------------
+  const graph::Graph incidence = relational::IncidenceGraph(db);
+  std::printf("incidence graph: %s (7 element + %lld fact vertices)\n",
+              incidence.ToString().c_str(),
+              static_cast<long long>(db.TotalTuples()));
+  const wl::RefinementResult colors = wl::ColorRefinement(incidence);
+  std::printf("1-WL on the incidence graph: %d stable colours\n\n",
+              colors.NumStableColors());
+
+  // --- C^2 queries on the embedding (Cor 4.15). -------------------------
+  // "Is there an element participating in >= 3 facts?" is a C^2 query on
+  // the incidence graph; by Corollary 4.15 its answer is determined by the
+  // rooted-tree-hom node embedding / WL colours.
+  const logic::Formula busy = logic::Formula::CountExists(
+      0, 1, logic::Formula::CountExists(1, 3, logic::Formula::Edge(0, 1)));
+  std::printf("C^2 query 'some element in >= 3 facts': %s (direct eval)\n",
+              busy.EvaluateSentence(incidence, 2) ? "true" : "false");
+  // The same answer, read off the degree information the stable WL
+  // colouring (equivalently, the rooted-hom embedding) exposes.
+  bool by_colors = false;
+  for (int v = 0; v < incidence.NumVertices(); ++v) {
+    if (incidence.Degree(v) >= 3) by_colors = true;
+  }
+  std::printf("                        ... and via the WL view: %s\n\n",
+              by_colors ? "true" : "false");
+
+  // --- What the embedding cannot see. ------------------------------------
+  // Two databases whose incidence graphs are 1-WL-indistinguishable but
+  // non-isomorphic cannot be told apart by any C^2 query — the precise
+  // 'which queries can we answer in latent space' phenomenon of Section 6.
+  // Binary schema E(x,y): take C6 vs 2xC3 as edge relations.
+  const relational::Vocabulary binary = {{"E", 2}};
+  auto encode = [&binary](const graph::Graph& g) {
+    relational::Structure s(binary, g.NumVertices());
+    for (const graph::Edge& e : g.Edges()) {
+      s.AddTuple(0, {e.u, e.v});
+      s.AddTuple(0, {e.v, e.u});
+    }
+    return s;
+  };
+  const relational::Structure dba = encode(graph::Graph::Cycle(6));
+  const relational::Structure dbb = encode(graph::DisjointUnion(
+      graph::Graph::Cycle(3), graph::Graph::Cycle(3)));
+  std::printf("C6-database vs 2xC3-database:\n");
+  std::printf("  incidence-1-WL distinguishable: %s\n",
+              relational::IncidenceWlIndistinguishable(dba, dbb) ? "no"
+                                                                 : "yes");
+  std::printf("  => every C^2 query answers identically on both, although\n"
+              "     the triangle query (3 variables, tree depth 3) differs:\n");
+  std::printf("     #triangles: %lld vs %lld\n",
+              static_cast<long long>(
+                  graph::CountTriangles(graph::Graph::Cycle(6))),
+              static_cast<long long>(graph::CountTriangles(
+                  graph::DisjointUnion(graph::Graph::Cycle(3),
+                                       graph::Graph::Cycle(3)))));
+  std::printf(
+      "\ntakeaway (Section 6): the embedding determines exactly the C^2-\n"
+      "expressible answers; richer queries need higher-dimensional\n"
+      "embeddings (k-WL / bounded-treewidth hom vectors).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Chemoinformatics-style scenario (the paper's Section 2.4 motivation):
+// classify labelled "molecules" (trees vs ring systems over C/N/O atoms)
+// with every whole-graph method the library implements, and print a
+// side-by-side accuracy table.
+//
+// Run: ./build/examples/example_molecule_classification
+
+#include <cstdio>
+
+#include "core/x2vec.h"
+
+int main() {
+  using namespace x2vec;
+
+  Rng rng = MakeRng(2020);
+  const data::GraphDataset dataset = data::ChemLikeDataset(15, 16, rng);
+  std::printf("dataset '%s': %zu graphs, 2 classes\n", dataset.name.c_str(),
+              dataset.graphs.size());
+  std::printf("example graph: %s, labels present: %s\n",
+              dataset.graphs[0].ToString().c_str(),
+              dataset.graphs[0].HasVertexLabels() ? "yes" : "no");
+
+  std::printf("\n%-16s  %s\n", "method", "5-fold CV accuracy");
+  std::printf("%-16s  %s\n", "------", "------------------");
+  for (const core::GraphKernelMethod& method : core::DefaultMethodSuite()) {
+    Rng method_rng = MakeRng(7);
+    const linalg::Matrix gram = kernel::NormalizeKernel(
+        method.gram(dataset.graphs, method_rng));
+    ml::SvmOptions options;
+    options.c = 10.0;
+    Rng svm_rng = MakeRng(99);
+    const double accuracy = ml::CrossValidatedSvmAccuracy(
+        gram, dataset.labels, 5, options, svm_rng);
+    std::printf("%-16s  %.3f\n", method.name.c_str(), accuracy);
+  }
+
+  // Drill into what the WL kernel sees: the subtree features of the first
+  // molecule of each class.
+  const kernel::WlFeatureSet features =
+      kernel::WlSubtreeFeatures(dataset.graphs, 2);
+  std::printf("\nWL subtree features (t=2): dim=%lld, ",
+              static_cast<long long>(features.dimension));
+  std::printf("nnz(class0 example)=%zu, nnz(class1 example)=%zu\n",
+              features.features.front().entries.size(),
+              features.features.back().entries.size());
+
+  // ... and what the homomorphism vector sees (Section 4's reading).
+  const std::vector<hom::Pattern> family = hom::DefaultPatternFamily(20);
+  const std::vector<double> tree_mol =
+      hom::LogScaledHomVector(dataset.graphs.front(), family);
+  const std::vector<double> ring_mol =
+      hom::LogScaledHomVector(dataset.graphs.back(), family);
+  std::printf("\npattern   tree-molecule   ring-molecule\n");
+  for (size_t i = 0; i < family.size(); ++i) {
+    if (family[i].name[0] != 'C') continue;  // Cycles tell the story.
+    std::printf("%-8s  %12.3f   %12.3f\n", family[i].name.c_str(),
+                tree_mol[i], ring_mol[i]);
+  }
+  std::printf(
+      "\n(zero rows: odd cycles admit no homomorphisms into bipartite\n"
+      " graphs, so hom(C_odd, tree) = 0 — the hom vector encodes\n"
+      " bipartiteness exactly; even cycles fold onto single edges.)\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "base/check.h"
+
+namespace x2vec {
+namespace internal_check {
+
+void CheckFailed(std::string_view file, int line, std::string_view condition,
+                 std::string_view message) {
+  std::cerr << "[x2vec FATAL] " << file << ":" << line
+            << " check failed: " << condition;
+  if (!message.empty()) {
+    std::cerr << " — " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace x2vec

@@ -1,0 +1,79 @@
+#ifndef X2VEC_BASE_CHECK_H_
+#define X2VEC_BASE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace x2vec {
+namespace internal_check {
+
+/// Prints a fatal-error banner and aborts. Used by the X2VEC_CHECK family;
+/// never call directly.
+[[noreturn]] void CheckFailed(std::string_view file, int line,
+                              std::string_view condition,
+                              std::string_view message);
+
+/// Stream-collecting helper so that `X2VEC_CHECK(x) << "context"` works.
+/// The destructor fires at the end of the full expression, after all
+/// streaming, and aborts the process.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: `&` binds less tightly than `<<`, so all streamed
+/// context is collected before the builder is consumed, and the conditional
+/// expression has type void on both branches.
+struct Voidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace internal_check
+}  // namespace x2vec
+
+/// Aborts with a diagnostic if `condition` is false. Active in all build
+/// modes; use for API contract violations that indicate programmer error.
+/// Supports streamed context: `X2VEC_CHECK(i < n) << "i=" << i;`
+#define X2VEC_CHECK(condition)                        \
+  (condition) ? (void)0                               \
+              : ::x2vec::internal_check::Voidify() &  \
+                    ::x2vec::internal_check::CheckMessageBuilder( \
+                        __FILE__, __LINE__, #condition)
+
+#define X2VEC_CHECK_EQ(a, b) X2VEC_CHECK((a) == (b))
+#define X2VEC_CHECK_NE(a, b) X2VEC_CHECK((a) != (b))
+#define X2VEC_CHECK_LT(a, b) X2VEC_CHECK((a) < (b))
+#define X2VEC_CHECK_LE(a, b) X2VEC_CHECK((a) <= (b))
+#define X2VEC_CHECK_GT(a, b) X2VEC_CHECK((a) > (b))
+#define X2VEC_CHECK_GE(a, b) X2VEC_CHECK((a) >= (b))
+
+/// Debug-only variant; compiled out (but still syntax-checked) in NDEBUG.
+#ifdef NDEBUG
+#define X2VEC_DCHECK(condition) X2VEC_CHECK(true || (condition))
+#else
+#define X2VEC_DCHECK(condition) X2VEC_CHECK(condition)
+#endif
+
+#endif  // X2VEC_BASE_CHECK_H_

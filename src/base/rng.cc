@@ -1,0 +1,81 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace x2vec {
+
+std::vector<int> RandomPermutation(int n, Rng& rng) {
+  X2VEC_CHECK_GE(n, 0);
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+std::vector<int> SampleWithoutReplacement(int n, int k, Rng& rng) {
+  X2VEC_CHECK_GE(k, 0);
+  X2VEC_CHECK_LE(k, n);
+  // Partial Fisher-Yates: only the first k positions are materialised.
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(rng, i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const int n = static_cast<int>(weights.size());
+  X2VEC_CHECK_GT(n, 0);
+  double total = 0.0;
+  for (double w : weights) {
+    X2VEC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  X2VEC_CHECK_GT(total, 0.0) << "alias table needs a positive total weight";
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (int i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * n / total;
+  }
+  std::vector<int> small;
+  std::vector<int> large;
+  for (int i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int s = small.back();
+    small.pop_back();
+    int l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (int i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (int i : small) {
+    // Only reachable through floating-point round-off; treat as full bucket.
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+int AliasTable::Sample(Rng& rng) const {
+  const int n = size();
+  int bucket = static_cast<int>(UniformInt(rng, 0, n - 1));
+  if (UniformReal(rng, 0.0, 1.0) < prob_[bucket]) {
+    return bucket;
+  }
+  return alias_[bucket];
+}
+
+}  // namespace x2vec

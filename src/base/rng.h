@@ -1,0 +1,66 @@
+#ifndef X2VEC_BASE_RNG_H_
+#define X2VEC_BASE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "base/check.h"
+
+namespace x2vec {
+
+/// Deterministic random source shared across the library. Every randomised
+/// algorithm takes an Rng& (or a seed) explicitly so experiments are
+/// reproducible; there is no global generator.
+using Rng = std::mt19937_64;
+
+/// Creates a generator from a fixed seed.
+inline Rng MakeRng(uint64_t seed) { return Rng(seed); }
+
+/// Uniform integer in [lo, hi] inclusive.
+inline int64_t UniformInt(Rng& rng, int64_t lo, int64_t hi) {
+  X2VEC_CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+}
+
+/// Uniform real in [lo, hi).
+inline double UniformReal(Rng& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+/// Standard normal draw.
+inline double Gaussian(Rng& rng) {
+  return std::normal_distribution<double>(0.0, 1.0)(rng);
+}
+
+/// Bernoulli draw with success probability p.
+inline bool Coin(Rng& rng, double p) {
+  return std::bernoulli_distribution(p)(rng);
+}
+
+/// Returns a uniformly shuffled copy of [0, n).
+std::vector<int> RandomPermutation(int n, Rng& rng);
+
+/// Samples k distinct indices from [0, n) uniformly (k <= n).
+std::vector<int> SampleWithoutReplacement(int n, int k, Rng& rng);
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+/// Used by node2vec transition sampling and SGNS negative sampling.
+class AliasTable {
+ public:
+  /// Builds the table from unnormalised non-negative weights (not all zero).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight.
+  int Sample(Rng& rng) const;
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<int> alias_;
+};
+
+}  // namespace x2vec
+
+#endif  // X2VEC_BASE_RNG_H_

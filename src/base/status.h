@@ -1,0 +1,104 @@
+#ifndef X2VEC_BASE_STATUS_H_
+#define X2VEC_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "base/check.h"
+
+namespace x2vec {
+
+/// Error category for recoverable failures (IO, parsing, invalid user data).
+/// Library algorithms with contract violations use X2VEC_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error result, modelled on absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Access to the value when the
+/// status is not OK is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value, mirroring absl::StatusOr ergonomics.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    X2VEC_CHECK(!status_.ok()) << "StatusOr built from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    X2VEC_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    X2VEC_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    X2VEC_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace x2vec
+
+#endif  // X2VEC_BASE_STATUS_H_

@@ -1,0 +1,54 @@
+#include "core/compare.h"
+
+#include <sstream>
+
+#include "graph/isomorphism.h"
+#include "hom/indistinguishability.h"
+#include "wl/color_refinement.h"
+#include "wl/kwl.h"
+
+namespace x2vec::core {
+
+std::string ComparisonReport::ToString() const {
+  std::ostringstream os;
+  auto row = [&os](const char* name, bool value) {
+    os << "  " << name << ": " << (value ? "yes" : "no") << "\n";
+  };
+  os << "ComparisonReport {\n";
+  row("same order", same_order);
+  row("isomorphic (Hom_G, Thm 4.2)", isomorphic);
+  row("3-WL indistinguishable", kwl3_indistinguishable);
+  row("2-WL indistinguishable", kwl2_indistinguishable);
+  row("1-WL indistinguishable (Hom_T / fractional iso)", wl_indistinguishable);
+  row("path indistinguishable (Hom_P, Thm 4.6)", path_indistinguishable);
+  row("co-spectral (Hom_C, Thm 4.3)", cospectral);
+  os << "}";
+  return os.str();
+}
+
+ComparisonReport CompareGraphs(const graph::Graph& g, const graph::Graph& h,
+                               int max_kwl) {
+  ComparisonReport report;
+  report.same_order = g.NumVertices() == h.NumVertices();
+  report.isomorphic = graph::AreIsomorphic(g, h);
+  if (report.isomorphic) {
+    report.kwl2_indistinguishable = true;
+    report.kwl3_indistinguishable = true;
+    report.wl_indistinguishable = true;
+    report.path_indistinguishable = true;
+    report.cospectral = true;
+    return report;
+  }
+  report.wl_indistinguishable = wl::WlIndistinguishable(g, h);
+  if (max_kwl >= 2) {
+    report.kwl2_indistinguishable = !wl::KwlDistinguishes(g, h, 2);
+  }
+  if (max_kwl >= 3) {
+    report.kwl3_indistinguishable = !wl::KwlDistinguishes(g, h, 3);
+  }
+  report.path_indistinguishable = hom::HomIndistinguishablePaths(g, h);
+  report.cospectral = hom::HomIndistinguishableCycles(g, h);
+  return report;
+}
+
+}  // namespace x2vec::core

@@ -1,0 +1,38 @@
+#ifndef X2VEC_CORE_COMPARE_H_
+#define X2VEC_CORE_COMPARE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace x2vec::core {
+
+/// One row of the equivalence ladder of Sections 3-4: the chain of
+/// successively coarser relations
+///   isomorphic  =>  3-WL  =>  2-WL  =>  1-WL (= Hom_T = fractional iso)
+///   =>  Hom_P  =>  Hom_C (co-spectral),
+/// each decided exactly by the corresponding module. The ladder is the
+/// paper's unifying picture in executable form.
+struct ComparisonReport {
+  bool same_order = false;
+  bool isomorphic = false;          ///< Thm 4.2 level (Hom over all graphs).
+  bool kwl3_indistinguishable = false;
+  bool kwl2_indistinguishable = false;
+  bool wl_indistinguishable = false;  ///< = Hom_T = fractional isomorphism.
+  bool path_indistinguishable = false;   ///< Thm 4.6 (exact rational system).
+  bool cospectral = false;               ///< Thm 4.3 (= Hom_C).
+
+  /// Human-readable multi-line summary for examples and benches.
+  std::string ToString() const;
+};
+
+/// Runs the full ladder on a pair of (unweighted, undirected) graphs.
+/// `max_kwl` bounds the most expensive levels (0 skips k-WL entirely,
+/// 2 or 3 enables those rows; higher levels are reported as false when
+/// skipped).
+ComparisonReport CompareGraphs(const graph::Graph& g, const graph::Graph& h,
+                               int max_kwl = 2);
+
+}  // namespace x2vec::core
+
+#endif  // X2VEC_CORE_COMPARE_H_

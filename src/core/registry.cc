@@ -1,0 +1,142 @@
+#include "core/registry.h"
+
+#include "embed/graph2vec.h"
+#include "embed/node_embeddings.h"
+#include "gnn/graphsage.h"
+#include "gnn/layers.h"
+#include "hom/embeddings.h"
+#include "kernel/graph_kernels.h"
+#include "kernel/kwl_kernel.h"
+#include "kernel/node_kernels.h"
+#include "kernel/wl_kernel.h"
+#include "ml/pca.h"
+
+namespace x2vec::core {
+namespace {
+
+using graph::Graph;
+using linalg::Matrix;
+
+Matrix GramFromRows(const Matrix& rows) {
+  return rows * rows.Transposed();
+}
+
+}  // namespace
+
+std::vector<GraphKernelMethod> DefaultMethodSuite() {
+  std::vector<GraphKernelMethod> suite;
+
+  suite.push_back({"wl-subtree-t5",
+                   [](const std::vector<Graph>& graphs, Rng&) {
+                     return kernel::WlSubtreeKernelMatrix(graphs, 5);
+                   }});
+  suite.push_back({"wl2-folklore-t3",
+                   [](const std::vector<Graph>& graphs, Rng&) {
+                     return kernel::TwoWlKernelMatrix(graphs, 3);
+                   }});
+  suite.push_back({"hom-20",
+                   [](const std::vector<Graph>& graphs, Rng&) {
+                     return kernel::HomVectorKernelMatrix(
+                         graphs, hom::DefaultPatternFamily(20));
+                   }});
+  suite.push_back({"graphlet-3",
+                   [](const std::vector<Graph>& graphs, Rng&) {
+                     return kernel::GraphletKernelMatrix(graphs);
+                   }});
+  suite.push_back({"shortest-path",
+                   [](const std::vector<Graph>& graphs, Rng&) {
+                     return kernel::ShortestPathKernelMatrix(graphs);
+                   }});
+  suite.push_back({"random-walk",
+                   [](const std::vector<Graph>& graphs, Rng&) {
+                     return kernel::RandomWalkKernelMatrix(graphs, 0.1, 6);
+                   }});
+  suite.push_back({"graph2vec",
+                   [](const std::vector<Graph>& graphs, Rng& rng) {
+                     embed::Graph2VecOptions options;
+                     options.wl_rounds = 3;
+                     options.sgns.dimension = 32;
+                     options.sgns.epochs = 8;
+                     return GramFromRows(
+                         embed::Graph2VecEmbedding(graphs, options, rng));
+                   }});
+  suite.push_back({"gin-random",
+                   [](const std::vector<Graph>& graphs, Rng& rng) {
+                     const gnn::GinStack stack =
+                         gnn::GinStack::Random(3, 16, 1.0, rng());
+                     Matrix rows(static_cast<int>(graphs.size()), 16);
+                     for (size_t i = 0; i < graphs.size(); ++i) {
+                       rows.SetRow(static_cast<int>(i),
+                                   stack.EmbedGraph(graphs[i]));
+                     }
+                     // Log-compress: sum readouts grow with graph size.
+                     for (double& v : rows.mutable_data()) {
+                       v = std::log1p(std::max(0.0, v));
+                     }
+                     return GramFromRows(rows);
+                   }});
+  return suite;
+}
+
+std::vector<NodeEmbeddingMethod> DefaultNodeMethodSuite() {
+  std::vector<NodeEmbeddingMethod> suite;
+  suite.push_back({"svd-adjacency",
+                   [](const Graph& g, Rng&) {
+                     return embed::SpectralAdjacencyEmbedding(
+                         g, std::min(8, g.NumVertices()));
+                   }});
+  suite.push_back({"svd-expdist",
+                   [](const Graph& g, Rng&) {
+                     return embed::SpectralSimilarityEmbedding(
+                         g, std::min(8, g.NumVertices()), 2.0);
+                   }});
+  suite.push_back({"laplacian-eigenmap",
+                   [](const Graph& g, Rng&) {
+                     return embed::LaplacianEigenmapEmbedding(
+                         g, std::min(4, g.NumVertices() - 2));
+                   }});
+  suite.push_back({"isomap",
+                   [](const Graph& g, Rng&) {
+                     return embed::IsomapEmbedding(
+                         g, std::min(4, g.NumVertices()));
+                   }});
+  suite.push_back({"deepwalk",
+                   [](const Graph& g, Rng& rng) {
+                     embed::Node2VecOptions options;
+                     options.sgns.dimension = 16;
+                     options.sgns.epochs = 3;
+                     return embed::DeepWalkEmbedding(g, options, rng);
+                   }});
+  suite.push_back({"node2vec-p1-q0.5",
+                   [](const Graph& g, Rng& rng) {
+                     embed::Node2VecOptions options;
+                     options.walks.p = 1.0;
+                     options.walks.q = 0.5;
+                     options.sgns.dimension = 16;
+                     options.sgns.epochs = 3;
+                     return embed::Node2VecEmbedding(g, options, rng);
+                   }});
+  suite.push_back({"rooted-hom-trees",
+                   [](const Graph& g, Rng&) {
+                     return hom::RootedHomNodeEmbedding(
+                         g, hom::RootedTreesUpTo(5));
+                   }});
+  suite.push_back({"graphsage-random",
+                   [](const Graph& g, Rng& rng) {
+                     const gnn::GraphSage model =
+                         gnn::GraphSage::Random(2, 16, 0.8, rng());
+                     return model.EmbedNodes(g);
+                   }});
+  suite.push_back({"diffusion-kpca",
+                   [](const Graph& g, Rng&) {
+                     // Node kernel (Section 2.4) turned into coordinates
+                     // via kernel PCA — kernels and embeddings are two
+                     // views of the same object.
+                     return ml::KernelPca(
+                         kernel::DiffusionKernel(g, 0.5),
+                         std::min(8, g.NumVertices()));
+                   }});
+  return suite;
+}
+
+}  // namespace x2vec::core

@@ -1,0 +1,43 @@
+#ifndef X2VEC_CORE_REGISTRY_H_
+#define X2VEC_CORE_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::core {
+
+/// A named whole-graph representation method: given a dataset, produce a
+/// Gram matrix over it. Kernel methods produce it directly; embedding
+/// methods (graph2vec, hom vectors, GNN readout) produce feature rows and
+/// the Gram matrix is their inner-product matrix. This common interface is
+/// what lets the classification benches sweep every method the paper
+/// surveys with the same downstream pipeline.
+struct GraphKernelMethod {
+  std::string name;
+  std::function<linalg::Matrix(const std::vector<graph::Graph>&, Rng&)>
+      gram;
+};
+
+/// The default method suite used by the classification benchmark
+/// (Section 4's hom vectors, Section 3.5's WL kernel at t = 5, the
+/// Section 2.4 kernels, GRAPH2VEC, and a random-weight GIN readout).
+std::vector<GraphKernelMethod> DefaultMethodSuite();
+
+/// A named node-embedding method: graph -> one row per vertex.
+struct NodeEmbeddingMethod {
+  std::string name;
+  std::function<linalg::Matrix(const graph::Graph&, Rng&)> embed;
+};
+
+/// Spectral (Fig. 2a/2b), DeepWalk, node2vec and rooted-hom-vector node
+/// embedders with library-default hyperparameters.
+std::vector<NodeEmbeddingMethod> DefaultNodeMethodSuite();
+
+}  // namespace x2vec::core
+
+#endif  // X2VEC_CORE_REGISTRY_H_

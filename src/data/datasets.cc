@@ -1,0 +1,217 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <string>
+
+#include "graph/generators.h"
+
+namespace x2vec::data {
+namespace {
+
+using graph::Graph;
+
+// Plants a cycle of length k on randomly chosen distinct vertices, adding
+// only the missing edges.
+void PlantCycle(Graph& g, int k, Rng& rng) {
+  const std::vector<int> vertices =
+      SampleWithoutReplacement(g.NumVertices(), k, rng);
+  for (int i = 0; i < k; ++i) {
+    const int u = vertices[i];
+    const int v = vertices[(i + 1) % k];
+    if (!g.HasEdge(u, v)) g.AddEdge(u, v);
+  }
+}
+
+}  // namespace
+
+GraphDataset MotifDataset(int per_class, int graph_size, Rng& rng) {
+  GraphDataset dataset;
+  dataset.name = "motif";
+  const double base_p = 1.0 / graph_size;
+  // Equal planted-edge budgets: 4k triangle edges vs 3k square edges.
+  const int triangle_plants = std::max(4, graph_size / 4);
+  const int square_plants = (3 * triangle_plants) / 4;
+  for (int label = 0; label <= 1; ++label) {
+    for (int i = 0; i < per_class; ++i) {
+      Graph g = graph::ErdosRenyiGnp(graph_size, base_p, rng);
+      const int plants = label == 0 ? triangle_plants : square_plants;
+      for (int plant = 0; plant < plants; ++plant) {
+        PlantCycle(g, label == 0 ? 3 : 4, rng);
+      }
+      dataset.graphs.push_back(std::move(g));
+      dataset.labels.push_back(label);
+    }
+  }
+  return dataset;
+}
+
+GraphDataset CommunityDataset(int per_class, int graph_size, Rng& rng) {
+  GraphDataset dataset;
+  dataset.name = "community";
+  const double p_in = 10.0 / graph_size;
+  const double p_out = 0.5 / graph_size;
+  const double p_match = (p_in + p_out) / 2.0;  // Matched expected density.
+  const int half = graph_size / 2;
+  for (int i = 0; i < per_class; ++i) {
+    linalg::Matrix probs = {{p_in, p_out}, {p_out, p_in}};
+    dataset.graphs.push_back(
+        graph::StochasticBlockModel({half, graph_size - half}, probs, rng));
+    dataset.labels.push_back(0);
+  }
+  for (int i = 0; i < per_class; ++i) {
+    dataset.graphs.push_back(graph::ErdosRenyiGnp(graph_size, p_match, rng));
+    dataset.labels.push_back(1);
+  }
+  return dataset;
+}
+
+GraphDataset DegreeDataset(int per_class, int graph_size, Rng& rng) {
+  GraphDataset dataset;
+  dataset.name = "degree";
+  const int degree = 4;
+  for (int i = 0; i < per_class; ++i) {
+    dataset.graphs.push_back(graph::RandomRegular(graph_size, degree, rng));
+    dataset.labels.push_back(0);
+  }
+  // Hub-heavy graphs with the same edge count: a few hubs plus a sparse
+  // G(n, m) remainder.
+  const int target_edges = graph_size * degree / 2;
+  for (int i = 0; i < per_class; ++i) {
+    Graph g(graph_size);
+    const int hubs = 3;
+    int edges = 0;
+    for (int hub = 0; hub < hubs; ++hub) {
+      for (int v = hubs; v < graph_size && edges < target_edges / 2; ++v) {
+        if (!g.HasEdge(hub, v) && Coin(rng, 0.8)) {
+          g.AddEdge(hub, v);
+          ++edges;
+        }
+      }
+    }
+    while (edges < target_edges) {
+      const int u = static_cast<int>(UniformInt(rng, 0, graph_size - 1));
+      const int v = static_cast<int>(UniformInt(rng, 0, graph_size - 1));
+      if (u != v && !g.HasEdge(u, v)) {
+        g.AddEdge(u, v);
+        ++edges;
+      }
+    }
+    dataset.graphs.push_back(std::move(g));
+    dataset.labels.push_back(1);
+  }
+  return dataset;
+}
+
+GraphDataset ChemLikeDataset(int per_class, int graph_size, Rng& rng) {
+  GraphDataset dataset;
+  dataset.name = "chemlike";
+  for (int label = 0; label <= 1; ++label) {
+    for (int i = 0; i < per_class; ++i) {
+      Graph g = graph::RandomTreeBoundedDegree(graph_size, 4, rng);
+      // Exact atom quotas (70% "C", 20% "N", 10% "O") assigned to random
+      // positions, so label counts carry no class-irrelevant noise.
+      std::vector<int> atoms(graph_size, 0);
+      const int nitrogens = graph_size / 5;
+      const int oxygens = graph_size / 10;
+      for (int k = 0; k < nitrogens; ++k) atoms[k] = 1;
+      for (int k = nitrogens; k < nitrogens + oxygens; ++k) atoms[k] = 2;
+      std::shuffle(atoms.begin(), atoms.end(), rng);
+      for (int v = 0; v < g.NumVertices(); ++v) g.SetVertexLabel(v, atoms[v]);
+      if (label == 1) {
+        // Close several 6-rings: class-1 "molecules" are ring systems.
+        const int rings = std::max(2, graph_size / 8);
+        for (int ring = 0; ring < rings; ++ring) PlantCycle(g, 6, rng);
+      }
+      dataset.graphs.push_back(std::move(g));
+      dataset.labels.push_back(label);
+    }
+  }
+  return dataset;
+}
+
+std::vector<GraphDataset> AllClassificationDatasets(int per_class,
+                                                    int graph_size, Rng& rng) {
+  std::vector<GraphDataset> datasets;
+  datasets.push_back(MotifDataset(per_class, graph_size, rng));
+  datasets.push_back(CommunityDataset(per_class, graph_size, rng));
+  datasets.push_back(DegreeDataset(per_class, graph_size, rng));
+  datasets.push_back(ChemLikeDataset(per_class, graph_size, rng));
+  return datasets;
+}
+
+NodeClassificationDataset SbmNodeDataset(int blocks, int block_size,
+                                         double p_in, double p_out, Rng& rng) {
+  NodeClassificationDataset dataset;
+  dataset.num_classes = blocks;
+  linalg::Matrix probs(blocks, blocks, p_out);
+  for (int b = 0; b < blocks; ++b) probs(b, b) = p_in;
+  std::vector<int> sizes(blocks, block_size);
+  dataset.graph =
+      graph::StochasticBlockModel(sizes, probs, rng, &dataset.labels);
+  return dataset;
+}
+
+std::vector<std::vector<std::string>> TopicCorpus(int topics,
+                                                  int words_per_topic,
+                                                  int sentences,
+                                                  int sentence_length,
+                                                  Rng& rng) {
+  X2VEC_CHECK_GE(topics, 2);
+  X2VEC_CHECK_GE(words_per_topic, 2);
+  const int filler_words = 5;
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(sentences);
+  for (int s = 0; s < sentences; ++s) {
+    const int topic = static_cast<int>(UniformInt(rng, 0, topics - 1));
+    std::vector<std::string> sentence;
+    sentence.reserve(sentence_length);
+    for (int w = 0; w < sentence_length; ++w) {
+      if (Coin(rng, 0.2)) {
+        sentence.push_back(
+            "f" + std::to_string(UniformInt(rng, 0, filler_words - 1)));
+      } else {
+        sentence.push_back(
+            "t" + std::to_string(topic) + "_w" +
+            std::to_string(UniformInt(rng, 0, words_per_topic - 1)));
+      }
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+kg::KnowledgeGraph CountriesKnowledgeGraph(int num_countries, Rng& rng) {
+  X2VEC_CHECK_GE(num_countries, 4);
+  kg::KnowledgeGraph kg;
+  // The paper's own example entities come first.
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"France", "Paris"},
+      {"Chile", "Santiago"},
+      {"Germany", "Berlin"},
+      {"Japan", "Tokyo"},
+  };
+  for (int i = static_cast<int>(pairs.size()); i < num_countries; ++i) {
+    pairs.emplace_back("country" + std::to_string(i),
+                       "capital" + std::to_string(i));
+  }
+  const std::vector<std::string> continents = {"Europe", "SouthAmerica",
+                                               "Asia", "Africa"};
+  const std::vector<std::string> languages = {"lang0", "lang1", "lang2"};
+  for (int i = 0; i < num_countries; ++i) {
+    const auto& [country, capital] = pairs[i];
+    kg.AddFact(capital, "capital-of", country);
+    kg.AddFact(capital, "city-in", country);
+    const std::string continent =
+        i == 0   ? "Europe"
+        : i == 1 ? "SouthAmerica"
+        : i == 2 ? "Europe"
+        : i == 3 ? "Asia"
+                 : continents[UniformInt(rng, 0, continents.size() - 1)];
+    kg.AddFact(country, "in-continent", continent);
+    kg.AddFact(country, "speaks",
+               languages[UniformInt(rng, 0, languages.size() - 1)]);
+  }
+  return kg;
+}
+
+}  // namespace x2vec::data

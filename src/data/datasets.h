@@ -1,0 +1,74 @@
+#ifndef X2VEC_DATA_DATASETS_H_
+#define X2VEC_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/graph.h"
+#include "kg/knowledge_graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::data {
+
+/// A labelled graph-classification dataset (the synthetic stand-ins for the
+/// "standard graph classification benchmarks" of Sections 4 and 5; see
+/// DESIGN.md's substitution table).
+struct GraphDataset {
+  std::string name;
+  std::vector<graph::Graph> graphs;
+  std::vector<int> labels;
+};
+
+/// Class 0: sparse random graphs with planted triangles; class 1: same
+/// density with planted 4-cycles. Separable by cyclic-motif statistics
+/// (what hom vectors and WL probe), not by size or degree alone.
+GraphDataset MotifDataset(int per_class, int graph_size, Rng& rng);
+
+/// Class 0: two-community SBM; class 1: Erdős–Rényi with matched expected
+/// density. Community structure without label hints.
+GraphDataset CommunityDataset(int per_class, int graph_size, Rng& rng);
+
+/// Class 0: (near-)regular graphs; class 1: skewed hub-heavy degree
+/// distributions with the same edge count.
+GraphDataset DegreeDataset(int per_class, int graph_size, Rng& rng);
+
+/// Chemistry-like labelled graphs: trees of "atoms" (vertex labels) where
+/// class 1 molecules additionally close a 6-ring. Exercises labelled WL
+/// and labelled homomorphism machinery.
+GraphDataset ChemLikeDataset(int per_class, int graph_size, Rng& rng);
+
+/// All four datasets, for the classification benchmark table.
+std::vector<GraphDataset> AllClassificationDatasets(int per_class,
+                                                    int graph_size, Rng& rng);
+
+/// Node-classification instance: an SBM graph with the planted block ids
+/// as node labels.
+struct NodeClassificationDataset {
+  graph::Graph graph;
+  std::vector<int> labels;
+  int num_classes = 0;
+};
+
+NodeClassificationDataset SbmNodeDataset(int blocks, int block_size,
+                                         double p_in, double p_out, Rng& rng);
+
+/// Synthetic word2vec corpus with `topics` word clusters: each sentence
+/// draws words from one topic (so topic-mates co-occur), plus shared filler
+/// words. Returns tokenised sentences; words are named "t<topic>_w<i>",
+/// filler "f<i>".
+std::vector<std::vector<std::string>> TopicCorpus(int topics,
+                                                  int words_per_topic,
+                                                  int sentences,
+                                                  int sentence_length,
+                                                  Rng& rng);
+
+/// The countries/capitals knowledge graph of the paper's introduction
+/// (Paris/France, Santiago/Chile, ...) with capital-of, in-continent and
+/// speaks relations over `num_countries` synthetic countries; the first
+/// four entities are the paper's own example.
+kg::KnowledgeGraph CountriesKnowledgeGraph(int num_countries, Rng& rng);
+
+}  // namespace x2vec::data
+
+#endif  // X2VEC_DATA_DATASETS_H_

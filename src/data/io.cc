@@ -1,0 +1,101 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph6.h"
+
+namespace x2vec::data {
+
+StatusOr<std::string> SerializeDataset(const GraphDataset& dataset) {
+  if (dataset.graphs.size() != dataset.labels.size()) {
+    return Status::InvalidArgument("graphs/labels size mismatch");
+  }
+  if (dataset.name.find_first_of(" \n\t") != std::string::npos) {
+    return Status::InvalidArgument("dataset name must be whitespace-free");
+  }
+  std::ostringstream os;
+  os << "x2vec-dataset v1 " << dataset.name << " " << dataset.graphs.size()
+     << "\n";
+  for (size_t i = 0; i < dataset.graphs.size(); ++i) {
+    const graph::Graph& g = dataset.graphs[i];
+    if (g.directed()) {
+      return Status::InvalidArgument("directed graphs are not supported");
+    }
+    if (g.IsWeighted()) {
+      return Status::InvalidArgument("weighted graphs are not supported");
+    }
+    os << graph::ToGraph6(g) << " " << dataset.labels[i];
+    if (g.HasVertexLabels()) {
+      for (int v = 0; v < g.NumVertices(); ++v) {
+        os << " " << g.VertexLabel(v);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<GraphDataset> ParseDataset(const std::string& text) {
+  std::istringstream stream(text);
+  std::string magic;
+  std::string version;
+  GraphDataset dataset;
+  size_t count = 0;
+  if (!(stream >> magic >> version >> dataset.name >> count) ||
+      magic != "x2vec-dataset" || version != "v1") {
+    return Status::InvalidArgument("bad dataset header");
+  }
+  std::string line;
+  std::getline(stream, line);  // Consume the header's newline.
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(stream, line)) {
+      return Status::InvalidArgument("truncated dataset: expected " +
+                                     std::to_string(count) + " graphs");
+    }
+    std::istringstream fields(line);
+    std::string encoded;
+    int label = 0;
+    if (!(fields >> encoded >> label)) {
+      return Status::InvalidArgument("bad graph line " + std::to_string(i));
+    }
+    StatusOr<graph::Graph> g = graph::FromGraph6(encoded);
+    if (!g.ok()) return g.status();
+    int vertex_label;
+    int v = 0;
+    while (fields >> vertex_label) {
+      if (v >= g->NumVertices()) {
+        return Status::InvalidArgument("too many vertex labels on line " +
+                                       std::to_string(i));
+      }
+      g->SetVertexLabel(v++, vertex_label);
+    }
+    if (v != 0 && v != g->NumVertices()) {
+      return Status::InvalidArgument("partial vertex labels on line " +
+                                     std::to_string(i));
+    }
+    dataset.graphs.push_back(std::move(*g));
+    dataset.labels.push_back(label);
+  }
+  return dataset;
+}
+
+Status SaveDataset(const GraphDataset& dataset, const std::string& path) {
+  StatusOr<std::string> serialized = SerializeDataset(dataset);
+  if (!serialized.ok()) return serialized.status();
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << *serialized;
+  return out ? Status::Ok()
+             : Status::Internal("short write to " + path);
+}
+
+StatusOr<GraphDataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDataset(buffer.str());
+}
+
+}  // namespace x2vec::data

@@ -1,0 +1,28 @@
+#ifndef X2VEC_DATA_IO_H_
+#define X2VEC_DATA_IO_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "data/datasets.h"
+
+namespace x2vec::data {
+
+/// Serialises a graph-classification dataset to a simple line format:
+///   line 1: "x2vec-dataset v1 <name> <count>"
+///   then per graph: "<graph6> <label> [v0_label v1_label ...]"
+/// Vertex labels are emitted only when any are non-zero. Weighted/directed
+/// graphs are rejected (the interchange format is for classification
+/// suites).
+StatusOr<std::string> SerializeDataset(const GraphDataset& dataset);
+
+/// Parses the format above.
+StatusOr<GraphDataset> ParseDataset(const std::string& text);
+
+/// Convenience file wrappers.
+Status SaveDataset(const GraphDataset& dataset, const std::string& path);
+StatusOr<GraphDataset> LoadDataset(const std::string& path);
+
+}  // namespace x2vec::data
+
+#endif  // X2VEC_DATA_IO_H_

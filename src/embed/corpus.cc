@@ -1,0 +1,51 @@
+#include "embed/corpus.h"
+
+#include <cmath>
+
+namespace x2vec::embed {
+
+int Vocabulary::Add(const std::string& token) {
+  auto [it, inserted] = index_.emplace(token, size());
+  if (inserted) {
+    tokens_.push_back(token);
+    counts_.push_back(0);
+  }
+  ++counts_[it->second];
+  return it->second;
+}
+
+int Vocabulary::Lookup(const std::string& token) const {
+  const auto it = index_.find(token);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<double> Vocabulary::NoiseDistribution(double power) const {
+  std::vector<double> weights(size());
+  for (int i = 0; i < size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(counts_[i]), power);
+  }
+  return weights;
+}
+
+Corpus Corpus::FromSentences(
+    const std::vector<std::vector<std::string>>& sentences) {
+  Corpus corpus;
+  corpus.sentences.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<int> ids;
+    ids.reserve(sentence.size());
+    for (const std::string& token : sentence) {
+      ids.push_back(corpus.vocab.Add(token));
+    }
+    corpus.sentences.push_back(std::move(ids));
+  }
+  return corpus;
+}
+
+int64_t Corpus::TotalTokens() const {
+  int64_t total = 0;
+  for (const auto& sentence : sentences) total += sentence.size();
+  return total;
+}
+
+}  // namespace x2vec::embed

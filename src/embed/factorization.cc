@@ -1,0 +1,52 @@
+#include "embed/factorization.h"
+
+namespace x2vec::embed {
+
+FactorizationResult FactorizeSimilarity(const linalg::Matrix& similarity,
+                                        const FactorizationOptions& options,
+                                        Rng& rng) {
+  const int n = similarity.rows();
+  X2VEC_CHECK_EQ(similarity.rows(), similarity.cols());
+  X2VEC_CHECK_GT(options.dimension, 0);
+
+  FactorizationResult result;
+  const double init = 0.5 / options.dimension;
+  result.x = linalg::Matrix(n, options.dimension);
+  for (double& v : result.x.mutable_data()) v = UniformReal(rng, -init, init);
+  if (options.symmetric) {
+    result.y = result.x;
+  } else {
+    result.y = linalg::Matrix(n, options.dimension);
+    for (double& v : result.y.mutable_data()) {
+      v = UniformReal(rng, -init, init);
+    }
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const linalg::Matrix& y = options.symmetric ? result.x : result.y;
+    const linalg::Matrix residual =
+        result.x * y.Transposed() - similarity;  // n x n.
+    // d/dX ||X Y^T - S||^2 = 2 R Y (+ 2 R^T X when symmetric, folded in).
+    linalg::Matrix grad_x = residual * y * 2.0;
+    if (options.symmetric) {
+      grad_x += residual.Transposed() * result.x * 2.0;
+      grad_x += result.x * (2.0 * options.l2);
+      result.x -= grad_x * options.learning_rate;
+      result.y = result.x;
+    } else {
+      const linalg::Matrix grad_y =
+          residual.Transposed() * result.x * 2.0 + result.y * (2.0 * options.l2);
+      grad_x += result.x * (2.0 * options.l2);
+      result.x -= grad_x * options.learning_rate;
+      result.y -= grad_y * options.learning_rate;
+    }
+  }
+  const linalg::Matrix final_residual =
+      result.x * (options.symmetric ? result.x : result.y).Transposed() -
+      similarity;
+  const double frob = final_residual.FrobeniusNorm();
+  result.final_loss = frob * frob / (static_cast<double>(n) * n);
+  return result;
+}
+
+}  // namespace x2vec::embed

@@ -1,0 +1,37 @@
+#ifndef X2VEC_EMBED_FACTORIZATION_H_
+#define X2VEC_EMBED_FACTORIZATION_H_
+
+#include "base/rng.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::embed {
+
+/// The general encoder-decoder matrix-factorisation framework of
+/// Section 2.1: learn X (and optionally a context matrix Y) so that the
+/// decoded similarity X Y^T approximates a target similarity matrix S,
+/// by stochastic gradient descent. Unlike the SVD route this handles
+/// asymmetric targets (e.g. random-walk transition similarities, where
+/// "S_vw = probability a walk from v ends at w" is not symmetric).
+struct FactorizationOptions {
+  int dimension = 16;
+  int epochs = 200;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  /// If true, decode with X X^T (symmetric model, one matrix).
+  bool symmetric = false;
+};
+
+struct FactorizationResult {
+  linalg::Matrix x;  ///< n x d node embeddings.
+  linalg::Matrix y;  ///< n x d context embeddings (= x when symmetric).
+  double final_loss = 0.0;  ///< ||decoded - S||_F^2 / n^2 at the end.
+};
+
+/// Minimises ||X Y^T - S||_F^2 (plus L2) by full-gradient descent.
+FactorizationResult FactorizeSimilarity(const linalg::Matrix& similarity,
+                                        const FactorizationOptions& options,
+                                        Rng& rng);
+
+}  // namespace x2vec::embed
+
+#endif  // X2VEC_EMBED_FACTORIZATION_H_

@@ -1,0 +1,47 @@
+#include "embed/graph2vec.h"
+
+#include <algorithm>
+
+#include "wl/color_refinement.h"
+
+namespace x2vec::embed {
+
+linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
+                                  const Graph2VecOptions& options, Rng& rng) {
+  X2VEC_CHECK(!graphs.empty());
+  // Joint refinement for shared colour ids.
+  graph::Graph joint = graphs[0];
+  std::vector<int> offsets = {0};
+  for (size_t i = 1; i < graphs.size(); ++i) {
+    offsets.push_back(joint.NumVertices());
+    joint = graph::DisjointUnion(joint, graphs[i]);
+  }
+  wl::RefinementOptions wl_options;
+  wl_options.max_rounds = options.wl_rounds;
+  const wl::RefinementResult refinement =
+      wl::ColorRefinement(joint, wl_options);
+
+  // Word id = (round, colour) flattened with a per-round offset.
+  const int rounds = static_cast<int>(refinement.round_colors.size());
+  std::vector<int> round_offset(rounds, 0);
+  int vocab_size = 0;
+  for (int r = 0; r < rounds; ++r) {
+    round_offset[r] = vocab_size;
+    vocab_size += refinement.colors_per_round[r];
+  }
+
+  std::vector<std::vector<int>> documents(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    for (int v = 0; v < graphs[g].NumVertices(); ++v) {
+      for (int r = 0; r < rounds; ++r) {
+        documents[g].push_back(
+            round_offset[r] + refinement.round_colors[r][offsets[g] + v]);
+      }
+    }
+  }
+  const SgnsModel model =
+      TrainPvDbow(documents, vocab_size, options.sgns, rng);
+  return model.input;
+}
+
+}  // namespace x2vec::embed

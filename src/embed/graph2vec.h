@@ -1,0 +1,31 @@
+#ifndef X2VEC_EMBED_GRAPH2VEC_H_
+#define X2VEC_EMBED_GRAPH2VEC_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "embed/sgns.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::embed {
+
+/// GRAPH2VEC options (Section 2.5 [Narayanan et al.]): each graph is a
+/// "document" whose "words" are the WL colours (rooted-subgraph names) of
+/// its vertices across refinement rounds 0..wl_rounds, trained with
+/// PV-DBOW.
+struct Graph2VecOptions {
+  int wl_rounds = 3;
+  SgnsOptions sgns;
+};
+
+/// Transductive whole-graph embedding: one row per input graph. Graphs are
+/// refined jointly so colour-words are shared across the dataset; the
+/// embedding exists only for graphs present at training time (the
+/// "transductive" caveat Section 2.5 raises).
+linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
+                                  const Graph2VecOptions& options, Rng& rng);
+
+}  // namespace x2vec::embed
+
+#endif  // X2VEC_EMBED_GRAPH2VEC_H_

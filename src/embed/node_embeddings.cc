@@ -1,0 +1,125 @@
+#include "embed/node_embeddings.h"
+
+#include <cmath>
+#include <string>
+
+#include "graph/algorithms.h"
+#include "linalg/eigen.h"
+
+namespace x2vec::embed {
+
+linalg::Matrix SpectralAdjacencyEmbedding(const graph::Graph& g, int d) {
+  return linalg::SvdEmbedding(g.AdjacencyMatrix(), d);
+}
+
+linalg::Matrix SpectralSimilarityEmbedding(const graph::Graph& g, int d,
+                                           double c) {
+  return linalg::SvdEmbedding(graph::ExpDistanceSimilarity(g, c), d);
+}
+
+linalg::Matrix LaplacianEigenmapEmbedding(const graph::Graph& g, int d) {
+  const int n = g.NumVertices();
+  X2VEC_CHECK(d >= 1 && d < n);
+  // Combinatorial Laplacian L = D - A.
+  linalg::Matrix laplacian(n, n);
+  for (const graph::Edge& e : g.Edges()) {
+    laplacian(e.u, e.v) -= e.weight;
+    laplacian(e.v, e.u) -= e.weight;
+    laplacian(e.u, e.u) += e.weight;
+    laplacian(e.v, e.v) += e.weight;
+  }
+  const linalg::EigenDecomposition eig = linalg::SymmetricEigen(laplacian);
+  // Eigenvalues are sorted descending; take the d smallest with
+  // eigenvalue above the zero tolerance (skipping component indicators).
+  linalg::Matrix embedding(n, d);
+  int placed = 0;
+  for (int j = n - 1; j >= 0 && placed < d; --j) {
+    if (eig.values[j] < 1e-9) continue;  // Trivial/zero modes.
+    for (int v = 0; v < n; ++v) embedding(v, placed) = eig.vectors(v, j);
+    ++placed;
+  }
+  // Graphs with many components may not have d non-zero modes; the
+  // remaining coordinates stay zero (component indicators carry no
+  // geometry anyway).
+  return embedding;
+}
+
+linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d) {
+  const int n = g.NumVertices();
+  X2VEC_CHECK(d >= 1 && d <= n);
+  const auto dist = graph::AllPairsShortestPaths(g);
+  // Disconnected pairs get (max finite distance + 1), the usual Isomap
+  // convention for multi-component graphs.
+  int max_finite = 0;
+  for (const auto& row : dist) {
+    for (int value : row) max_finite = std::max(max_finite, value);
+  }
+  linalg::Matrix squared(n, n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      const double distance =
+          dist[u][v] >= 0 ? dist[u][v] : max_finite + 1.0;
+      squared(u, v) = distance * distance;
+    }
+  }
+  // Classical MDS: B = -1/2 J D^2 J, embed along top eigenvectors of B.
+  linalg::Matrix centering = linalg::Matrix::Identity(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) centering(i, j) -= 1.0 / n;
+  }
+  const linalg::Matrix b = centering * squared * centering * (-0.5);
+  const linalg::EigenDecomposition eig = linalg::SymmetricEigen(b);
+  linalg::Matrix embedding(n, d);
+  for (int j = 0; j < d; ++j) {
+    const double scale =
+        eig.values[j] > 1e-12 ? std::sqrt(eig.values[j]) : 0.0;
+    for (int v = 0; v < n; ++v) {
+      embedding(v, j) = eig.vectors(v, j) * scale;
+    }
+  }
+  return embedding;
+}
+
+namespace {
+
+linalg::Matrix WalkSkipGram(const graph::Graph& g,
+                            const Node2VecOptions& options, Rng& rng) {
+  const std::vector<std::vector<int>> walks =
+      GenerateWalks(g, options.walks, rng);
+  // Node ids are already dense; bypass the string vocabulary and count
+  // occurrences for the noise table.
+  Corpus corpus;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    corpus.vocab.Add("n" + std::to_string(v));
+  }
+  // Re-count occurrences: Add() above counted each once; walking tokens are
+  // added by re-adding per occurrence.
+  for (const auto& walk : walks) {
+    for (int v : walk) corpus.vocab.Add("n" + std::to_string(v));
+  }
+  corpus.sentences = walks;
+  const SgnsModel model = TrainSgns(corpus, options.sgns, rng);
+  return model.input;
+}
+
+}  // namespace
+
+linalg::Matrix DeepWalkEmbedding(const graph::Graph& g,
+                                 const Node2VecOptions& options, Rng& rng) {
+  Node2VecOptions uniform = options;
+  uniform.walks.p = 1.0;
+  uniform.walks.q = 1.0;
+  return WalkSkipGram(g, uniform, rng);
+}
+
+linalg::Matrix Node2VecEmbedding(const graph::Graph& g,
+                                 const Node2VecOptions& options, Rng& rng) {
+  return WalkSkipGram(g, options, rng);
+}
+
+double ReconstructionError(const linalg::Matrix& embedding,
+                           const linalg::Matrix& similarity) {
+  return (embedding * embedding.Transposed() - similarity).FrobeniusNorm();
+}
+
+}  // namespace x2vec::embed

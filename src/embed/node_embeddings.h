@@ -1,0 +1,55 @@
+#ifndef X2VEC_EMBED_NODE_EMBEDDINGS_H_
+#define X2VEC_EMBED_NODE_EMBEDDINGS_H_
+
+#include "base/rng.h"
+#include "embed/sgns.h"
+#include "embed/walks.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::embed {
+
+/// Figure 2(a): rank-d SVD factor embedding of the adjacency matrix
+/// ("first-order proximity" matrix factorisation of Section 2.1).
+linalg::Matrix SpectralAdjacencyEmbedding(const graph::Graph& g, int d);
+
+/// Figure 2(b): rank-d SVD factor embedding of the similarity matrix
+/// S_vw = exp(-c * dist(v, w)).
+linalg::Matrix SpectralSimilarityEmbedding(const graph::Graph& g, int d,
+                                           double c);
+
+/// Laplacian eigenmaps (Section 2.1 [Belkin-Niyogi]): coordinates from the
+/// eigenvectors of the graph Laplacian with the d smallest non-zero
+/// eigenvalues (one trivial constant eigenvector is skipped per connected
+/// component).
+linalg::Matrix LaplacianEigenmapEmbedding(const graph::Graph& g, int d);
+
+/// Isomap on graphs (Section 2.1 [Tenenbaum et al.] = classical
+/// multidimensional scaling [Kruskal] of the geodesic metric): double-
+/// centres the squared shortest-path distance matrix and embeds along its
+/// top-d eigenvectors. Requires a connected graph.
+linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d);
+
+/// Shared knobs for the walk + skip-gram node embedders.
+struct Node2VecOptions {
+  WalkOptions walks;
+  SgnsOptions sgns;
+};
+
+/// DEEPWALK (Section 2.1): uniform walks + skip-gram. Returns one row per
+/// vertex.
+linalg::Matrix DeepWalkEmbedding(const graph::Graph& g,
+                                 const Node2VecOptions& options, Rng& rng);
+
+/// NODE2VEC (Figure 2(c)): biased second-order walks (p, q) + skip-gram.
+linalg::Matrix Node2VecEmbedding(const graph::Graph& g,
+                                 const Node2VecOptions& options, Rng& rng);
+
+/// Encoder-decoder objective value ||X X^T - S||_F of Section 2.1, for
+/// comparing factorisation embeddings against a target similarity.
+double ReconstructionError(const linalg::Matrix& embedding,
+                           const linalg::Matrix& similarity);
+
+}  // namespace x2vec::embed
+
+#endif  // X2VEC_EMBED_NODE_EMBEDDINGS_H_

@@ -1,0 +1,140 @@
+#include "embed/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace x2vec::embed {
+namespace {
+
+double Sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+// One SGD step on the pair (center -> context, label): maximises
+// log sigma(u_ctx . v_center) for positives and log sigma(-u . v) for
+// negatives. Returns the update applied to the centre row accumulator.
+void UpdatePair(linalg::Matrix& input, linalg::Matrix& output, int center,
+                int context, double label, double lr,
+                std::vector<double>& center_gradient) {
+  const int dim = input.cols();
+  double score = 0.0;
+  for (int d = 0; d < dim; ++d) score += input(center, d) * output(context, d);
+  const double gradient = (label - Sigmoid(score)) * lr;
+  for (int d = 0; d < dim; ++d) {
+    center_gradient[d] += gradient * output(context, d);
+    output(context, d) += gradient * input(center, d);
+  }
+}
+
+SgnsModel Train(const std::vector<std::vector<int>>& sequences,
+                const std::vector<double>& noise_weights, int rows_in,
+                int rows_out, bool skipgram_window,
+                const SgnsOptions& options, Rng& rng) {
+  X2VEC_CHECK_GT(rows_in, 0);
+  X2VEC_CHECK_GT(rows_out, 0);
+  SgnsModel model;
+  const double init = 0.5 / options.dimension;
+  model.input = linalg::Matrix(rows_in, options.dimension);
+  for (double& v : model.input.mutable_data()) {
+    v = UniformReal(rng, -init, init);
+  }
+  model.output = linalg::Matrix(rows_out, options.dimension);  // Zeros.
+
+  const AliasTable noise(noise_weights);
+
+  // Total number of positive pairs per epoch, for the linear LR decay.
+  int64_t pairs_per_epoch = 0;
+  if (skipgram_window) {
+    for (const auto& seq : sequences) {
+      pairs_per_epoch += 2LL * options.window * seq.size();  // Upper bound.
+    }
+  } else {
+    for (const auto& seq : sequences) pairs_per_epoch += seq.size();
+  }
+  const int64_t total_pairs =
+      std::max<int64_t>(1, pairs_per_epoch * options.epochs);
+
+  int64_t seen = 0;
+  std::vector<double> center_gradient(options.dimension);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t s = 0; s < sequences.size(); ++s) {
+      const std::vector<int>& seq = sequences[s];
+      for (size_t pos = 0; pos < seq.size(); ++pos) {
+        const double progress = static_cast<double>(seen) / total_pairs;
+        const double lr = options.learning_rate *
+                          std::max(1e-4, 1.0 - progress);
+        if (skipgram_window) {
+          const int center = seq[pos];
+          const int lo = std::max<int>(0, static_cast<int>(pos) -
+                                              options.window);
+          const int hi = std::min<int>(static_cast<int>(seq.size()) - 1,
+                                       static_cast<int>(pos) + options.window);
+          for (int other = lo; other <= hi; ++other) {
+            if (other == static_cast<int>(pos)) continue;
+            std::fill(center_gradient.begin(), center_gradient.end(), 0.0);
+            UpdatePair(model.input, model.output, center, seq[other], 1.0, lr,
+                       center_gradient);
+            for (int k = 0; k < options.negatives; ++k) {
+              int negative = noise.Sample(rng);
+              if (negative == seq[other]) continue;
+              UpdatePair(model.input, model.output, center, negative, 0.0, lr,
+                         center_gradient);
+            }
+            for (int d = 0; d < options.dimension; ++d) {
+              model.input(center, d) += center_gradient[d];
+            }
+            ++seen;
+          }
+        } else {
+          // PV-DBOW: the document id is the centre, the token the context.
+          const int doc = static_cast<int>(s);
+          std::fill(center_gradient.begin(), center_gradient.end(), 0.0);
+          UpdatePair(model.input, model.output, doc, seq[pos], 1.0, lr,
+                     center_gradient);
+          for (int k = 0; k < options.negatives; ++k) {
+            int negative = noise.Sample(rng);
+            if (negative == seq[pos]) continue;
+            UpdatePair(model.input, model.output, doc, negative, 0.0, lr,
+                       center_gradient);
+          }
+          for (int d = 0; d < options.dimension; ++d) {
+            model.input(doc, d) += center_gradient[d];
+          }
+          ++seen;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+SgnsModel TrainSgns(const Corpus& corpus, const SgnsOptions& options,
+                    Rng& rng) {
+  X2VEC_CHECK_GT(corpus.vocab.size(), 0);
+  return Train(corpus.sentences, corpus.vocab.NoiseDistribution(
+                                     options.noise_power),
+               corpus.vocab.size(), corpus.vocab.size(),
+               /*skipgram_window=*/true, options, rng);
+}
+
+SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
+                      int vocab_size, const SgnsOptions& options, Rng& rng) {
+  X2VEC_CHECK_GT(vocab_size, 0);
+  std::vector<double> counts(vocab_size, 0.0);
+  for (const auto& doc : documents) {
+    for (int token : doc) {
+      X2VEC_CHECK(token >= 0 && token < vocab_size);
+      counts[token] += 1.0;
+    }
+  }
+  // Noise power applied to raw counts.
+  for (double& c : counts) c = std::pow(std::max(c, 1e-9), options.noise_power);
+  return Train(documents, counts, static_cast<int>(documents.size()),
+               vocab_size, /*skipgram_window=*/false, options, rng);
+}
+
+}  // namespace x2vec::embed

@@ -1,0 +1,46 @@
+#ifndef X2VEC_EMBED_SGNS_H_
+#define X2VEC_EMBED_SGNS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "embed/corpus.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::embed {
+
+/// Hyperparameters for skip-gram with negative sampling (the WORD2VEC
+/// objective of Section 2.1 [Mikolov et al.]) and for PV-DBOW (the
+/// document-embedding objective behind GRAPH2VEC).
+struct SgnsOptions {
+  int dimension = 32;
+  int window = 4;           ///< Symmetric context window (skip-gram only).
+  int negatives = 5;        ///< Negative samples per positive pair.
+  int epochs = 5;
+  double learning_rate = 0.05;  ///< Linearly decayed to 1e-4 of itself.
+  double noise_power = 0.75;    ///< Exponent of the unigram noise table.
+};
+
+/// Trained embedding: `input` holds the vectors normally used downstream
+/// (one row per token / document), `output` the context-side vectors.
+struct SgnsModel {
+  linalg::Matrix input;
+  linalg::Matrix output;
+};
+
+/// Trains skip-gram with negative sampling on a corpus: for each token
+/// occurrence, each context token within the window is a positive pair and
+/// `negatives` noise tokens are sampled from the unigram^power table.
+SgnsModel TrainSgns(const Corpus& corpus, const SgnsOptions& options,
+                    Rng& rng);
+
+/// Trains PV-DBOW: each document d (a bag of token ids) predicts its own
+/// tokens; the document vectors are the embedding. `vocab_size` bounds the
+/// token ids. Returns document vectors in `input` and token vectors in
+/// `output`.
+SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
+                      int vocab_size, const SgnsOptions& options, Rng& rng);
+
+}  // namespace x2vec::embed
+
+#endif  // X2VEC_EMBED_SGNS_H_

@@ -1,0 +1,89 @@
+#include "embed/walks.h"
+
+namespace x2vec::embed {
+namespace {
+
+using graph::Graph;
+using graph::Neighbor;
+
+// One second-order biased step: previous -> current -> next with node2vec
+// weights 1/p (return), 1 (stay at distance 1 from previous), 1/q (move
+// away). previous = -1 means uniform first step.
+int BiasedStep(const Graph& g, int previous, int current,
+               const WalkOptions& options, Rng& rng) {
+  const std::vector<Neighbor>& neighbors = g.Neighbors(current);
+  if (neighbors.empty()) return -1;
+  if (previous < 0 || (options.p == 1.0 && options.q == 1.0)) {
+    return neighbors[UniformInt(rng, 0, neighbors.size() - 1)].to;
+  }
+  std::vector<double> weights(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const int candidate = neighbors[i].to;
+    double w;
+    if (candidate == previous) {
+      w = 1.0 / options.p;
+    } else if (g.HasEdge(candidate, previous)) {
+      w = 1.0;
+    } else {
+      w = 1.0 / options.q;
+    }
+    weights[i] = w * neighbors[i].weight;
+  }
+  const AliasTable table(weights);
+  return neighbors[table.Sample(rng)].to;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> GenerateWalks(const Graph& g,
+                                            const WalkOptions& options,
+                                            Rng& rng) {
+  X2VEC_CHECK_GE(options.walk_length, 1);
+  X2VEC_CHECK_GT(options.p, 0.0);
+  X2VEC_CHECK_GT(options.q, 0.0);
+  std::vector<std::vector<int>> walks;
+  walks.reserve(static_cast<size_t>(g.NumVertices()) *
+                options.walks_per_node);
+  // Shuffled start order per pass, as in the reference implementations.
+  for (int pass = 0; pass < options.walks_per_node; ++pass) {
+    for (int start : RandomPermutation(g.NumVertices(), rng)) {
+      std::vector<int> walk = {start};
+      int previous = -1;
+      while (static_cast<int>(walk.size()) < options.walk_length) {
+        const int current = walk.back();
+        const int next = BiasedStep(g, previous, current, options, rng);
+        if (next < 0) break;
+        previous = current;
+        walk.push_back(next);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+linalg::Matrix EmpiricalWalkSimilarity(const Graph& g, int k,
+                                       int samples_per_node, Rng& rng) {
+  X2VEC_CHECK_GE(k, 1);
+  X2VEC_CHECK_GE(samples_per_node, 1);
+  const int n = g.NumVertices();
+  linalg::Matrix similarity(n, n);
+  for (int v = 0; v < n; ++v) {
+    for (int sample = 0; sample < samples_per_node; ++sample) {
+      int current = v;
+      bool alive = true;
+      for (int step = 0; step < k; ++step) {
+        const auto& neighbors = g.Neighbors(current);
+        if (neighbors.empty()) {
+          alive = false;
+          break;
+        }
+        current = neighbors[UniformInt(rng, 0, neighbors.size() - 1)].to;
+      }
+      if (alive) similarity(v, current) += 1.0 / samples_per_node;
+    }
+  }
+  return similarity;
+}
+
+}  // namespace x2vec::embed

@@ -1,0 +1,40 @@
+#ifndef X2VEC_EMBED_WALKS_H_
+#define X2VEC_EMBED_WALKS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::embed {
+
+/// Parameters for random-walk corpora (DEEPWALK / NODE2VEC, Section 2.1).
+struct WalkOptions {
+  int walks_per_node = 10;
+  int walk_length = 20;  ///< Number of vertices per walk.
+  /// node2vec return parameter p: weight 1/p for stepping back to the
+  /// previous vertex. p = q = 1 gives uniform (DeepWalk) walks.
+  double p = 1.0;
+  /// node2vec in-out parameter q: weight 1/q for stepping "outwards" to a
+  /// vertex not adjacent to the previous one.
+  double q = 1.0;
+};
+
+/// Generates `walks_per_node` truncated random walks from every vertex.
+/// With p = q = 1 the walks are uniform first-order (DeepWalk); otherwise
+/// second-order biased node2vec walks. Walks stop early at isolated
+/// vertices.
+std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
+                                            const WalkOptions& options,
+                                            Rng& rng);
+
+/// Empirical k-step transition frequency matrix: entry (v, w) estimates the
+/// probability that a length-k uniform walk from v ends at w — the
+/// random-walk similarity matrix of Section 2.1, approximated by sampling.
+linalg::Matrix EmpiricalWalkSimilarity(const graph::Graph& g, int k,
+                                       int samples_per_node, Rng& rng);
+
+}  // namespace x2vec::embed
+
+#endif  // X2VEC_EMBED_WALKS_H_

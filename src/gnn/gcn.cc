@@ -1,0 +1,142 @@
+#include "gnn/gcn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace x2vec::gnn {
+namespace {
+
+// Row-wise softmax.
+linalg::Matrix Softmax(const linalg::Matrix& logits) {
+  linalg::Matrix probs(logits.rows(), logits.cols());
+  for (int i = 0; i < logits.rows(); ++i) {
+    double max_logit = logits(i, 0);
+    for (int j = 1; j < logits.cols(); ++j) {
+      max_logit = std::max(max_logit, logits(i, j));
+    }
+    double total = 0.0;
+    for (int j = 0; j < logits.cols(); ++j) {
+      probs(i, j) = std::exp(logits(i, j) - max_logit);
+      total += probs(i, j);
+    }
+    for (int j = 0; j < logits.cols(); ++j) probs(i, j) /= total;
+  }
+  return probs;
+}
+
+}  // namespace
+
+linalg::Matrix GcnPropagationMatrix(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  linalg::Matrix a = g.AdjacencyMatrix();
+  for (int v = 0; v < n; ++v) a(v, v) += 1.0;  // Self loops.
+  std::vector<double> inv_sqrt_degree(n);
+  for (int v = 0; v < n; ++v) {
+    double degree = 0.0;
+    for (int w = 0; w < n; ++w) degree += a(v, w);
+    inv_sqrt_degree[v] = 1.0 / std::sqrt(degree);
+  }
+  for (int v = 0; v < n; ++v) {
+    for (int w = 0; w < n; ++w) {
+      a(v, w) *= inv_sqrt_degree[v] * inv_sqrt_degree[w];
+    }
+  }
+  return a;
+}
+
+GcnClassifier::GcnClassifier(int in_dim, int hidden_dim, int num_classes,
+                             uint64_t seed)
+    : w1_(linalg::Matrix::Random(in_dim, hidden_dim, 0.3, seed)),
+      w2_(linalg::Matrix::Random(hidden_dim, num_classes, 0.3, seed + 1)) {}
+
+void GcnClassifier::SetWeights(linalg::Matrix w1, linalg::Matrix w2) {
+  X2VEC_CHECK_EQ(w1.cols(), w2.rows());
+  w1_ = std::move(w1);
+  w2_ = std::move(w2);
+}
+
+double GcnClassifier::TrainStep(const linalg::Matrix& propagation,
+                                const linalg::Matrix& features,
+                                const std::vector<int>& labels,
+                                const std::vector<bool>& train_mask,
+                                double learning_rate) {
+  const int n = propagation.rows();
+  X2VEC_CHECK_EQ(static_cast<int>(labels.size()), n);
+  X2VEC_CHECK_EQ(static_cast<int>(train_mask.size()), n);
+
+  // Forward pass.
+  const linalg::Matrix px = propagation * features;       // n x f.
+  const linalg::Matrix z1 = px * w1_;                     // n x h.
+  linalg::Matrix h = z1;
+  for (double& v : h.mutable_data()) v = std::max(0.0, v);
+  const linalg::Matrix ph = propagation * h;              // n x h.
+  const linalg::Matrix logits = ph * w2_;                 // n x c.
+  const linalg::Matrix probs = Softmax(logits);
+
+  int supervised = 0;
+  for (bool m : train_mask) supervised += m ? 1 : 0;
+  X2VEC_CHECK_GT(supervised, 0) << "empty training mask";
+
+  double loss = 0.0;
+  linalg::Matrix dz2(n, probs.cols());
+  for (int v = 0; v < n; ++v) {
+    if (!train_mask[v]) continue;
+    loss -= std::log(std::max(probs(v, labels[v]), 1e-12));
+    for (int c = 0; c < probs.cols(); ++c) {
+      dz2(v, c) = (probs(v, c) - (c == labels[v] ? 1.0 : 0.0)) / supervised;
+    }
+  }
+  loss /= supervised;
+
+  // Backward pass (propagation is symmetric).
+  const linalg::Matrix dw2 = ph.Transposed() * dz2;            // h x c.
+  linalg::Matrix dh = (propagation * dz2) * w2_.Transposed();  // n x h.
+  for (int v = 0; v < n; ++v) {
+    for (int d = 0; d < dh.cols(); ++d) {
+      if (z1(v, d) <= 0.0) dh(v, d) = 0.0;
+    }
+  }
+  const linalg::Matrix dw1 = px.Transposed() * dh;  // f x h.
+
+  w1_ -= dw1 * learning_rate;
+  w2_ -= dw2 * learning_rate;
+  return loss;
+}
+
+double GcnClassifier::Fit(const graph::Graph& g,
+                          const linalg::Matrix& features,
+                          const std::vector<int>& labels,
+                          const std::vector<bool>& train_mask,
+                          const Options& options) {
+  const linalg::Matrix propagation = GcnPropagationMatrix(g);
+  double loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    loss = TrainStep(propagation, features, labels, train_mask,
+                     options.learning_rate);
+  }
+  return loss;
+}
+
+std::vector<int> GcnClassifier::Predict(const graph::Graph& g,
+                                        const linalg::Matrix& features) const {
+  const linalg::Matrix probs =
+      PredictProba(GcnPropagationMatrix(g), features);
+  std::vector<int> predictions(probs.rows());
+  for (int v = 0; v < probs.rows(); ++v) {
+    int best = 0;
+    for (int c = 1; c < probs.cols(); ++c) {
+      if (probs(v, c) > probs(v, best)) best = c;
+    }
+    predictions[v] = best;
+  }
+  return predictions;
+}
+
+linalg::Matrix GcnClassifier::PredictProba(
+    const linalg::Matrix& propagation, const linalg::Matrix& features) const {
+  linalg::Matrix h = propagation * features * w1_;
+  for (double& v : h.mutable_data()) v = std::max(0.0, v);
+  return Softmax(propagation * h * w2_);
+}
+
+}  // namespace x2vec::gnn

@@ -1,0 +1,68 @@
+#ifndef X2VEC_GNN_GCN_H_
+#define X2VEC_GNN_GCN_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::gnn {
+
+/// Symmetric-normalised propagation matrix D^{-1/2} (A + I) D^{-1/2} of the
+/// graph convolutional network [Kipf–Welling], Section 2.2's most common
+/// concrete GNN.
+linalg::Matrix GcnPropagationMatrix(const graph::Graph& g);
+
+/// Two-layer GCN for node classification:
+///   H = ReLU(Â X W1),  logits = Â H W2,  softmax cross-entropy.
+/// Trained by full-batch gradient descent with manual backpropagation —
+/// the library is dependency-free, so the gradients are derived by hand and
+/// validated against finite differences in the tests.
+class GcnClassifier {
+ public:
+  struct Options {
+    int hidden_dim = 16;
+    int epochs = 200;
+    double learning_rate = 0.05;
+    double weight_scale = 0.3;
+  };
+
+  GcnClassifier(int in_dim, int hidden_dim, int num_classes, uint64_t seed);
+
+  /// One full-batch gradient step on the masked cross-entropy; returns the
+  /// training loss before the step. `train_mask[v]` selects supervised
+  /// nodes.
+  double TrainStep(const linalg::Matrix& propagation,
+                   const linalg::Matrix& features,
+                   const std::vector<int>& labels,
+                   const std::vector<bool>& train_mask, double learning_rate);
+
+  /// Runs `options.epochs` training steps; returns the final loss.
+  double Fit(const graph::Graph& g, const linalg::Matrix& features,
+             const std::vector<int>& labels,
+             const std::vector<bool>& train_mask, const Options& options);
+
+  /// Per-node argmax class prediction.
+  std::vector<int> Predict(const graph::Graph& g,
+                           const linalg::Matrix& features) const;
+
+  /// Per-node class probability matrix (rows sum to 1).
+  linalg::Matrix PredictProba(const linalg::Matrix& propagation,
+                              const linalg::Matrix& features) const;
+
+  const linalg::Matrix& w1() const { return w1_; }
+  const linalg::Matrix& w2() const { return w2_; }
+
+  /// Replaces the parameters (model loading; also used by the
+  /// finite-difference gradient checks in the tests).
+  void SetWeights(linalg::Matrix w1, linalg::Matrix w2);
+
+ private:
+  linalg::Matrix w1_;  ///< in_dim x hidden.
+  linalg::Matrix w2_;  ///< hidden x classes.
+};
+
+}  // namespace x2vec::gnn
+
+#endif  // X2VEC_GNN_GCN_H_

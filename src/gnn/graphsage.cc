@@ -1,0 +1,82 @@
+#include "gnn/graphsage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace x2vec::gnn {
+namespace {
+
+using graph::Graph;
+
+// Intrinsic input features: bias, scaled degree, local wedge density.
+linalg::Matrix IntrinsicFeatures(const Graph& g) {
+  const int n = g.NumVertices();
+  linalg::Matrix features(n, GraphSage::kInputDim);
+  for (int v = 0; v < n; ++v) {
+    features(v, 0) = 1.0;
+    features(v, 1) = g.Degree(v) / 8.0;
+    // Fraction of neighbour pairs that are themselves adjacent.
+    int closed = 0;
+    int pairs = 0;
+    const auto& nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        ++pairs;
+        closed += g.HasEdge(nbrs[i].to, nbrs[j].to) ? 1 : 0;
+      }
+    }
+    features(v, 2) = pairs > 0 ? static_cast<double>(closed) / pairs : 0.0;
+  }
+  return features;
+}
+
+}  // namespace
+
+GraphSage GraphSage::Random(int num_layers, int dim, double scale,
+                            uint64_t seed) {
+  X2VEC_CHECK_GE(num_layers, 1);
+  GraphSage model;
+  int in_dim = kInputDim;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    model.layers_.push_back(
+        {linalg::Matrix::Random(dim, 2 * in_dim, scale, seed + 31 * layer)});
+    in_dim = dim;
+  }
+  return model;
+}
+
+linalg::Matrix GraphSage::EmbedNodes(const Graph& g) const {
+  const int n = g.NumVertices();
+  linalg::Matrix states = IntrinsicFeatures(g);
+  std::vector<double> concatenated;
+  for (const Layer& layer : layers_) {
+    const int in_dim = states.cols();
+    X2VEC_CHECK_EQ(layer.w.cols(), 2 * in_dim);
+    linalg::Matrix next(n, layer.w.rows());
+    concatenated.assign(2 * in_dim, 0.0);
+    for (int v = 0; v < n; ++v) {
+      for (int d = 0; d < in_dim; ++d) concatenated[d] = states(v, d);
+      std::fill(concatenated.begin() + in_dim, concatenated.end(), 0.0);
+      const auto& nbrs = g.Neighbors(v);
+      for (const graph::Neighbor& nb : nbrs) {
+        for (int d = 0; d < in_dim; ++d) {
+          concatenated[in_dim + d] += states(nb.to, d) / nbrs.size();
+        }
+      }
+      std::vector<double> out = layer.w.Apply(concatenated);
+      for (double& x : out) x = std::max(0.0, x);
+      // L2 normalisation, as in the original algorithm.
+      const double norm = linalg::Norm2(out);
+      if (norm > 1e-12) {
+        for (double& x : out) x /= norm;
+      }
+      for (int d = 0; d < static_cast<int>(out.size()); ++d) {
+        next(v, d) = out[d];
+      }
+    }
+    states = std::move(next);
+  }
+  return states;
+}
+
+}  // namespace x2vec::gnn

@@ -1,0 +1,40 @@
+#ifndef X2VEC_GNN_GRAPHSAGE_H_
+#define X2VEC_GNN_GRAPHSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::gnn {
+
+/// GraphSAGE with the mean aggregator (Section 2.2 [Hamilton et al.], the
+/// paper's flagship *inductive* node embedder):
+///   h'_v = normalize( ReLU( W [ h_v ; mean_{w in N(v)} h_w ] ) ).
+/// Parameters are shared across nodes and graphs, so a fitted (or random)
+/// model embeds unseen graphs without retraining. Initial features are
+/// graph-intrinsic (constant, scaled degree, scaled clustering proxy) so
+/// the embedder is fully self-contained.
+class GraphSage {
+ public:
+  /// `num_layers` layers producing `dim`-dimensional states.
+  static GraphSage Random(int num_layers, int dim, double scale,
+                          uint64_t seed);
+
+  /// Per-node embedding matrix (one row per vertex).
+  linalg::Matrix EmbedNodes(const graph::Graph& g) const;
+
+  /// Dimensionality of intrinsic input features.
+  static constexpr int kInputDim = 3;
+
+ private:
+  struct Layer {
+    linalg::Matrix w;  ///< out x (in + in) for [self ; mean-neighbour].
+  };
+  std::vector<Layer> layers_;
+};
+
+}  // namespace x2vec::gnn
+
+#endif  // X2VEC_GNN_GRAPHSAGE_H_

@@ -1,0 +1,48 @@
+#ifndef X2VEC_GNN_HIGHER_ORDER_H_
+#define X2VEC_GNN_HIGHER_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::gnn {
+
+/// A 2-dimensional GNN in the spirit of Section 3.6's closing remark
+/// [Morris et al. 2019]: states live on ordered vertex PAIRS and are
+/// updated with the folklore-2-WL-style *coupled* aggregation
+///   x'_{(u,v)} = MLP( (1+eps) x_{(u,v)}
+///                     + sum_w (W_a x_{(w,v)}) .* (W_b x_{(u,w)}) ),
+/// where the elementwise product ties the two coordinate replacements for
+/// the same w together (an uncoupled sum would be the oblivious variant,
+/// no stronger than colour refinement). Initial pair features one-hot the
+/// atomic type (equal / adjacent / non-adjacent). Distinguishing power
+/// mirrors 2-WL: strictly above 1-WL.
+class TwoGnn {
+ public:
+  /// `num_layers` layers of width `dim` with random weights.
+  static TwoGnn Random(int num_layers, int dim, double scale, uint64_t seed);
+
+  /// Sum readout over all pair states after the final layer.
+  std::vector<double> EmbedGraph(const graph::Graph& g) const;
+
+ private:
+  struct Layer {
+    double epsilon = 0.0;
+    linalg::Matrix w_a;  ///< First-replacement transform.
+    linalg::Matrix w_b;  ///< Second-replacement transform.
+    linalg::Matrix w1;   ///< MLP hidden layer.
+    linalg::Matrix w2;   ///< MLP output layer.
+  };
+  std::vector<Layer> layers_;
+  int dim_ = 0;
+};
+
+/// True if the random-weight 2-GNN assigns measurably different readouts.
+bool TwoGnnDistinguishes(const graph::Graph& g, const graph::Graph& h,
+                         const TwoGnn& model, double tol = 1e-6);
+
+}  // namespace x2vec::gnn
+
+#endif  // X2VEC_GNN_HIGHER_ORDER_H_

@@ -1,0 +1,182 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace x2vec::graph {
+
+Graph ErdosRenyiGnp(int n, double p, Rng& rng) {
+  X2VEC_CHECK(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (Coin(rng, p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph ErdosRenyiGnm(int n, int m, Rng& rng) {
+  const int64_t max_edges = static_cast<int64_t>(n) * (n - 1) / 2;
+  X2VEC_CHECK(m >= 0 && m <= max_edges);
+  // Sample m distinct pair indices and decode them.
+  std::vector<int> picks =
+      SampleWithoutReplacement(static_cast<int>(max_edges), m, rng);
+  Graph g(n);
+  for (int index : picks) {
+    // Decode linear index into (u, v), u < v.
+    int u = 0;
+    int64_t remaining = index;
+    while (remaining >= n - 1 - u) {
+      remaining -= n - 1 - u;
+      ++u;
+    }
+    const int v = u + 1 + static_cast<int>(remaining);
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph RandomRegular(int n, int d, Rng& rng) {
+  X2VEC_CHECK(d >= 0 && d < n);
+  X2VEC_CHECK((static_cast<int64_t>(n) * d) % 2 == 0)
+      << "n*d must be even for a d-regular graph";
+  const int kMaxAttempts = 5000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Configuration model: pair up n*d half-edge stubs uniformly.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<size_t>(n) * d);
+    for (int v = 0; v < n; ++v) {
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    Graph g(n);
+    bool ok = true;
+    for (size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      const int u = stubs[i];
+      const int v = stubs[i + 1];
+      if (u == v || g.HasEdge(u, v)) {
+        ok = false;
+      } else {
+        g.AddEdge(u, v);
+      }
+    }
+    if (ok) return g;
+  }
+  X2VEC_CHECK(false) << "random regular sampling did not converge (n=" << n
+                     << ", d=" << d << ")";
+  return Graph(0);
+}
+
+Graph RandomTree(int n, Rng& rng) {
+  X2VEC_CHECK_GE(n, 1);
+  if (n == 1) return Graph(1);
+  if (n == 2) return Graph::Path(2);
+  // Random Prüfer sequence of length n-2 decodes to a uniform labelled tree.
+  std::vector<int> prufer(n - 2);
+  for (int& x : prufer) x = static_cast<int>(UniformInt(rng, 0, n - 1));
+  std::vector<int> degree(n, 1);
+  for (int x : prufer) ++degree[x];
+  Graph g(n);
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.insert(v);
+  }
+  for (int x : prufer) {
+    const int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    g.AddEdge(leaf, x);
+    if (--degree[x] == 1) leaves.insert(x);
+  }
+  const int a = *leaves.begin();
+  const int b = *std::next(leaves.begin());
+  g.AddEdge(a, b);
+  return g;
+}
+
+Graph RandomTreeBoundedDegree(int n, int max_degree, Rng& rng) {
+  X2VEC_CHECK_GE(n, 1);
+  X2VEC_CHECK_GE(max_degree, 2);
+  Graph g(n);
+  std::vector<int> eligible = {0};
+  for (int v = 1; v < n; ++v) {
+    const int pick =
+        eligible[static_cast<size_t>(UniformInt(rng, 0, eligible.size() - 1))];
+    g.AddEdge(pick, v);
+    if (g.Degree(pick) >= max_degree) {
+      eligible.erase(std::find(eligible.begin(), eligible.end(), pick));
+    }
+    if (g.Degree(v) < max_degree) eligible.push_back(v);
+    X2VEC_CHECK(!eligible.empty() || v + 1 == n)
+        << "degree bound too tight to grow the tree";
+  }
+  return g;
+}
+
+Graph StochasticBlockModel(const std::vector<int>& block_sizes,
+                           const linalg::Matrix& probs, Rng& rng,
+                           std::vector<int>* block_of) {
+  const int k = static_cast<int>(block_sizes.size());
+  X2VEC_CHECK_EQ(probs.rows(), k);
+  X2VEC_CHECK_EQ(probs.cols(), k);
+  int n = 0;
+  for (int s : block_sizes) {
+    X2VEC_CHECK_GE(s, 0);
+    n += s;
+  }
+  std::vector<int> block(n);
+  int next = 0;
+  for (int b = 0; b < k; ++b) {
+    for (int i = 0; i < block_sizes[b]; ++i) block[next++] = b;
+  }
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (Coin(rng, probs(block[u], block[v]))) g.AddEdge(u, v);
+    }
+  }
+  if (block_of != nullptr) *block_of = std::move(block);
+  return g;
+}
+
+Graph ConnectedGnp(int n, double p, Rng& rng, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = ErdosRenyiGnp(n, p, rng);
+    if (IsConnected(g)) return g;
+  }
+  X2VEC_CHECK(false) << "failed to sample a connected G(" << n << ", " << p
+                     << ") in " << max_attempts << " attempts";
+  return Graph(0);
+}
+
+Graph PerturbEdges(const Graph& g, int flips, Rng& rng) {
+  X2VEC_CHECK(!g.directed());
+  const int n = g.NumVertices();
+  const int64_t max_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  X2VEC_CHECK_LE(flips, max_pairs);
+  std::vector<int> picks =
+      SampleWithoutReplacement(static_cast<int>(max_pairs), flips, rng);
+  std::set<std::pair<int, int>> flip_set;
+  for (int index : picks) {
+    int u = 0;
+    int64_t remaining = index;
+    while (remaining >= n - 1 - u) {
+      remaining -= n - 1 - u;
+      ++u;
+    }
+    flip_set.insert({u, u + 1 + static_cast<int>(remaining)});
+  }
+  Graph out(n);
+  for (int v = 0; v < n; ++v) out.SetVertexLabel(v, g.VertexLabel(v));
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const bool has = g.HasEdge(u, v);
+      const bool flip = flip_set.count({u, v}) > 0;
+      if (has != flip) out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace x2vec::graph

@@ -1,0 +1,48 @@
+#ifndef X2VEC_GRAPH_GENERATORS_H_
+#define X2VEC_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::graph {
+
+/// Erdős–Rényi G(n, p): each edge present independently with probability p.
+Graph ErdosRenyiGnp(int n, double p, Rng& rng);
+
+/// Erdős–Rényi G(n, m): m edges sampled uniformly without replacement.
+Graph ErdosRenyiGnm(int n, int m, Rng& rng);
+
+/// Random d-regular graph via the configuration (pairing) model with
+/// rejection of loops/multi-edges; n*d must be even.
+Graph RandomRegular(int n, int d, Rng& rng);
+
+/// Uniform random labelled tree via a random Prüfer sequence.
+Graph RandomTree(int n, Rng& rng);
+
+/// Uniform random rooted/unrooted tree shape with a bounded maximum degree,
+/// grown by random attachment (used for homomorphism pattern families).
+Graph RandomTreeBoundedDegree(int n, int max_degree, Rng& rng);
+
+/// Stochastic block model: block_sizes[i] vertices in block i; an edge
+/// between blocks i and j appears with probability probs(i, j). Vertex
+/// labels are left at 0; block ids are returned through `block_of` if
+/// non-null.
+Graph StochasticBlockModel(const std::vector<int>& block_sizes,
+                           const linalg::Matrix& probs, Rng& rng,
+                           std::vector<int>* block_of = nullptr);
+
+/// Connected variant of G(n, p): resamples until connected (fatal after
+/// `max_attempts`). Keeps experiment code honest about conditioning.
+Graph ConnectedGnp(int n, double p, Rng& rng, int max_attempts = 1000);
+
+/// Uniformly perturbs a graph by flipping `flips` random (distinct)
+/// vertex pairs: existing edges are removed, absent ones added. Used by the
+/// similarity-vs-perturbation experiments of Section 5.
+Graph PerturbEdges(const Graph& g, int flips, Rng& rng);
+
+}  // namespace x2vec::graph
+
+#endif  // X2VEC_GRAPH_GENERATORS_H_

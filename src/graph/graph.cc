@@ -1,0 +1,292 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace x2vec::graph {
+
+Graph::Graph(int n, bool directed)
+    : directed_(directed),
+      adjacency_(n),
+      in_adjacency_(directed ? n : 0),
+      vertex_labels_(n, 0) {
+  X2VEC_CHECK_GE(n, 0);
+}
+
+Graph Graph::Path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph Graph::Cycle(int n) {
+  X2VEC_CHECK_GE(n, 3) << "a cycle needs at least 3 vertices";
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Graph Graph::Complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph Graph::Star(int leaves) {
+  X2VEC_CHECK_GE(leaves, 0);
+  Graph g(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+Graph Graph::CompleteBipartite(int a, int b) {
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) g.AddEdge(i, a + j);
+  }
+  return g;
+}
+
+Graph Graph::Grid(int rows, int cols) {
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph Graph::Circulant(int n, const std::vector<int>& offsets) {
+  Graph g(n);
+  for (int d : offsets) {
+    X2VEC_CHECK(d >= 1 && d <= n / 2) << "circulant offset out of range";
+    for (int i = 0; i < n; ++i) {
+      const int j = (i + d) % n;
+      if (!g.HasEdge(i, j)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph Graph::FromEdges(int n, const std::vector<std::pair<int, int>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  return g;
+}
+
+int Graph::AddVertex(int label) {
+  adjacency_.emplace_back();
+  if (directed_) in_adjacency_.emplace_back();
+  vertex_labels_.push_back(label);
+  return NumVertices() - 1;
+}
+
+void Graph::AddEdge(int u, int v, double weight, int label) {
+  X2VEC_CHECK(u >= 0 && u < NumVertices()) << "bad endpoint " << u;
+  X2VEC_CHECK(v >= 0 && v < NumVertices()) << "bad endpoint " << v;
+  X2VEC_CHECK_NE(u, v) << "self-loops are not supported";
+  X2VEC_CHECK(!HasEdge(u, v)) << "duplicate edge " << u << "-" << v;
+  if (directed_) {
+    adjacency_[u].push_back({v, weight, label});
+    in_adjacency_[v].push_back({u, weight, label});
+    edges_.push_back({u, v, weight, label});
+  } else {
+    adjacency_[u].push_back({v, weight, label});
+    adjacency_[v].push_back({u, weight, label});
+    edges_.push_back({std::min(u, v), std::max(u, v), weight, label});
+  }
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  X2VEC_DCHECK(u >= 0 && u < NumVertices());
+  X2VEC_DCHECK(v >= 0 && v < NumVertices());
+  const auto& nbrs = adjacency_[u];
+  for (const Neighbor& n : nbrs) {
+    if (n.to == v) return true;
+  }
+  return false;
+}
+
+double Graph::EdgeWeight(int u, int v) const {
+  for (const Neighbor& n : adjacency_[u]) {
+    if (n.to == v) return n.weight;
+  }
+  return 0.0;
+}
+
+bool Graph::HasVertexLabels() const {
+  return std::any_of(vertex_labels_.begin(), vertex_labels_.end(),
+                     [](int l) { return l != 0; });
+}
+
+bool Graph::HasEdgeLabels() const {
+  return std::any_of(edges_.begin(), edges_.end(),
+                     [](const Edge& e) { return e.label != 0; });
+}
+
+bool Graph::IsWeighted() const {
+  return std::any_of(edges_.begin(), edges_.end(),
+                     [](const Edge& e) { return e.weight != 1.0; });
+}
+
+linalg::Matrix Graph::AdjacencyMatrix() const {
+  const int n = NumVertices();
+  linalg::Matrix a(n, n);
+  for (const Edge& e : edges_) {
+    a(e.u, e.v) = e.weight;
+    if (!directed_) a(e.v, e.u) = e.weight;
+  }
+  return a;
+}
+
+linalg::IntMatrix Graph::IntAdjacencyMatrix() const {
+  X2VEC_CHECK(!IsWeighted()) << "exact adjacency requires an unweighted graph";
+  const int n = NumVertices();
+  linalg::IntMatrix a(n);
+  for (const Edge& e : edges_) {
+    a(e.u, e.v) = 1;
+    if (!directed_) a(e.v, e.u) = 1;
+  }
+  return a;
+}
+
+std::vector<int> Graph::DegreeSequence() const {
+  std::vector<int> degrees(NumVertices());
+  for (int v = 0; v < NumVertices(); ++v) degrees[v] = Degree(v);
+  std::sort(degrees.rbegin(), degrees.rend());
+  return degrees;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "Graph(n=" << NumVertices() << ", m=" << NumEdges() << ", "
+     << (directed_ ? "directed" : "undirected") << ")";
+  return os.str();
+}
+
+Graph DisjointUnion(const Graph& a, const Graph& b) {
+  X2VEC_CHECK_EQ(a.directed(), b.directed());
+  Graph g(a.NumVertices() + b.NumVertices(), a.directed());
+  const int shift = a.NumVertices();
+  for (int v = 0; v < a.NumVertices(); ++v) {
+    g.SetVertexLabel(v, a.VertexLabel(v));
+  }
+  for (int v = 0; v < b.NumVertices(); ++v) {
+    g.SetVertexLabel(shift + v, b.VertexLabel(v));
+  }
+  for (const Edge& e : a.Edges()) g.AddEdge(e.u, e.v, e.weight, e.label);
+  for (const Edge& e : b.Edges()) {
+    g.AddEdge(shift + e.u, shift + e.v, e.weight, e.label);
+  }
+  return g;
+}
+
+Graph Complement(const Graph& g) {
+  X2VEC_CHECK(!g.directed());
+  const int n = g.NumVertices();
+  Graph c(n);
+  for (int v = 0; v < n; ++v) c.SetVertexLabel(v, g.VertexLabel(v));
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!g.HasEdge(u, v)) c.AddEdge(u, v);
+    }
+  }
+  return c;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<int>& vertices) {
+  std::vector<int> position(g.NumVertices(), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    X2VEC_CHECK(position[vertices[i]] == -1) << "repeated vertex";
+    position[vertices[i]] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(vertices.size()), g.directed());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    sub.SetVertexLabel(static_cast<int>(i), g.VertexLabel(vertices[i]));
+  }
+  for (const Edge& e : g.Edges()) {
+    const int pu = position[e.u];
+    const int pv = position[e.v];
+    if (pu != -1 && pv != -1) sub.AddEdge(pu, pv, e.weight, e.label);
+  }
+  return sub;
+}
+
+Graph Permuted(const Graph& g, const std::vector<int>& perm) {
+  const int n = g.NumVertices();
+  X2VEC_CHECK_EQ(static_cast<int>(perm.size()), n);
+  Graph p(n, g.directed());
+  for (int v = 0; v < n; ++v) p.SetVertexLabel(perm[v], g.VertexLabel(v));
+  for (const Edge& e : g.Edges()) {
+    p.AddEdge(perm[e.u], perm[e.v], e.weight, e.label);
+  }
+  return p;
+}
+
+Graph BlowUp(const Graph& g, int k) {
+  X2VEC_CHECK_GE(k, 1);
+  const int n = g.NumVertices();
+  Graph b(n * k, g.directed());
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < k; ++c) b.SetVertexLabel(v * k + c, g.VertexLabel(v));
+  }
+  for (const Edge& e : g.Edges()) {
+    for (int cu = 0; cu < k; ++cu) {
+      for (int cv = 0; cv < k; ++cv) {
+        b.AddEdge(e.u * k + cu, e.v * k + cv, e.weight, e.label);
+      }
+    }
+  }
+  return b;
+}
+
+std::vector<std::vector<int>> ConnectedComponents(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<int> component(n, -1);
+  std::vector<std::vector<int>> components;
+  for (int start = 0; start < n; ++start) {
+    if (component[start] != -1) continue;
+    const int id = static_cast<int>(components.size());
+    components.emplace_back();
+    std::vector<int> stack = {start};
+    component[start] = id;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      components[id].push_back(v);
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        if (component[nb.to] == -1) {
+          component[nb.to] = id;
+          stack.push_back(nb.to);
+        }
+      }
+      if (g.directed()) {
+        for (const Neighbor& nb : g.InNeighbors(v)) {
+          if (component[nb.to] == -1) {
+            component[nb.to] = id;
+            stack.push_back(nb.to);
+          }
+        }
+      }
+    }
+    std::sort(components[id].begin(), components[id].end());
+  }
+  return components;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  return ConnectedComponents(g).size() == 1;
+}
+
+bool IsTree(const Graph& g) {
+  return !g.directed() && g.NumEdges() == g.NumVertices() - 1 &&
+         IsConnected(g);
+}
+
+}  // namespace x2vec::graph

@@ -1,0 +1,156 @@
+#ifndef X2VEC_GRAPH_GRAPH_H_
+#define X2VEC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/charpoly.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::graph {
+
+/// Half-edge record stored in adjacency lists.
+struct Neighbor {
+  int to = 0;
+  double weight = 1.0;
+  int label = 0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// A full edge record (u, v); for undirected graphs u <= v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;
+  int label = 0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// Finite graph, optionally directed, with integer vertex labels and
+/// weighted, labelled edges. This is the shared substrate for every
+/// algorithm in the library: WL refinement, homomorphism counting, kernels,
+/// random-walk embeddings, GNNs and similarity measures.
+///
+/// Representation: adjacency lists (both directions for undirected graphs,
+/// out-lists plus separate in-lists for directed ones) and a flat edge list.
+/// Simple graphs only: self-loops and parallel edges are rejected.
+class Graph {
+ public:
+  /// Empty graph on n vertices (undirected by default).
+  explicit Graph(int n = 0, bool directed = false);
+
+  // -- Builders for standard families ---------------------------------------
+  static Graph Path(int n);
+  static Graph Cycle(int n);
+  static Graph Complete(int n);
+  /// Star with one centre (vertex 0) and `leaves` leaves: K_{1,leaves}.
+  static Graph Star(int leaves);
+  static Graph CompleteBipartite(int a, int b);
+  static Graph Grid(int rows, int cols);
+  /// Circulant graph C_n(offsets): i ~ i +- d (mod n) for each offset d.
+  static Graph Circulant(int n, const std::vector<int>& offsets);
+  /// From an explicit undirected edge list on n vertices.
+  static Graph FromEdges(int n, const std::vector<std::pair<int, int>>& edges);
+
+  int NumVertices() const { return static_cast<int>(adjacency_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  bool directed() const { return directed_; }
+
+  /// Adds a vertex with the given label; returns its id.
+  int AddVertex(int label = 0);
+  /// Adds edge u-v (or u->v if directed). Fatal on loops and duplicates.
+  void AddEdge(int u, int v, double weight = 1.0, int label = 0);
+  /// True if the edge u-v (u->v if directed) exists.
+  bool HasEdge(int u, int v) const;
+  /// Weight of edge u-v, or 0.0 if absent (the alpha(u,v) of Section 3.2).
+  double EdgeWeight(int u, int v) const;
+
+  /// Out-neighbourhood (the full neighbourhood for undirected graphs).
+  const std::vector<Neighbor>& Neighbors(int v) const {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    return adjacency_[v];
+  }
+  /// In-neighbourhood; equals Neighbors(v) for undirected graphs.
+  const std::vector<Neighbor>& InNeighbors(int v) const {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    return directed_ ? in_adjacency_[v] : adjacency_[v];
+  }
+  int Degree(int v) const { return static_cast<int>(Neighbors(v).size()); }
+  int InDegree(int v) const { return static_cast<int>(InNeighbors(v).size()); }
+
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  int VertexLabel(int v) const {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    return vertex_labels_[v];
+  }
+  void SetVertexLabel(int v, int label) {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    vertex_labels_[v] = label;
+  }
+  const std::vector<int>& VertexLabels() const { return vertex_labels_; }
+
+  /// True if any vertex label differs from 0.
+  bool HasVertexLabels() const;
+  /// True if any edge label differs from 0.
+  bool HasEdgeLabels() const;
+  /// True if any edge weight differs from 1.0.
+  bool IsWeighted() const;
+
+  /// Dense weighted adjacency matrix.
+  linalg::Matrix AdjacencyMatrix() const;
+  /// Exact 0/1 adjacency matrix (fatal if the graph is weighted).
+  linalg::IntMatrix IntAdjacencyMatrix() const;
+
+  /// Degree sequence sorted descending.
+  std::vector<int> DegreeSequence() const;
+
+  /// Compact description for logs: "Graph(n=5, m=4, undirected)".
+  std::string ToString() const;
+
+  bool operator==(const Graph& other) const = default;
+
+ private:
+  bool directed_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<std::vector<Neighbor>> in_adjacency_;  // Directed only.
+  std::vector<Edge> edges_;
+  std::vector<int> vertex_labels_;
+};
+
+// -- Graph operations used across the library -------------------------------
+
+/// Disjoint union; vertices of `b` are shifted by a.NumVertices().
+Graph DisjointUnion(const Graph& a, const Graph& b);
+
+/// Complement of a simple undirected graph (labels preserved, unweighted).
+Graph Complement(const Graph& g);
+
+/// Induced subgraph on the given vertices (order defines new ids).
+Graph InducedSubgraph(const Graph& g, const std::vector<int>& vertices);
+
+/// Relabels vertices: vertex v of g becomes perm[v] in the result.
+/// `perm` must be a permutation of [0, n).
+Graph Permuted(const Graph& g, const std::vector<int>& perm);
+
+/// Each vertex becomes `k` twin copies; edges become complete bipartite
+/// bundles (the blow-up used to align graph orders in Section 5.1).
+Graph BlowUp(const Graph& g, int k);
+
+/// Connected components as vertex sets (undirected graphs).
+std::vector<std::vector<int>> ConnectedComponents(const Graph& g);
+
+/// True if the undirected graph is connected (empty graph counts as
+/// connected).
+bool IsConnected(const Graph& g);
+
+/// True if connected and m = n - 1 (i.e., the graph is a tree).
+bool IsTree(const Graph& g);
+
+}  // namespace x2vec::graph
+
+#endif  // X2VEC_GRAPH_GRAPH_H_

@@ -1,0 +1,24 @@
+#ifndef X2VEC_GRAPH_GRAPH6_H_
+#define X2VEC_GRAPH_GRAPH6_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "graph/graph.h"
+
+namespace x2vec::graph {
+
+/// Encodes a simple undirected graph in the graph6 interchange format
+/// (McKay's nauty format; supports n < 63 here, ample for pattern zoos).
+std::string ToGraph6(const Graph& g);
+
+/// Decodes a graph6 string; rejects malformed input via Status.
+StatusOr<Graph> FromGraph6(const std::string& encoded);
+
+/// Parses a whitespace/newline-separated list of graph6 strings.
+StatusOr<std::vector<Graph>> FromGraph6List(const std::string& text);
+
+}  // namespace x2vec::graph
+
+#endif  // X2VEC_GRAPH_GRAPH6_H_

@@ -1,0 +1,32 @@
+#ifndef X2VEC_GRAPH_ISOMORPHISM_H_
+#define X2VEC_GRAPH_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace x2vec::graph {
+
+/// True iff g and h are isomorphic (respecting vertex and edge labels).
+/// Backtracking search with degree/label pruning — exact ground truth for
+/// the sizes used in the indistinguishability experiments (n up to ~40 for
+/// structured instances, smaller worst case).
+bool AreIsomorphic(const Graph& g, const Graph& h);
+
+/// An isomorphism g -> h as a vertex mapping, if one exists.
+std::optional<std::vector<int>> FindIsomorphism(const Graph& g,
+                                                const Graph& h);
+
+/// Number of isomorphisms from g onto h (0 if none); aut(G) is
+/// CountIsomorphisms(g, g). Exponential in the worst case — small graphs
+/// only.
+int64_t CountIsomorphisms(const Graph& g, const Graph& h);
+
+/// Number of automorphisms of g (the aut(F'') of Theorem 4.2's proof).
+int64_t CountAutomorphisms(const Graph& g);
+
+}  // namespace x2vec::graph
+
+#endif  // X2VEC_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,211 @@
+#include "hom/brute_force.h"
+
+#include <vector>
+
+namespace x2vec::hom {
+namespace {
+
+using graph::Graph;
+using graph::Neighbor;
+
+// Generic backtracking over maps V(F) -> V(G). The visitor is called once
+// per complete homomorphism with the weight product of its edges (1.0 for
+// unweighted G).
+class HomSearch {
+ public:
+  HomSearch(const Graph& f, const Graph& g, bool injective)
+      : f_(f), g_(g), injective_(injective), mapping_(f.NumVertices(), -1),
+        used_(g.NumVertices(), false) {}
+
+  // Optional pin: force mapping_[root] = target.
+  void Pin(int root, int target) {
+    pinned_root_ = root;
+    pinned_target_ = target;
+  }
+
+  // Runs the search, returning the number of homomorphisms; if
+  // `weighted_total` is non-null, accumulates the weight products instead.
+  int64_t Run(double* weighted_total) {
+    count_ = 0;
+    weighted_sum_ = 0.0;
+    weighted_ = weighted_total != nullptr;
+    Extend(0, 1.0);
+    if (weighted_total != nullptr) *weighted_total = weighted_sum_;
+    return count_;
+  }
+
+ private:
+  // Checks that mapping f-vertex u to g-vertex w is consistent with all
+  // already-mapped neighbours; multiplies the corresponding edge weights
+  // into *weight.
+  bool Consistent(int u, int w, double* weight) const {
+    if (f_.VertexLabel(u) != g_.VertexLabel(w)) return false;
+    for (const Neighbor& nb : f_.Neighbors(u)) {
+      const int mapped = mapping_[nb.to];
+      if (mapped == -1) continue;
+      bool found = false;
+      for (const Neighbor& gn : g_.Neighbors(w)) {
+        if (gn.to == mapped && gn.label == nb.label) {
+          found = true;
+          *weight *= gn.weight;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    if (f_.directed()) {
+      for (const Neighbor& nb : f_.InNeighbors(u)) {
+        const int mapped = mapping_[nb.to];
+        if (mapped == -1) continue;
+        bool found = false;
+        for (const Neighbor& gn : g_.InNeighbors(w)) {
+          if (gn.to == mapped && gn.label == nb.label) {
+            found = true;
+            *weight *= gn.weight;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+    }
+    return true;
+  }
+
+  void Extend(int u, double weight) {
+    if (u == f_.NumVertices()) {
+      ++count_;
+      weighted_sum_ += weight;
+      return;
+    }
+    if (u == pinned_root_) {
+      double w = weight;
+      if (!(injective_ && used_[pinned_target_]) &&
+          Consistent(u, pinned_target_, &w)) {
+        mapping_[u] = pinned_target_;
+        if (injective_) used_[pinned_target_] = true;
+        Extend(u + 1, w);
+        if (injective_) used_[pinned_target_] = false;
+        mapping_[u] = -1;
+      }
+      return;
+    }
+    for (int w_vertex = 0; w_vertex < g_.NumVertices(); ++w_vertex) {
+      if (injective_ && used_[w_vertex]) continue;
+      double w = weight;
+      if (!Consistent(u, w_vertex, &w)) continue;
+      mapping_[u] = w_vertex;
+      if (injective_) used_[w_vertex] = true;
+      Extend(u + 1, w);
+      if (injective_) used_[w_vertex] = false;
+      mapping_[u] = -1;
+    }
+  }
+
+  const Graph& f_;
+  const Graph& g_;
+  const bool injective_;
+  std::vector<int> mapping_;
+  std::vector<bool> used_;
+  int pinned_root_ = -1;
+  int pinned_target_ = -1;
+  int64_t count_ = 0;
+  double weighted_sum_ = 0.0;
+  bool weighted_ = false;
+};
+
+}  // namespace
+
+int64_t CountHomomorphismsBruteForce(const Graph& f, const Graph& g) {
+  HomSearch search(f, g, /*injective=*/false);
+  return search.Run(nullptr);
+}
+
+int64_t CountRootedHomomorphismsBruteForce(const Graph& f, int r,
+                                           const Graph& g, int v) {
+  X2VEC_CHECK(r >= 0 && r < f.NumVertices());
+  X2VEC_CHECK(v >= 0 && v < g.NumVertices());
+  HomSearch search(f, g, /*injective=*/false);
+  search.Pin(r, v);
+  return search.Run(nullptr);
+}
+
+double WeightedHomomorphismBruteForce(const Graph& f, const Graph& g) {
+  HomSearch search(f, g, /*injective=*/false);
+  double total = 0.0;
+  search.Run(&total);
+  return total;
+}
+
+int64_t CountEmbeddingsBruteForce(const Graph& f, const Graph& g) {
+  HomSearch search(f, g, /*injective=*/true);
+  return search.Run(nullptr);
+}
+
+int64_t CountEpimorphismsBruteForce(const Graph& f, const Graph& g) {
+  // Inclusion-exclusion over vertex subsets of G would be faster, but the
+  // direct filter is clear and only used on tiny instances: count
+  // homomorphisms whose image covers all of V(G) and E(G). We re-run the
+  // backtracking with an explicit enumeration.
+  if (f.NumVertices() < g.NumVertices() || f.NumEdges() < g.NumEdges()) {
+    return 0;
+  }
+  // Enumerate all homomorphisms via recursion with a callback-style check.
+  // Reuse brute force by enumerating maps directly here.
+  std::vector<int> mapping(f.NumVertices(), -1);
+  int64_t count = 0;
+
+  // Recursive lambda over partial maps with surjectivity check at the leaf.
+  auto consistent = [&](int u, int w) {
+    if (f.VertexLabel(u) != g.VertexLabel(w)) return false;
+    for (const Neighbor& nb : f.Neighbors(u)) {
+      if (mapping[nb.to] == -1) continue;
+      bool found = false;
+      for (const Neighbor& gn : g.Neighbors(w)) {
+        if (gn.to == mapping[nb.to] && gn.label == nb.label) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  auto is_epi = [&]() {
+    std::vector<bool> vertex_hit(g.NumVertices(), false);
+    for (int u = 0; u < f.NumVertices(); ++u) vertex_hit[mapping[u]] = true;
+    for (bool hit : vertex_hit) {
+      if (!hit) return false;
+    }
+    std::vector<bool> edge_hit(g.NumEdges(), false);
+    for (const graph::Edge& e : f.Edges()) {
+      const int a = mapping[e.u];
+      const int b = mapping[e.v];
+      for (size_t i = 0; i < g.Edges().size(); ++i) {
+        const graph::Edge& ge = g.Edges()[i];
+        if ((ge.u == a && ge.v == b) || (!g.directed() && ge.u == b && ge.v == a)) {
+          edge_hit[i] = true;
+        }
+      }
+    }
+    for (bool hit : edge_hit) {
+      if (!hit) return false;
+    }
+    return true;
+  };
+  auto extend = [&](auto&& self, int u) -> void {
+    if (u == f.NumVertices()) {
+      if (is_epi()) ++count;
+      return;
+    }
+    for (int w = 0; w < g.NumVertices(); ++w) {
+      if (!consistent(u, w)) continue;
+      mapping[u] = w;
+      self(self, u + 1);
+      mapping[u] = -1;
+    }
+  };
+  extend(extend, 0);
+  return count;
+}
+
+}  // namespace x2vec::hom

@@ -1,0 +1,39 @@
+#ifndef X2VEC_HOM_BRUTE_FORCE_H_
+#define X2VEC_HOM_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace x2vec::hom {
+
+/// hom(F, G): number of homomorphisms from pattern F into G, by
+/// backtracking over partial maps (exact ground truth; exponential in |F|).
+/// Homomorphisms preserve vertex labels, edge labels and edge direction.
+int64_t CountHomomorphismsBruteForce(const graph::Graph& f,
+                                     const graph::Graph& g);
+
+/// hom(F, G; r -> v): homomorphisms mapping the root r of F to v
+/// (Section 4.4).
+int64_t CountRootedHomomorphismsBruteForce(const graph::Graph& f, int r,
+                                           const graph::Graph& g, int v);
+
+/// Weighted homomorphism count hom(F, G) = sum_h prod_{uu' in E(F)}
+/// alpha(h(u), h(u')) of Section 4.2 — the partition-function form used by
+/// Theorem 4.13. F is unweighted; G carries the weights.
+double WeightedHomomorphismBruteForce(const graph::Graph& f,
+                                      const graph::Graph& g);
+
+/// emb(F, G): number of *injective* homomorphisms (embeddings), for the
+/// walks-vs-paths distinction of Section 4 and the Theorem 4.2 machinery.
+int64_t CountEmbeddingsBruteForce(const graph::Graph& f,
+                                  const graph::Graph& g);
+
+/// epi(F, G): number of surjective homomorphisms (onto vertices and edges),
+/// completing the hom = epi/aut * emb decomposition of Theorem 4.2.
+int64_t CountEpimorphismsBruteForce(const graph::Graph& f,
+                                    const graph::Graph& g);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_BRUTE_FORCE_H_

@@ -1,0 +1,45 @@
+#include "hom/densities.h"
+
+#include <cmath>
+
+#include "hom/tree_hom.h"
+#include "hom/treewidth.h"
+
+namespace x2vec::hom {
+
+double HomDensity(const graph::Graph& f, const graph::Graph& g) {
+  X2VEC_CHECK_GT(g.NumVertices(), 0);
+  const double count = graph::IsTree(f) ? CountTreeHomsDouble(f, g)
+                                        : CountHomsDouble(f, g);
+  return count / std::pow(static_cast<double>(g.NumVertices()),
+                          f.NumVertices());
+}
+
+double SampledHomDensity(const graph::Graph& f, const graph::Graph& g,
+                         int samples, Rng& rng) {
+  X2VEC_CHECK_GT(samples, 0);
+  X2VEC_CHECK_GT(g.NumVertices(), 0);
+  const int nf = f.NumVertices();
+  std::vector<int> image(nf);
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    for (int u = 0; u < nf; ++u) {
+      image[u] = static_cast<int>(UniformInt(rng, 0, g.NumVertices() - 1));
+    }
+    bool is_hom = true;
+    for (const graph::Edge& e : f.Edges()) {
+      if (!g.HasEdge(image[e.u], image[e.v])) {
+        is_hom = false;
+        break;
+      }
+    }
+    hits += is_hom ? 1 : 0;
+  }
+  return static_cast<double>(hits) / samples;
+}
+
+double ErdosRenyiLimitDensity(const graph::Graph& f, double p) {
+  return std::pow(p, f.NumEdges());
+}
+
+}  // namespace x2vec::hom

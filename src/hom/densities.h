@@ -1,0 +1,29 @@
+#ifndef X2VEC_HOM_DENSITIES_H_
+#define X2VEC_HOM_DENSITIES_H_
+
+#include "base/rng.h"
+#include "graph/graph.h"
+
+namespace x2vec::hom {
+
+/// Homomorphism density t(F, G) = hom(F, G) / n^{|F|} — the normalised
+/// quantity underlying the theory of graph limits / graphons that
+/// Theorem 4.2 opens onto (Section 4.1 [Lovász]). Exact computation via
+/// the library's counting engines.
+double HomDensity(const graph::Graph& f, const graph::Graph& g);
+
+/// Monte-Carlo estimate of t(F, G): sample `samples` uniform maps
+/// V(F) -> V(G) and report the fraction that are homomorphisms. Unbiased;
+/// standard error ~ sqrt(t (1-t) / samples). This is how densities are
+/// estimated on graphs too large for exact counting.
+double SampledHomDensity(const graph::Graph& f, const graph::Graph& g,
+                         int samples, Rng& rng);
+
+/// The W-random graph intuition: for G ~ G(n, p), t(F, G) -> p^{|E(F)|}
+/// as n grows (the constant graphon W = p). Returns the limit value for
+/// reference.
+double ErdosRenyiLimitDensity(const graph::Graph& f, double p);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_DENSITIES_H_

@@ -1,0 +1,63 @@
+#ifndef X2VEC_HOM_EMBEDDINGS_H_
+#define X2VEC_HOM_EMBEDDINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "wl/unfolding_tree.h"
+
+namespace x2vec::hom {
+
+/// A homomorphism pattern with a display name, as used in the Hom_F
+/// embeddings of Section 4.
+struct Pattern {
+  graph::Graph graph;
+  std::string name;
+};
+
+/// The practical pattern family suggested at the end of Section 4's
+/// preamble: a small class of binary trees and cycles (default size 20).
+/// The family mixes paths, stars, complete binary trees, spiders and cycles
+/// so that degree, depth and cyclic structure are all probed.
+std::vector<Pattern> DefaultPatternFamily(int count = 20);
+
+/// Raw homomorphism vector Hom_F(G) = (hom(F, G))_F, as doubles.
+std::vector<double> HomVector(const graph::Graph& g,
+                              const std::vector<Pattern>& patterns);
+
+/// The paper's practically scaled embedding: entry (1/|F|) log(1 + hom(F,G))
+/// per pattern F. (The paper uses log hom; we add 1 so patterns with zero
+/// homomorphisms — e.g., odd cycles into bipartite graphs — stay finite,
+/// preserving exactly the information "hom = 0".)
+std::vector<double> LogScaledHomVector(const graph::Graph& g,
+                                       const std::vector<Pattern>& patterns);
+
+/// A rooted pattern (F, r) for node embeddings (Section 4.4).
+struct RootedPattern {
+  graph::Graph graph;
+  int root = 0;
+  std::string name;
+};
+
+/// All rooted trees with at most `max_size` vertices, one representative
+/// per root orbit (deduplicated by the rooted canonical string).
+std::vector<RootedPattern> RootedTreesUpTo(int max_size);
+
+/// Node-embedding matrix of Section 4.4: row v is
+/// ((1/|F|) log(1 + hom(F, G; r -> v)))_{(F, r)} over the rooted patterns.
+/// This embedding is inductive: it is defined by the patterns alone.
+linalg::Matrix RootedHomNodeEmbedding(const graph::Graph& g,
+                                      const std::vector<RootedPattern>& patterns);
+
+/// The node kernel of Section 4.4 ("in the same way ... we can now define
+/// node kernels"): Gram matrix of the rooted-hom node embedding over one
+/// graph's vertices. Rows/columns coincide exactly for vertices with the
+/// same 1-WL colour (Theorem 4.14).
+linalg::Matrix RootedHomNodeKernel(const graph::Graph& g,
+                                   const std::vector<RootedPattern>& patterns);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_EMBEDDINGS_H_

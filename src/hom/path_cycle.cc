@@ -1,0 +1,60 @@
+#include "hom/path_cycle.h"
+
+namespace x2vec::hom {
+
+using linalg::IntMatrix;
+
+__int128 CountPathHoms(int k, const graph::Graph& g) {
+  X2VEC_CHECK_GE(k, 1);
+  if (g.NumVertices() == 0) return 0;
+  IntMatrix power = IntMatrix::Identity(g.NumVertices());
+  const IntMatrix a = g.IntAdjacencyMatrix();
+  for (int step = 0; step < k - 1; ++step) power = power.Multiply(a);
+  return power.Sum();
+}
+
+__int128 CountCycleHoms(int k, const graph::Graph& g) {
+  X2VEC_CHECK_GE(k, 3);
+  if (g.NumVertices() == 0) return 0;
+  const IntMatrix a = g.IntAdjacencyMatrix();
+  IntMatrix power = a;
+  for (int step = 1; step < k; ++step) power = power.Multiply(a);
+  return power.Trace();
+}
+
+std::vector<__int128> PathHomVector(const graph::Graph& g, int max_k) {
+  X2VEC_CHECK_GE(max_k, 1);
+  std::vector<__int128> out;
+  out.reserve(max_k);
+  if (g.NumVertices() == 0) {
+    out.assign(max_k, 0);
+    return out;
+  }
+  const IntMatrix a = g.IntAdjacencyMatrix();
+  IntMatrix power = IntMatrix::Identity(g.NumVertices());
+  out.push_back(power.Sum());  // hom(P_1, G) = n.
+  for (int k = 2; k <= max_k; ++k) {
+    power = power.Multiply(a);
+    out.push_back(power.Sum());
+  }
+  return out;
+}
+
+std::vector<__int128> CycleHomVector(const graph::Graph& g, int max_k) {
+  X2VEC_CHECK_GE(max_k, 3);
+  std::vector<__int128> out;
+  out.reserve(max_k - 2);
+  if (g.NumVertices() == 0) {
+    out.assign(max_k - 2, 0);
+    return out;
+  }
+  const IntMatrix a = g.IntAdjacencyMatrix();
+  IntMatrix power = a.Multiply(a);
+  for (int k = 3; k <= max_k; ++k) {
+    power = power.Multiply(a);
+    out.push_back(power.Trace());
+  }
+  return out;
+}
+
+}  // namespace x2vec::hom

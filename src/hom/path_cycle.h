@@ -1,0 +1,29 @@
+#ifndef X2VEC_HOM_PATH_CYCLE_H_
+#define X2VEC_HOM_PATH_CYCLE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/charpoly.h"
+
+namespace x2vec::hom {
+
+/// hom(P_k, G) for the path on k vertices (k-1 edges): the number of walks
+/// of length k-1, i.e., 1^T A^{k-1} 1 — exact in 128-bit arithmetic.
+__int128 CountPathHoms(int k, const graph::Graph& g);
+
+/// hom(C_k, G) for the cycle on k >= 3 vertices: trace(A^k) (the spectral
+/// identity behind Theorem 4.3).
+__int128 CountCycleHoms(int k, const graph::Graph& g);
+
+/// The truncated path-homomorphism vector (hom(P_1,G), ..., hom(P_max,G)).
+/// Equality of these vectors for k up to |G| + |H| decides Hom_P equality
+/// (the walk generating function is rational of bounded degree).
+std::vector<__int128> PathHomVector(const graph::Graph& g, int max_k);
+
+/// The truncated cycle vector (hom(C_3,G), ..., hom(C_max,G)).
+std::vector<__int128> CycleHomVector(const graph::Graph& g, int max_k);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_PATH_CYCLE_H_

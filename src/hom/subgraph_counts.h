@@ -1,0 +1,26 @@
+#ifndef X2VEC_HOM_SUBGRAPH_COUNTS_H_
+#define X2VEC_HOM_SUBGRAPH_COUNTS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace x2vec::hom {
+
+/// "Homomorphisms are a good basis for counting small subgraphs"
+/// (Section 4 [Curticapean-Dell-Marx]): the number of *embeddings*
+/// (injective homomorphisms) of F into G is a fixed linear combination of
+/// homomorphism counts of F's quotients,
+///   emb(F, G) = sum_{theta in Part(V(F))} mu(theta) * hom(F/theta, G),
+/// where mu is the Moebius function of the partition lattice,
+/// mu(theta) = prod_{blocks B} (-1)^{|B|-1} (|B|-1)!, and quotients that
+/// create self-loops contribute 0. Patterns up to ~8 vertices
+/// (Bell(8) = 4140 quotients).
+__int128 CountEmbeddingsViaHoms(const graph::Graph& f, const graph::Graph& g);
+
+/// Number of (unlabelled) copies of F in G: sub(F, G) = emb(F, G)/aut(F).
+__int128 CountSubgraphCopies(const graph::Graph& f, const graph::Graph& g);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_SUBGRAPH_COUNTS_H_

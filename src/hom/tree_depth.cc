@@ -1,0 +1,93 @@
+#include "hom/tree_depth.h"
+
+#include <map>
+#include <vector>
+
+namespace x2vec::hom {
+namespace {
+
+using graph::Graph;
+
+// Recursive tree depth over the vertex subset `alive` (bitmask), memoised.
+class TreeDepthSolver {
+ public:
+  explicit TreeDepthSolver(const Graph& g) : g_(g), n_(g.NumVertices()) {
+    X2VEC_CHECK_LE(n_, 20) << "exact tree depth is for small patterns";
+    adjacency_.resize(n_);
+    for (int v = 0; v < n_; ++v) {
+      for (const graph::Neighbor& nb : g.Neighbors(v)) {
+        adjacency_[v] |= 1u << nb.to;
+      }
+    }
+  }
+
+  int Solve(uint32_t alive) {
+    if (alive == 0) return 0;
+    const auto it = memo_.find(alive);
+    if (it != memo_.end()) return it->second;
+
+    int result;
+    const std::vector<uint32_t> components = Components(alive);
+    if (components.size() > 1) {
+      result = 0;
+      for (uint32_t component : components) {
+        result = std::max(result, Solve(component));
+      }
+    } else if (__builtin_popcount(alive) == 1) {
+      result = 1;
+    } else {
+      result = n_ + 1;
+      for (int v = 0; v < n_; ++v) {
+        if ((alive >> v) & 1u) {
+          result = std::min(result, 1 + Solve(alive & ~(1u << v)));
+        }
+      }
+    }
+    memo_.emplace(alive, result);
+    return result;
+  }
+
+ private:
+  std::vector<uint32_t> Components(uint32_t alive) const {
+    std::vector<uint32_t> components;
+    uint32_t remaining = alive;
+    while (remaining != 0) {
+      uint32_t component = remaining & (~remaining + 1);  // Lowest bit.
+      // Flood fill within `alive`.
+      while (true) {
+        uint32_t frontier = 0;
+        uint32_t scan = component;
+        while (scan != 0) {
+          const int v = __builtin_ctz(scan);
+          scan &= scan - 1;
+          frontier |= adjacency_[v] & alive;
+        }
+        const uint32_t grown = component | frontier;
+        if (grown == component) break;
+        component = grown;
+      }
+      components.push_back(component);
+      remaining &= ~component;
+    }
+    return components;
+  }
+
+  const Graph& g_;
+  const int n_;
+  std::vector<uint32_t> adjacency_;
+  std::map<uint32_t, int> memo_;
+};
+
+}  // namespace
+
+int TreeDepth(const Graph& g) {
+  if (g.NumVertices() == 0) return 0;
+  TreeDepthSolver solver(g);
+  return solver.Solve((g.NumVertices() == 32)
+                          ? ~0u
+                          : ((1u << g.NumVertices()) - 1));
+}
+
+bool HasTreeDepthAtMost(const Graph& f, int k) { return TreeDepth(f) <= k; }
+
+}  // namespace x2vec::hom

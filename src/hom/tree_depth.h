@@ -1,0 +1,22 @@
+#ifndef X2VEC_HOM_TREE_DEPTH_H_
+#define X2VEC_HOM_TREE_DEPTH_H_
+
+#include "graph/graph.h"
+
+namespace x2vec::hom {
+
+/// Exact tree depth of a graph (Theorem 4.10's parameter; Nešetřil &
+/// Ossona de Mendez): td(G) = 0 for the empty graph, 1 for K1, and for a
+/// connected G, td(G) = 1 + min_v td(G - v); for disconnected graphs the
+/// maximum over components. Exponential-time recursion with memoisation
+/// over vertex subsets — patterns up to ~16 vertices.
+int TreeDepth(const graph::Graph& g);
+
+/// True iff hom(F, .) restricted to patterns of tree depth <= k contains F
+/// itself — convenience filter for building the TD_k pattern families of
+/// Theorem 4.10.
+bool HasTreeDepthAtMost(const graph::Graph& f, int k);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_TREE_DEPTH_H_

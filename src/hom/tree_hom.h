@@ -1,0 +1,35 @@
+#ifndef X2VEC_HOM_TREE_HOM_H_
+#define X2VEC_HOM_TREE_HOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace x2vec::hom {
+
+/// hom(T, G) for a tree pattern T by dynamic programming over a rooted
+/// orientation of T: linear in |T| * (n + m) and exact in 128-bit integers
+/// (fatal on overflow). Vertex labels of T and G are respected.
+__int128 CountTreeHoms(const graph::Graph& tree, const graph::Graph& g);
+
+/// The rooted vector (hom(T, G; r -> v))_{v in V(G)} of Section 4.4.
+std::vector<__int128> RootedTreeHomVector(const graph::Graph& tree, int root,
+                                          const graph::Graph& g);
+
+/// Floating-point variant for embedding feature computation, where counts
+/// can exceed 2^127 on larger graphs.
+double CountTreeHomsDouble(const graph::Graph& tree, const graph::Graph& g);
+
+/// Weighted tree homomorphism partition function (Theorem 4.13): G carries
+/// real edge weights; the count becomes sum over maps of the product of
+/// image-edge weights.
+double WeightedTreeHom(const graph::Graph& tree, const graph::Graph& g);
+
+/// hom(F, G) for a *forest* pattern: product of tree components
+/// (hom is multiplicative over disjoint unions of patterns).
+__int128 CountForestHoms(const graph::Graph& forest, const graph::Graph& g);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_TREE_HOM_H_

@@ -1,0 +1,40 @@
+#ifndef X2VEC_HOM_TREEWIDTH_H_
+#define X2VEC_HOM_TREEWIDTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace x2vec::hom {
+
+/// Width of an elimination order (max number of live neighbours at
+/// elimination time); the minimum over all orders is the treewidth.
+int WidthOfEliminationOrder(const graph::Graph& f,
+                            const std::vector<int>& order);
+
+/// Min-fill heuristic elimination order — near-optimal on the small
+/// pattern graphs used as homomorphism patterns.
+std::vector<int> MinFillEliminationOrder(const graph::Graph& f);
+
+/// Exact treewidth by branch-and-bound over elimination orders (patterns
+/// with up to ~9 vertices). Optionally returns an optimal order.
+int ExactTreewidth(const graph::Graph& f, std::vector<int>* best_order);
+
+/// hom(F, G) for an arbitrary pattern F by bucket (variable) elimination
+/// along the given order: time and memory n_G^{w+1} where w is the order's
+/// width — the Dalmau–Jonsson tractability regime of Section 4.3.
+/// Exact in 128-bit integers; respects vertex labels.
+__int128 CountHomsViaElimination(const graph::Graph& f, const graph::Graph& g,
+                                 const std::vector<int>& order);
+
+/// Convenience: hom(F, G) with a min-fill order.
+__int128 CountHoms(const graph::Graph& f, const graph::Graph& g);
+
+/// Floating-point variant (for feature vectors on larger G, where counts
+/// exceed 128 bits).
+double CountHomsDouble(const graph::Graph& f, const graph::Graph& g);
+
+}  // namespace x2vec::hom
+
+#endif  // X2VEC_HOM_TREEWIDTH_H_

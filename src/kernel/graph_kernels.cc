@@ -1,0 +1,214 @@
+#include "kernel/graph_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "graph/algorithms.h"
+#include "linalg/eigen.h"
+
+namespace x2vec::kernel {
+namespace {
+
+using graph::Graph;
+
+linalg::Matrix GramFromDense(const std::vector<std::vector<double>>& features) {
+  const int n = static_cast<int>(features.size());
+  linalg::Matrix k(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      k(i, j) = linalg::Dot(features[i], features[j]);
+      k(j, i) = k(i, j);
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+linalg::Matrix ShortestPathKernelMatrix(const std::vector<Graph>& graphs) {
+  // Shared sparse feature ids over (label_u, label_v, dist) triples.
+  std::map<std::tuple<int, int, int>, int> feature_ids;
+  std::vector<std::map<int, double>> counts(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const auto dist = graph::AllPairsShortestPaths(graphs[g]);
+    const int n = graphs[g].NumVertices();
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (dist[u][v] <= 0) continue;
+        const int a = std::min(graphs[g].VertexLabel(u),
+                               graphs[g].VertexLabel(v));
+        const int b = std::max(graphs[g].VertexLabel(u),
+                               graphs[g].VertexLabel(v));
+        const auto [it, inserted] = feature_ids.emplace(
+            std::make_tuple(a, b, dist[u][v]),
+            static_cast<int>(feature_ids.size()));
+        counts[g][it->second] += 1.0;
+      }
+    }
+  }
+  const int k = static_cast<int>(graphs.size());
+  linalg::Matrix gram(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i; j < k; ++j) {
+      double total = 0.0;
+      for (const auto& [id, value] : counts[i]) {
+        const auto it = counts[j].find(id);
+        if (it != counts[j].end()) total += value * it->second;
+      }
+      gram(i, j) = total;
+      gram(j, i) = total;
+    }
+  }
+  return gram;
+}
+
+linalg::Matrix RandomWalkKernelMatrix(const std::vector<Graph>& graphs,
+                                      double lambda, int max_length) {
+  X2VEC_CHECK_GT(lambda, 0.0);
+  X2VEC_CHECK_GE(max_length, 0);
+  const int n = static_cast<int>(graphs.size());
+  linalg::Matrix gram(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const Graph product = graph::DirectProduct(graphs[i], graphs[j]);
+      // sum_k lambda^k 1^T A^k 1 on the product graph.
+      const int np = product.NumVertices();
+      std::vector<double> ones(np, 1.0);
+      const linalg::Matrix a = product.AdjacencyMatrix();
+      double total = np;  // k = 0 term.
+      std::vector<double> current = ones;
+      double weight = 1.0;
+      for (int step = 1; step <= max_length; ++step) {
+        current = a.Apply(current);
+        weight *= lambda;
+        double sum = 0.0;
+        for (double x : current) sum += x;
+        total += weight * sum;
+      }
+      gram(i, j) = total;
+      gram(j, i) = total;
+    }
+  }
+  return gram;
+}
+
+std::vector<double> ThreeGraphletCounts(const Graph& g) {
+  X2VEC_CHECK(!g.directed());
+  const int n = g.NumVertices();
+  // counts = (empty, one edge, path/wedge, triangle) over all C(n,3)
+  // vertex triples.
+  std::vector<double> counts(4, 0.0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (int c = b + 1; c < n; ++c) {
+        const int edges = (g.HasEdge(a, b) ? 1 : 0) +
+                          (g.HasEdge(a, c) ? 1 : 0) +
+                          (g.HasEdge(b, c) ? 1 : 0);
+        counts[edges] += 1.0;
+      }
+    }
+  }
+  return counts;
+}
+
+linalg::Matrix GraphletKernelMatrix(const std::vector<Graph>& graphs) {
+  std::vector<std::vector<double>> features;
+  features.reserve(graphs.size());
+  for (const Graph& g : graphs) {
+    const std::vector<double> counts = ThreeGraphletCounts(g);
+    // Use the non-empty graphlets (edge+isolated, wedge, triangle),
+    // normalised to a distribution so graph size does not dominate; the
+    // empty triple would otherwise swamp the histogram on sparse graphs.
+    std::vector<double> connected(counts.begin() + 1, counts.end());
+    double total = 0.0;
+    for (double c : connected) total += c;
+    if (total > 0.0) {
+      for (double& c : connected) c /= total;
+    }
+    features.push_back(std::move(connected));
+  }
+  return GramFromDense(features);
+}
+
+linalg::Matrix HomVectorKernelMatrix(const std::vector<Graph>& graphs,
+                                     const std::vector<hom::Pattern>& patterns) {
+  std::vector<std::vector<double>> features;
+  features.reserve(graphs.size());
+  for (const Graph& g : graphs) {
+    features.push_back(hom::LogScaledHomVector(g, patterns));
+  }
+  // Standardise each pattern coordinate over the dataset (zero mean, unit
+  // variance): a single highly discriminative pattern (say C3) should not
+  // be drowned by large shared walk counts.
+  if (!features.empty()) {
+    const size_t dim = features[0].size();
+    for (size_t j = 0; j < dim; ++j) {
+      double mean = 0.0;
+      for (const auto& f : features) mean += f[j];
+      mean /= features.size();
+      double variance = 0.0;
+      for (const auto& f : features) {
+        variance += (f[j] - mean) * (f[j] - mean);
+      }
+      variance /= features.size();
+      const double scale = variance > 1e-18 ? 1.0 / std::sqrt(variance) : 0.0;
+      for (auto& f : features) f[j] = (f[j] - mean) * scale;
+    }
+  }
+  return GramFromDense(features);
+}
+
+linalg::Matrix ScaledHomKernelMatrix(const std::vector<Graph>& graphs,
+                                     const std::vector<hom::Pattern>& patterns) {
+  // Group patterns by order k; scale hom(F, .) by k^{-k/2} and each order
+  // class by 1/sqrt(|F_k|) so the Gram matrix realises eq. (4.1).
+  std::map<int, int> order_counts;
+  for (const hom::Pattern& p : patterns) ++order_counts[p.graph.NumVertices()];
+
+  std::vector<std::vector<double>> features;
+  features.reserve(graphs.size());
+  for (const Graph& g : graphs) {
+    const std::vector<double> raw = hom::HomVector(g, patterns);
+    std::vector<double> scaled(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const int k = patterns[i].graph.NumVertices();
+      const double class_scale = 1.0 / std::sqrt(
+          static_cast<double>(order_counts.at(k)));
+      scaled[i] = raw[i] * std::pow(static_cast<double>(k), -k / 2.0) *
+                  class_scale;
+    }
+    features.push_back(std::move(scaled));
+  }
+  return GramFromDense(features);
+}
+
+linalg::Matrix NormalizeKernel(const linalg::Matrix& k) {
+  X2VEC_CHECK_EQ(k.rows(), k.cols());
+  linalg::Matrix out(k.rows(), k.cols());
+  for (int i = 0; i < k.rows(); ++i) {
+    for (int j = 0; j < k.cols(); ++j) {
+      const double denom = std::sqrt(k(i, i) * k(j, j));
+      out(i, j) = denom > 0.0 ? k(i, j) / denom : 0.0;
+    }
+  }
+  return out;
+}
+
+linalg::Matrix CenterKernel(const linalg::Matrix& k) {
+  X2VEC_CHECK_EQ(k.rows(), k.cols());
+  const int n = k.rows();
+  linalg::Matrix centering = linalg::Matrix::Identity(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) centering(i, j) -= 1.0 / n;
+  }
+  return centering * k * centering;
+}
+
+bool IsPositiveSemidefinite(const linalg::Matrix& k, double tol) {
+  const std::vector<double> spectrum = linalg::Spectrum(k);
+  return spectrum.empty() || spectrum.back() >= -tol;
+}
+
+}  // namespace x2vec::kernel

@@ -1,0 +1,68 @@
+#include "kernel/node_kernels.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace x2vec::kernel {
+namespace {
+
+// Applies f to the Laplacian spectrum: K = V f(Lambda) V^T.
+linalg::Matrix SpectralFunction(const graph::Graph& g,
+                                double (*f)(double, double, int),
+                                double parameter, int extra) {
+  const linalg::EigenDecomposition eig =
+      linalg::SymmetricEigen(Laplacian(g));
+  std::vector<double> mapped(eig.values.size());
+  for (size_t i = 0; i < eig.values.size(); ++i) {
+    mapped[i] = f(eig.values[i], parameter, extra);
+  }
+  return eig.vectors * linalg::Matrix::Diagonal(mapped) *
+         eig.vectors.Transposed();
+}
+
+}  // namespace
+
+linalg::Matrix Laplacian(const graph::Graph& g) {
+  X2VEC_CHECK(!g.directed());
+  const int n = g.NumVertices();
+  linalg::Matrix l(n, n);
+  for (const graph::Edge& e : g.Edges()) {
+    l(e.u, e.v) -= e.weight;
+    l(e.v, e.u) -= e.weight;
+    l(e.u, e.u) += e.weight;
+    l(e.v, e.v) += e.weight;
+  }
+  return l;
+}
+
+linalg::Matrix DiffusionKernel(const graph::Graph& g, double beta) {
+  X2VEC_CHECK_GT(beta, 0.0);
+  return SpectralFunction(
+      g, [](double lambda, double b, int) { return std::exp(-b * lambda); },
+      beta, 0);
+}
+
+linalg::Matrix RegularizedLaplacianKernel(const graph::Graph& g,
+                                          double sigma) {
+  X2VEC_CHECK_GT(sigma, 0.0);
+  return SpectralFunction(
+      g,
+      [](double lambda, double s, int) { return 1.0 / (1.0 + s * s * lambda); },
+      sigma, 0);
+}
+
+linalg::Matrix PStepRandomWalkKernel(const graph::Graph& g, double a, int p) {
+  X2VEC_CHECK_GE(a, 2.0);
+  X2VEC_CHECK_GE(p, 1);
+  return SpectralFunction(
+      g,
+      [](double lambda, double a_param, int steps) {
+        double value = 1.0;
+        for (int i = 0; i < steps; ++i) value *= (a_param - lambda);
+        return value;
+      },
+      a, p);
+}
+
+}  // namespace x2vec::kernel

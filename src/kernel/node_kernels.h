@@ -1,0 +1,29 @@
+#ifndef X2VEC_KERNEL_NODE_KERNELS_H_
+#define X2VEC_KERNEL_NODE_KERNELS_H_
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::kernel {
+
+/// Node kernels (Section 2.4 [Kondor-Lafferty, Smola-Kondor]): positive
+/// semidefinite similarity matrices over the vertices of one graph, i.e.
+/// implicit node embeddings.
+
+/// Combinatorial graph Laplacian L = D - A.
+linalg::Matrix Laplacian(const graph::Graph& g);
+
+/// Diffusion (heat) kernel K = exp(-beta L), computed via the Laplacian
+/// eigendecomposition. Always PSD.
+linalg::Matrix DiffusionKernel(const graph::Graph& g, double beta);
+
+/// Regularised Laplacian kernel K = (I + sigma^2 L)^{-1}, via eigen.
+linalg::Matrix RegularizedLaplacianKernel(const graph::Graph& g,
+                                          double sigma);
+
+/// p-step random-walk kernel K = (a I - L)^p with a >= 2 (Smola-Kondor).
+linalg::Matrix PStepRandomWalkKernel(const graph::Graph& g, double a, int p);
+
+}  // namespace x2vec::kernel
+
+#endif  // X2VEC_KERNEL_NODE_KERNELS_H_

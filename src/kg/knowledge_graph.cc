@@ -1,0 +1,51 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+
+namespace x2vec::kg {
+
+int KnowledgeGraph::AddEntity(const std::string& name) {
+  const int existing = EntityId(name);
+  if (existing != -1) return existing;
+  entities_.push_back(name);
+  return NumEntities() - 1;
+}
+
+int KnowledgeGraph::AddRelation(const std::string& name) {
+  const int existing = RelationId(name);
+  if (existing != -1) return existing;
+  relations_.push_back(name);
+  return NumRelations() - 1;
+}
+
+void KnowledgeGraph::AddTriple(int head, int relation, int tail) {
+  X2VEC_CHECK(head >= 0 && head < NumEntities());
+  X2VEC_CHECK(tail >= 0 && tail < NumEntities());
+  X2VEC_CHECK(relation >= 0 && relation < NumRelations());
+  const Triple triple{head, relation, tail};
+  if (triple_set_.insert(triple).second) {
+    triples_.push_back(triple);
+  }
+}
+
+void KnowledgeGraph::AddFact(const std::string& head,
+                             const std::string& relation,
+                             const std::string& tail) {
+  AddTriple(AddEntity(head), AddRelation(relation), AddEntity(tail));
+}
+
+int KnowledgeGraph::EntityId(const std::string& name) const {
+  const auto it = std::find(entities_.begin(), entities_.end(), name);
+  return it == entities_.end()
+             ? -1
+             : static_cast<int>(it - entities_.begin());
+}
+
+int KnowledgeGraph::RelationId(const std::string& name) const {
+  const auto it = std::find(relations_.begin(), relations_.end(), name);
+  return it == relations_.end()
+             ? -1
+             : static_cast<int>(it - relations_.begin());
+}
+
+}  // namespace x2vec::kg

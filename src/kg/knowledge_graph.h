@@ -1,0 +1,63 @@
+#ifndef X2VEC_KG_KNOWLEDGE_GRAPH_H_
+#define X2VEC_KG_KNOWLEDGE_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/check.h"
+
+namespace x2vec::kg {
+
+/// A (head, relation, tail) fact.
+struct Triple {
+  int head = 0;
+  int relation = 0;
+  int tail = 0;
+
+  auto operator<=>(const Triple&) const = default;
+};
+
+/// In-memory knowledge graph: entity/relation name tables plus a triple
+/// store with membership queries (Section 2.3's data model — many named
+/// binary relations over labelled entities).
+class KnowledgeGraph {
+ public:
+  int AddEntity(const std::string& name);
+  int AddRelation(const std::string& name);
+  /// Adds the fact; duplicate facts are ignored.
+  void AddTriple(int head, int relation, int tail);
+  /// Convenience: adds by names, creating ids as needed.
+  void AddFact(const std::string& head, const std::string& relation,
+               const std::string& tail);
+
+  int NumEntities() const { return static_cast<int>(entities_.size()); }
+  int NumRelations() const { return static_cast<int>(relations_.size()); }
+  const std::vector<Triple>& Triples() const { return triples_; }
+  bool HasTriple(int head, int relation, int tail) const {
+    return triple_set_.count({head, relation, tail}) > 0;
+  }
+
+  /// Entity id by name (-1 when absent).
+  int EntityId(const std::string& name) const;
+  int RelationId(const std::string& name) const;
+  const std::string& EntityName(int id) const {
+    X2VEC_CHECK(id >= 0 && id < NumEntities());
+    return entities_[id];
+  }
+  const std::string& RelationName(int id) const {
+    X2VEC_CHECK(id >= 0 && id < NumRelations());
+    return relations_[id];
+  }
+
+ private:
+  std::vector<std::string> entities_;
+  std::vector<std::string> relations_;
+  std::vector<Triple> triples_;
+  std::set<Triple> triple_set_;
+};
+
+}  // namespace x2vec::kg
+
+#endif  // X2VEC_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,84 @@
+#include "kg/rescal.h"
+
+#include <cmath>
+
+namespace x2vec::kg {
+namespace {
+
+// Dense relation adjacency matrices A_R.
+std::vector<linalg::Matrix> RelationAdjacency(const KnowledgeGraph& kg) {
+  std::vector<linalg::Matrix> adjacency(
+      kg.NumRelations(), linalg::Matrix(kg.NumEntities(), kg.NumEntities()));
+  for (const Triple& triple : kg.Triples()) {
+    adjacency[triple.relation](triple.head, triple.tail) = 1.0;
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+double RescalModel::Score(int head, int relation, int tail) const {
+  const std::vector<double> bt =
+      relations[relation].Apply(entities.Row(tail));
+  return linalg::Dot(entities.Row(head), bt);
+}
+
+double RescalModel::ReconstructionError(const KnowledgeGraph& kg) const {
+  double total = 0.0;
+  for (int r = 0; r < kg.NumRelations(); ++r) {
+    const linalg::Matrix predicted =
+        entities * relations[r] * entities.Transposed();
+    for (int h = 0; h < kg.NumEntities(); ++h) {
+      for (int t = 0; t < kg.NumEntities(); ++t) {
+        const double target = kg.HasTriple(h, r, t) ? 1.0 : 0.0;
+        const double diff = predicted(h, t) - target;
+        total += diff * diff;
+      }
+    }
+  }
+  return total;
+}
+
+RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
+                        Rng& rng) {
+  const int n = kg.NumEntities();
+  const int d = options.dimension;
+  X2VEC_CHECK_GT(n, 1);
+  X2VEC_CHECK_GT(kg.NumRelations(), 0);
+
+  RescalModel model;
+  model.entities = linalg::Matrix(n, d);
+  const double init = 1.0 / std::sqrt(static_cast<double>(d));
+  for (double& v : model.entities.mutable_data()) {
+    v = UniformReal(rng, -init, init);
+  }
+  model.relations.assign(kg.NumRelations(), linalg::Matrix(d, d));
+  for (linalg::Matrix& b : model.relations) {
+    for (double& v : b.mutable_data()) v = UniformReal(rng, -init, init);
+  }
+
+  const std::vector<linalg::Matrix> targets = RelationAdjacency(kg);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Full-batch gradients of sum_R ||X B_R X^T - A_R||^2.
+    linalg::Matrix x_gradient(n, d);
+    for (int r = 0; r < kg.NumRelations(); ++r) {
+      const linalg::Matrix& b = model.relations[r];
+      const linalg::Matrix xb = model.entities * b;                 // n x d.
+      const linalg::Matrix xbt = model.entities * b.Transposed();   // n x d.
+      const linalg::Matrix residual =
+          xb * model.entities.Transposed() - targets[r];            // n x n.
+      // dX  += 2 (E X B^T + E^T X B),  dB = 2 X^T E X.
+      x_gradient += (residual * xbt + residual.Transposed() * xb) * 2.0;
+      const linalg::Matrix b_gradient =
+          (model.entities.Transposed() * residual * model.entities) * 2.0;
+      model.relations[r] -=
+          (b_gradient + b * (2.0 * options.l2)) * options.learning_rate;
+    }
+    x_gradient += model.entities * (2.0 * options.l2);
+    model.entities -= x_gradient * options.learning_rate;
+  }
+  return model;
+}
+
+}  // namespace x2vec::kg

@@ -1,0 +1,40 @@
+#ifndef X2VEC_KG_RESCAL_H_
+#define X2VEC_KG_RESCAL_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "kg/knowledge_graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::kg {
+
+/// RESCAL (Section 2.3 [Nickel et al.]): one bilinear form B_R per relation
+/// with scores x_h^T B_R x_t ≈ [ (h,R,t) holds ]. Trained here by gradient
+/// descent on the squared reconstruction error
+/// sum_R || X B_R X^T - A_R ||_F^2 (the multi-relational matrix
+/// factorisation view the paper describes).
+struct RescalOptions {
+  int dimension = 16;
+  int epochs = 300;
+  double learning_rate = 0.05;
+  double l2 = 1e-3;
+};
+
+struct RescalModel {
+  linalg::Matrix entities;                ///< n x d embedding matrix X.
+  std::vector<linalg::Matrix> relations;  ///< d x d matrices B_R.
+
+  /// Bilinear plausibility score x_h^T B_R x_t.
+  double Score(int head, int relation, int tail) const;
+
+  /// Total squared reconstruction error over all relations.
+  double ReconstructionError(const KnowledgeGraph& kg) const;
+};
+
+RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
+                        Rng& rng);
+
+}  // namespace x2vec::kg
+
+#endif  // X2VEC_KG_RESCAL_H_

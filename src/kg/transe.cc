@@ -1,0 +1,123 @@
+#include "kg/transe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace x2vec::kg {
+
+double TransEModel::Score(int head, int relation, int tail) const {
+  double total = 0.0;
+  for (int d = 0; d < entities.cols(); ++d) {
+    const double diff =
+        entities(head, d) + relations(relation, d) - entities(tail, d);
+    total += diff * diff;
+  }
+  return std::sqrt(total);
+}
+
+int TransEModel::TailRank(const KnowledgeGraph& kg,
+                          const Triple& triple) const {
+  const double true_score = Score(triple.head, triple.relation, triple.tail);
+  int rank = 1;
+  for (int candidate = 0; candidate < kg.NumEntities(); ++candidate) {
+    if (candidate == triple.tail) continue;
+    // Filtered protocol: other true tails do not count against the rank.
+    if (kg.HasTriple(triple.head, triple.relation, candidate)) continue;
+    if (Score(triple.head, triple.relation, candidate) < true_score) ++rank;
+  }
+  return rank;
+}
+
+TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
+                        Rng& rng) {
+  X2VEC_CHECK_GT(kg.NumEntities(), 1);
+  X2VEC_CHECK_GT(kg.NumRelations(), 0);
+  X2VEC_CHECK(!kg.Triples().empty());
+
+  TransEModel model;
+  const double init = 6.0 / std::sqrt(options.dimension);
+  model.entities = linalg::Matrix(kg.NumEntities(), options.dimension);
+  model.relations = linalg::Matrix(kg.NumRelations(), options.dimension);
+  for (double& v : model.entities.mutable_data()) {
+    v = UniformReal(rng, -init, init);
+  }
+  for (double& v : model.relations.mutable_data()) {
+    v = UniformReal(rng, -init, init);
+  }
+
+  auto normalize_entities = [&model]() {
+    for (int e = 0; e < model.entities.rows(); ++e) {
+      double norm = 0.0;
+      for (int d = 0; d < model.entities.cols(); ++d) {
+        norm += model.entities(e, d) * model.entities(e, d);
+      }
+      norm = std::sqrt(norm);
+      if (norm > 1e-12) {
+        for (int d = 0; d < model.entities.cols(); ++d) {
+          model.entities(e, d) /= norm;
+        }
+      }
+    }
+  };
+
+  const int dim = options.dimension;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    normalize_entities();
+    for (const Triple& triple : kg.Triples()) {
+      // Corrupt head or tail uniformly; resample until the corruption is
+      // actually false.
+      Triple corrupted = triple;
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        corrupted = triple;
+        if (Coin(rng, 0.5)) {
+          corrupted.head =
+              static_cast<int>(UniformInt(rng, 0, kg.NumEntities() - 1));
+        } else {
+          corrupted.tail =
+              static_cast<int>(UniformInt(rng, 0, kg.NumEntities() - 1));
+        }
+        if (!kg.HasTriple(corrupted.head, corrupted.relation,
+                          corrupted.tail)) {
+          break;
+        }
+      }
+      const double positive = model.Score(triple.head, triple.relation,
+                                          triple.tail);
+      const double negative = model.Score(corrupted.head, corrupted.relation,
+                                          corrupted.tail);
+      if (positive + options.margin <= negative) continue;  // No violation.
+
+      // Gradient of ||h + t - r|| w.r.t. each vector (L2 distance), applied
+      // to push the positive together and the negative apart.
+      auto apply = [&](const Triple& t, double sign, double score) {
+        if (score < 1e-9) return;
+        for (int d = 0; d < dim; ++d) {
+          const double diff = (model.entities(t.head, d) +
+                               model.relations(t.relation, d) -
+                               model.entities(t.tail, d)) /
+                              score;
+          const double step = sign * options.learning_rate * diff;
+          model.entities(t.head, d) -= step;
+          model.relations(t.relation, d) -= step;
+          model.entities(t.tail, d) += step;
+        }
+      };
+      apply(triple, +1.0, positive);
+      apply(corrupted, -1.0, negative);
+    }
+  }
+  normalize_entities();
+  return model;
+}
+
+std::vector<int> TailRanks(const TransEModel& model, const KnowledgeGraph& kg,
+                           const std::vector<Triple>& test) {
+  std::vector<int> ranks;
+  ranks.reserve(test.size());
+  for (const Triple& triple : test) {
+    ranks.push_back(model.TailRank(kg, triple));
+  }
+  return ranks;
+}
+
+}  // namespace x2vec::kg

@@ -1,0 +1,44 @@
+#ifndef X2VEC_KG_TRANSE_H_
+#define X2VEC_KG_TRANSE_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "kg/knowledge_graph.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::kg {
+
+/// TransE (Section 2.3 [Bordes et al.]): embeds entities and relations so
+/// that x_head + t_relation ≈ x_tail; trained with margin ranking loss over
+/// corrupted triples. Entity vectors are renormalised to the unit sphere
+/// each epoch, as in the original algorithm.
+struct TransEOptions {
+  int dimension = 24;
+  int epochs = 200;
+  double learning_rate = 0.02;
+  double margin = 1.0;
+};
+
+struct TransEModel {
+  linalg::Matrix entities;   ///< One row per entity.
+  linalg::Matrix relations;  ///< One row per relation (the translations t).
+
+  /// L2 dissimilarity ||x_h + t_r - x_t|| — lower means more plausible.
+  double Score(int head, int relation, int tail) const;
+
+  /// Rank of the true tail among all entities when (head, relation, ?) is
+  /// scored, filtered to ignore other known-true tails.
+  int TailRank(const KnowledgeGraph& kg, const Triple& triple) const;
+};
+
+TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
+                        Rng& rng);
+
+/// Link-prediction evaluation: filtered tail ranks for every test triple.
+std::vector<int> TailRanks(const TransEModel& model, const KnowledgeGraph& kg,
+                           const std::vector<Triple>& test);
+
+}  // namespace x2vec::kg
+
+#endif  // X2VEC_KG_TRANSE_H_

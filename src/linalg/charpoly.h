@@ -1,0 +1,56 @@
+#ifndef X2VEC_LINALG_CHARPOLY_H_
+#define X2VEC_LINALG_CHARPOLY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace x2vec::linalg {
+
+/// Dense square matrix of 128-bit integers; sized for exact walk-counting
+/// and characteristic-polynomial computations on adjacency matrices of the
+/// small graphs used by the indistinguishability deciders.
+class IntMatrix {
+ public:
+  explicit IntMatrix(int n) : n_(n), data_(static_cast<size_t>(n) * n, 0) {
+    X2VEC_CHECK_GE(n, 0);
+  }
+
+  int size() const { return n_; }
+
+  __int128& operator()(int i, int j) {
+    X2VEC_DCHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return data_[static_cast<size_t>(i) * n_ + j];
+  }
+  __int128 operator()(int i, int j) const {
+    X2VEC_DCHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return data_[static_cast<size_t>(i) * n_ + j];
+  }
+
+  static IntMatrix Identity(int n);
+  /// Checked matrix product (fatal on 128-bit overflow).
+  IntMatrix Multiply(const IntMatrix& other) const;
+  __int128 Trace() const;
+  /// Sum over all entries.
+  __int128 Sum() const;
+
+ private:
+  int n_;
+  std::vector<__int128> data_;
+};
+
+/// Exact characteristic polynomial coefficients c_0..c_n of an integer
+/// matrix, with det(xI - A) = x^n + c_{n-1} x^{n-1} + ... + c_0, computed
+/// by the Faddeev–LeVerrier recurrence over 128-bit integers. Two symmetric
+/// integer matrices are co-spectral iff their coefficient vectors agree —
+/// the exact version of Theorem 4.3's right-hand side.
+std::vector<__int128> CharacteristicPolynomial(const IntMatrix& a);
+
+/// Decimal rendering of a 128-bit integer (for tables and diagnostics).
+std::string Int128ToString(__int128 value);
+
+}  // namespace x2vec::linalg
+
+#endif  // X2VEC_LINALG_CHARPOLY_H_

@@ -1,0 +1,113 @@
+#include "linalg/linear_system.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace x2vec::linalg {
+
+RationalMatrix::RationalMatrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * cols) {
+  X2VEC_CHECK_GE(rows, 0);
+  X2VEC_CHECK_GE(cols, 0);
+}
+
+RationalSolveResult SolveRational(const RationalMatrix& a,
+                                  const std::vector<Rational>& b) {
+  const int m = a.rows();
+  const int n = a.cols();
+  X2VEC_CHECK_EQ(static_cast<int>(b.size()), m);
+
+  // Augmented matrix [A | b].
+  RationalMatrix aug(m, n + 1);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) aug(i, j) = a(i, j);
+    aug(i, n) = b[i];
+  }
+
+  std::vector<int> pivot_col_of_row;
+  int row = 0;
+  for (int col = 0; col < n && row < m; ++col) {
+    // Pick the pivot with the smallest representation to curb coefficient
+    // growth (any non-zero pivot is exact; small ones overflow later).
+    int pivot = -1;
+    for (int i = row; i < m; ++i) {
+      if (aug(i, col).IsZero()) continue;
+      if (pivot == -1 ||
+          std::llabs(aug(i, col).numerator()) +
+                  std::llabs(aug(i, col).denominator()) <
+              std::llabs(aug(pivot, col).numerator()) +
+                  std::llabs(aug(pivot, col).denominator())) {
+        pivot = i;
+      }
+    }
+    if (pivot == -1) continue;
+    if (pivot != row) {
+      for (int j = col; j <= n; ++j) std::swap(aug(pivot, j), aug(row, j));
+    }
+    const Rational inv = Rational(1) / aug(row, col);
+    for (int j = col; j <= n; ++j) aug(row, j) = aug(row, j) * inv;
+    for (int i = 0; i < m; ++i) {
+      if (i == row || aug(i, col).IsZero()) continue;
+      const Rational factor = aug(i, col);
+      for (int j = col; j <= n; ++j) {
+        aug(i, j) = aug(i, j) - factor * aug(row, j);
+      }
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+
+  RationalSolveResult result;
+  result.rank = row;
+  // Inconsistent iff some zero row of A has a non-zero right-hand side.
+  for (int i = row; i < m; ++i) {
+    if (!aug(i, n).IsZero()) {
+      result.consistent = false;
+      return result;
+    }
+  }
+  result.consistent = true;
+  result.solution.assign(n, Rational());
+  for (int r = 0; r < row; ++r) {
+    result.solution[pivot_col_of_row[r]] = aug(r, n);
+  }
+  return result;
+}
+
+std::optional<std::vector<double>> SolveDense(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double pivot_tol) {
+  const int n = a.rows();
+  X2VEC_CHECK_EQ(a.rows(), a.cols());
+  X2VEC_CHECK_EQ(static_cast<int>(b.size()), n);
+  Matrix aug(n, n + 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) aug(i, j) = a(i, j);
+    aug(i, n) = b[i];
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int i = col + 1; i < n; ++i) {
+      if (std::abs(aug(i, col)) > std::abs(aug(pivot, col))) pivot = i;
+    }
+    if (std::abs(aug(pivot, col)) < pivot_tol) return std::nullopt;
+    if (pivot != col) {
+      for (int j = col; j <= n; ++j) std::swap(aug(pivot, j), aug(col, j));
+    }
+    for (int i = col + 1; i < n; ++i) {
+      const double factor = aug(i, col) / aug(col, col);
+      for (int j = col; j <= n; ++j) aug(i, j) -= factor * aug(col, j);
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = aug(i, n);
+    for (int j = i + 1; j < n; ++j) acc -= aug(i, j) * x[j];
+    x[i] = acc / aug(i, i);
+  }
+  return x;
+}
+
+}  // namespace x2vec::linalg

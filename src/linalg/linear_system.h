@@ -1,0 +1,59 @@
+#ifndef X2VEC_LINALG_LINEAR_SYSTEM_H_
+#define X2VEC_LINALG_LINEAR_SYSTEM_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/rational.h"
+
+namespace x2vec::linalg {
+
+/// Dense matrix of exact rationals, used only by the exact deciders
+/// (Theorems 3.2 / 4.6); kept deliberately minimal.
+class RationalMatrix {
+ public:
+  RationalMatrix() : rows_(0), cols_(0) {}
+  RationalMatrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Rational& operator()(int i, int j) {
+    X2VEC_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  const Rational& operator()(int i, int j) const {
+    X2VEC_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<Rational> data_;
+};
+
+/// Outcome of exact Gaussian elimination on A x = b.
+struct RationalSolveResult {
+  bool consistent = false;  ///< True iff at least one solution exists.
+  int rank = 0;             ///< Rank of A.
+  /// A particular solution when consistent (free variables set to zero).
+  std::vector<Rational> solution;
+};
+
+/// Solves A x = b exactly over the rationals by fraction-free-ish Gaussian
+/// elimination with partial pivoting on exact values. Decides consistency;
+/// if consistent, returns a particular solution.
+RationalSolveResult SolveRational(const RationalMatrix& a,
+                                  const std::vector<Rational>& b);
+
+/// Double-precision Gaussian elimination solve (square, well-conditioned
+/// systems only); returns nullopt if a pivot falls below `pivot_tol`.
+std::optional<std::vector<double>> SolveDense(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double pivot_tol = 1e-12);
+
+}  // namespace x2vec::linalg
+
+#endif  // X2VEC_LINALG_LINEAR_SYSTEM_H_

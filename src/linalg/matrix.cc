@@ -1,0 +1,233 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/rng.h"
+
+namespace x2vec::linalg {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  X2VEC_CHECK_GE(rows, 0);
+  X2VEC_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
+  rows_ = static_cast<int>(values.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(values.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : values) {
+    X2VEC_CHECK_EQ(static_cast<int>(row.size()), cols_)
+        << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const std::vector<double>& diag) {
+  const int n = static_cast<int>(diag.size());
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::Random(int rows, int cols, double scale, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng = MakeRng(seed);
+  for (double& v : m.data_) v = UniformReal(rng, -scale, scale);
+  return m;
+}
+
+std::vector<double> Matrix::Row(int i) const {
+  X2VEC_CHECK(i >= 0 && i < rows_);
+  return std::vector<double>(data_.begin() + static_cast<size_t>(i) * cols_,
+                             data_.begin() + static_cast<size_t>(i + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(int j) const {
+  X2VEC_CHECK(j >= 0 && j < cols_);
+  std::vector<double> col(rows_);
+  for (int i = 0; i < rows_; ++i) col[i] = (*this)(i, j);
+  return col;
+}
+
+void Matrix::SetRow(int i, const std::vector<double>& values) {
+  X2VEC_CHECK(i >= 0 && i < rows_);
+  X2VEC_CHECK_EQ(static_cast<int>(values.size()), cols_);
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<size_t>(i) * cols_);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  X2VEC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  X2VEC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  X2VEC_CHECK_EQ(a.cols_, b.rows_) << "matmul shape mismatch";
+  Matrix c(a.rows_, b.cols_);
+  // ikj loop order for cache-friendly access to b and c.
+  for (int i = 0; i < a.rows_; ++i) {
+    for (int k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols_; ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
+  X2VEC_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double Matrix::Trace() const {
+  X2VEC_CHECK_EQ(rows_, cols_);
+  double t = 0.0;
+  for (int i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::OperatorOneNorm() const {
+  double best = 0.0;
+  for (int j = 0; j < cols_; ++j) {
+    double colsum = 0.0;
+    for (int i = 0; i < rows_; ++i) colsum += std::abs((*this)(i, j));
+    best = std::max(best, colsum);
+  }
+  return best;
+}
+
+double Matrix::OperatorInfNorm() const {
+  double best = 0.0;
+  for (int i = 0; i < rows_; ++i) {
+    double rowsum = 0.0;
+    for (int j = 0; j < cols_; ++j) rowsum += std::abs((*this)(i, j));
+    best = std::max(best, rowsum);
+  }
+  return best;
+}
+
+double Matrix::EntrywiseNorm(double p) const {
+  X2VEC_CHECK_GE(p, 1.0);
+  double s = 0.0;
+  for (double v : data_) s += std::pow(std::abs(v), p);
+  return std::pow(s, 1.0 / p);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t k = 0; k < data_.size(); ++k) {
+    if (std::abs(data_[k] - other.data_[k]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (int i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " ") << "[";
+    for (int j = 0; j < cols_; ++j) {
+      os << (j == 0 ? "" : ", ") << (*this)(i, j);
+    }
+    os << "]" << (i + 1 == rows_ ? "]" : "\n");
+  }
+  return os.str();
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  X2VEC_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double Distance2(const std::vector<double>& a, const std::vector<double>& b) {
+  X2VEC_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  X2VEC_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(std::vector<double>& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+}  // namespace x2vec::linalg

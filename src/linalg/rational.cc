@@ -1,0 +1,98 @@
+#include "linalg/rational.h"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace x2vec::linalg {
+namespace {
+
+__int128 Gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+constexpr __int128 kInt64Min = std::numeric_limits<int64_t>::min();
+constexpr __int128 kInt64Max = std::numeric_limits<int64_t>::max();
+
+int64_t Narrow(__int128 v) {
+  X2VEC_CHECK(v >= kInt64Min && v <= kInt64Max)
+      << "rational arithmetic overflowed 64 bits";
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Rational Rational::Normalize(__int128 num, __int128 den) {
+  X2VEC_CHECK(den != 0) << "rational with zero denominator";
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) {
+    Rational r;
+    return r;
+  }
+  const __int128 g = Gcd128(num, den);
+  num /= g;
+  den /= g;
+  Rational r;
+  r.num_ = Narrow(num);
+  r.den_ = Narrow(den);
+  return r;
+}
+
+Rational::Rational(int64_t num, int64_t den) {
+  *this = Normalize(num, den);
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  const __int128 num = static_cast<__int128>(num_) * other.den_ +
+                       static_cast<__int128>(other.num_) * den_;
+  const __int128 den = static_cast<__int128>(den_) * other.den_;
+  return Normalize(num, den);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  const __int128 num = static_cast<__int128>(num_) * other.den_ -
+                       static_cast<__int128>(other.num_) * den_;
+  const __int128 den = static_cast<__int128>(den_) * other.den_;
+  return Normalize(num, den);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  const __int128 num = static_cast<__int128>(num_) * other.num_;
+  const __int128 den = static_cast<__int128>(den_) * other.den_;
+  return Normalize(num, den);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  X2VEC_CHECK(!other.IsZero()) << "rational division by zero";
+  const __int128 num = static_cast<__int128>(num_) * other.den_;
+  const __int128 den = static_cast<__int128>(den_) * other.num_;
+  return Normalize(num, den);
+}
+
+bool Rational::operator<(const Rational& other) const {
+  return static_cast<__int128>(num_) * other.den_ <
+         static_cast<__int128>(other.num_) * den_;
+}
+
+std::string Rational::ToString() const {
+  std::ostringstream os;
+  os << num_;
+  if (den_ != 1) os << "/" << den_;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace x2vec::linalg

@@ -1,0 +1,71 @@
+#ifndef X2VEC_LINALG_RATIONAL_H_
+#define X2VEC_LINALG_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "base/check.h"
+
+namespace x2vec::linalg {
+
+/// Exact rational number over 64-bit integers with checked arithmetic.
+/// All intermediate products are computed in 128 bits and overflow of the
+/// normalised result is a fatal error rather than silent wrap-around: the
+/// indistinguishability deciders (Theorems 3.2 / 4.6) must be exact.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+  /// Integer value.
+  constexpr Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// num/den, normalised to lowest terms with positive denominator.
+  Rational(int64_t num, int64_t den);
+
+  int64_t numerator() const { return num_; }
+  int64_t denominator() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Division; `other` must be non-zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// "num" or "num/den".
+  std::string ToString() const;
+
+ private:
+  // Reduces a 128-bit num/den pair to lowest terms; fatal on 64-bit overflow.
+  static Rational Normalize(__int128 num, __int128 den);
+
+  int64_t num_;
+  int64_t den_;  // Always > 0.
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace x2vec::linalg
+
+#endif  // X2VEC_LINALG_RATIONAL_H_

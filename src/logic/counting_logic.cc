@@ -1,0 +1,223 @@
+#include "logic/counting_logic.h"
+
+#include <algorithm>
+
+namespace x2vec::logic {
+
+enum class NodeKind {
+  kEdge,
+  kEqual,
+  kHasLabel,
+  kNot,
+  kAnd,
+  kOr,
+  kCountExists,
+};
+
+struct Formula::Node {
+  NodeKind kind;
+  int a = 0;  // Variable index / quantified variable.
+  int b = 0;  // Second variable / label / count threshold.
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+namespace {
+
+using Node = Formula::Node;
+
+bool Eval(const Node& node, const graph::Graph& g,
+          std::vector<int>& assignment) {
+  switch (node.kind) {
+    case NodeKind::kEdge:
+      return g.HasEdge(assignment[node.a], assignment[node.b]);
+    case NodeKind::kEqual:
+      return assignment[node.a] == assignment[node.b];
+    case NodeKind::kHasLabel:
+      return g.VertexLabel(assignment[node.a]) == node.b;
+    case NodeKind::kNot:
+      return !Eval(*node.left, g, assignment);
+    case NodeKind::kAnd:
+      return Eval(*node.left, g, assignment) &&
+             Eval(*node.right, g, assignment);
+    case NodeKind::kOr:
+      return Eval(*node.left, g, assignment) ||
+             Eval(*node.right, g, assignment);
+    case NodeKind::kCountExists: {
+      const int saved = assignment[node.a];
+      int count = 0;
+      for (int v = 0; v < g.NumVertices() && count < node.b; ++v) {
+        assignment[node.a] = v;
+        if (Eval(*node.left, g, assignment)) ++count;
+      }
+      assignment[node.a] = saved;
+      return count >= node.b;
+    }
+  }
+  X2VEC_CHECK(false);
+  return false;
+}
+
+int MaxVariable(const Node& node) {
+  switch (node.kind) {
+    case NodeKind::kEdge:
+    case NodeKind::kEqual:
+      return std::max(node.a, node.b);
+    case NodeKind::kHasLabel:
+      return node.a;
+    case NodeKind::kNot:
+      return MaxVariable(*node.left);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(MaxVariable(*node.left), MaxVariable(*node.right));
+    case NodeKind::kCountExists:
+      return std::max(node.a, MaxVariable(*node.left));
+  }
+  return 0;
+}
+
+int Rank(const Node& node) {
+  switch (node.kind) {
+    case NodeKind::kEdge:
+    case NodeKind::kEqual:
+    case NodeKind::kHasLabel:
+      return 0;
+    case NodeKind::kNot:
+      return Rank(*node.left);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(Rank(*node.left), Rank(*node.right));
+    case NodeKind::kCountExists:
+      return 1 + Rank(*node.left);
+  }
+  return 0;
+}
+
+std::string Render(const Node& node) {
+  switch (node.kind) {
+    case NodeKind::kEdge:
+      return "E(x" + std::to_string(node.a) + ",x" + std::to_string(node.b) +
+             ")";
+    case NodeKind::kEqual:
+      return "x" + std::to_string(node.a) + "=x" + std::to_string(node.b);
+    case NodeKind::kHasLabel:
+      return "L" + std::to_string(node.b) + "(x" + std::to_string(node.a) +
+             ")";
+    case NodeKind::kNot:
+      return "~" + Render(*node.left);
+    case NodeKind::kAnd:
+      return "(" + Render(*node.left) + " & " + Render(*node.right) + ")";
+    case NodeKind::kOr:
+      return "(" + Render(*node.left) + " | " + Render(*node.right) + ")";
+    case NodeKind::kCountExists:
+      return "E>=" + std::to_string(node.b) + " x" + std::to_string(node.a) +
+             "." + Render(*node.left);
+  }
+  return "?";
+}
+
+}  // namespace
+
+Formula Formula::Edge(int a, int b) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kEdge;
+  node->a = a;
+  node->b = b;
+  return Formula(node);
+}
+
+Formula Formula::Equal(int a, int b) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kEqual;
+  node->a = a;
+  node->b = b;
+  return Formula(node);
+}
+
+Formula Formula::HasLabel(int a, int label) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kHasLabel;
+  node->a = a;
+  node->b = label;
+  return Formula(node);
+}
+
+Formula Formula::Not(Formula f) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kNot;
+  node->left = f.node_;
+  return Formula(node);
+}
+
+Formula Formula::And(Formula lhs, Formula rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kAnd;
+  node->left = lhs.node_;
+  node->right = rhs.node_;
+  return Formula(node);
+}
+
+Formula Formula::Or(Formula lhs, Formula rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kOr;
+  node->left = lhs.node_;
+  node->right = rhs.node_;
+  return Formula(node);
+}
+
+Formula Formula::CountExists(int var, int count, Formula f) {
+  X2VEC_CHECK_GE(count, 1);
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kCountExists;
+  node->a = var;
+  node->b = count;
+  node->left = f.node_;
+  return Formula(node);
+}
+
+bool Formula::Evaluate(const graph::Graph& g,
+                       std::vector<int>& assignment) const {
+  X2VEC_CHECK_GE(static_cast<int>(assignment.size()), NumVariables());
+  return Eval(*node_, g, assignment);
+}
+
+bool Formula::EvaluateSentence(const graph::Graph& g,
+                               int num_variables) const {
+  X2VEC_CHECK_GE(num_variables, NumVariables());
+  X2VEC_CHECK_GT(g.NumVertices(), 0) << "sentences are evaluated on n >= 1";
+  std::vector<int> assignment(num_variables, 0);
+  return Eval(*node_, g, assignment);
+}
+
+int Formula::NumVariables() const { return MaxVariable(*node_) + 1; }
+
+int Formula::QuantifierRank() const { return Rank(*node_); }
+
+std::string Formula::ToString() const { return Render(*node_); }
+
+Formula RandomC2Sentence(int depth, Rng& rng) {
+  X2VEC_CHECK_GE(depth, 1);
+  // Build inside-out: innermost formula talks about both variables, each
+  // quantifier layer alternates the bound variable.
+  int var = depth % 2;  // Innermost free variable convention.
+  Formula body = Formula::Edge(0, 1);
+  if (Coin(rng, 0.3)) body = Formula::Not(body);
+  if (Coin(rng, 0.3)) {
+    body = Formula::And(body, Formula::Not(Formula::Equal(0, 1)));
+  }
+  for (int level = 0; level < depth; ++level) {
+    const int count = static_cast<int>(UniformInt(rng, 1, 3));
+    body = Formula::CountExists(var, count, body);
+    if (level + 1 < depth && Coin(rng, 0.4)) {
+      body = Formula::Not(body);
+    }
+    var = 1 - var;
+  }
+  if (depth < 2) {
+    // Bind the leftover free variable so the result is a sentence.
+    body = Formula::CountExists(var, 1, body);
+  }
+  return body;
+}
+
+}  // namespace x2vec::logic

@@ -1,0 +1,65 @@
+#ifndef X2VEC_LOGIC_COUNTING_LOGIC_H_
+#define X2VEC_LOGIC_COUNTING_LOGIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/graph.h"
+
+namespace x2vec::logic {
+
+/// A formula of the counting logic C (first-order logic with counting
+/// quantifiers ∃^{>=p} x, Section 3.4), over a fixed pool of variables
+/// x_0, ..., x_{k-1}. The fragment C^k is obtained by only using k
+/// variables; quantifier rank is tracked for the C_k fragments of
+/// Theorem 4.10. Formulas are immutable shared trees.
+class Formula {
+ public:
+  /// Atom E(x_a, x_b): the two variables are adjacent.
+  static Formula Edge(int a, int b);
+  /// Atom x_a = x_b.
+  static Formula Equal(int a, int b);
+  /// Atom "x_a has vertex label `label`".
+  static Formula HasLabel(int a, int label);
+  static Formula Not(Formula f);
+  static Formula And(Formula lhs, Formula rhs);
+  static Formula Or(Formula lhs, Formula rhs);
+  /// Counting quantifier ∃^{>= count} x_var . f.
+  static Formula CountExists(int var, int count, Formula f);
+
+  /// Evaluates under the given variable assignment (values are vertex ids;
+  /// entries for variables bound by quantifiers are overwritten during
+  /// evaluation). `assignment` must cover every variable index used.
+  bool Evaluate(const graph::Graph& g, std::vector<int>& assignment) const;
+
+  /// Evaluates a sentence (every variable occurrence bound by some
+  /// quantifier) on a graph; `num_variables` sizes the assignment pool.
+  bool EvaluateSentence(const graph::Graph& g, int num_variables) const;
+
+  /// Largest variable index used, plus one.
+  int NumVariables() const;
+  /// Maximum quantifier nesting depth.
+  int QuantifierRank() const;
+
+  std::string ToString() const;
+
+  /// Implementation node; opaque to clients.
+  struct Node;
+
+ private:
+  explicit Formula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Uniformly samples a random C^2 sentence of the given quantifier depth
+/// (used to spot-check Theorem 3.1 / Corollary 4.9 for k = 1: 1-WL
+/// indistinguishable graphs satisfy the same C^2 sentences).
+Formula RandomC2Sentence(int depth, Rng& rng);
+
+}  // namespace x2vec::logic
+
+#endif  // X2VEC_LOGIC_COUNTING_LOGIC_H_

@@ -1,0 +1,93 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace x2vec::ml {
+
+void LogisticRegression::Fit(const linalg::Matrix& features,
+                             const std::vector<int>& labels,
+                             const Options& options, Rng& rng) {
+  const int n = features.rows();
+  const int dim = features.cols();
+  X2VEC_CHECK_EQ(static_cast<int>(labels.size()), n);
+  num_classes_ = 0;
+  for (int label : labels) {
+    X2VEC_CHECK_GE(label, 0);
+    num_classes_ = std::max(num_classes_, label + 1);
+  }
+  X2VEC_CHECK_GE(num_classes_, 2);
+  weights_ = linalg::Matrix(dim + 1, num_classes_);
+
+  std::vector<double> logits(num_classes_);
+  std::vector<double> probs(num_classes_);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr = options.learning_rate / (1.0 + 0.05 * epoch);
+    for (int i : RandomPermutation(n, rng)) {
+      // Forward.
+      for (int c = 0; c < num_classes_; ++c) {
+        double z = weights_(dim, c);  // Bias.
+        for (int j = 0; j < dim; ++j) z += features(i, j) * weights_(j, c);
+        logits[c] = z;
+      }
+      const double max_logit = *std::max_element(logits.begin(), logits.end());
+      double total = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        probs[c] = std::exp(logits[c] - max_logit);
+        total += probs[c];
+      }
+      for (double& p : probs) p /= total;
+      // SGD update.
+      for (int c = 0; c < num_classes_; ++c) {
+        const double gradient = probs[c] - (labels[i] == c ? 1.0 : 0.0);
+        for (int j = 0; j < dim; ++j) {
+          weights_(j, c) -= lr * (gradient * features(i, j) +
+                                  options.l2 * weights_(j, c));
+        }
+        weights_(dim, c) -= lr * gradient;
+      }
+    }
+  }
+}
+
+linalg::Matrix LogisticRegression::PredictProba(
+    const linalg::Matrix& features) const {
+  X2VEC_CHECK_GT(num_classes_, 0) << "Fit before Predict";
+  const int n = features.rows();
+  const int dim = features.cols();
+  X2VEC_CHECK_EQ(dim + 1, weights_.rows());
+  linalg::Matrix probs(n, num_classes_);
+  for (int i = 0; i < n; ++i) {
+    double max_logit = -1e300;
+    std::vector<double> logits(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+      double z = weights_(dim, c);
+      for (int j = 0; j < dim; ++j) z += features(i, j) * weights_(j, c);
+      logits[c] = z;
+      max_logit = std::max(max_logit, z);
+    }
+    double total = 0.0;
+    for (int c = 0; c < num_classes_; ++c) {
+      probs(i, c) = std::exp(logits[c] - max_logit);
+      total += probs(i, c);
+    }
+    for (int c = 0; c < num_classes_; ++c) probs(i, c) /= total;
+  }
+  return probs;
+}
+
+std::vector<int> LogisticRegression::Predict(
+    const linalg::Matrix& features) const {
+  const linalg::Matrix probs = PredictProba(features);
+  std::vector<int> out(probs.rows());
+  for (int i = 0; i < probs.rows(); ++i) {
+    int best = 0;
+    for (int c = 1; c < probs.cols(); ++c) {
+      if (probs(i, c) > probs(i, best)) best = c;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace x2vec::ml

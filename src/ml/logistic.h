@@ -1,0 +1,36 @@
+#ifndef X2VEC_ML_LOGISTIC_H_
+#define X2VEC_ML_LOGISTIC_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::ml {
+
+/// Multinomial logistic regression trained by mini-batch-free SGD — the
+/// standard linear probe applied on top of embeddings.
+class LogisticRegression {
+ public:
+  struct Options {
+    int epochs = 100;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+  };
+
+  /// Fits on dense features and integer labels 0..k-1.
+  void Fit(const linalg::Matrix& features, const std::vector<int>& labels,
+           const Options& options, Rng& rng);
+
+  std::vector<int> Predict(const linalg::Matrix& features) const;
+  /// Row-stochastic class probabilities.
+  linalg::Matrix PredictProba(const linalg::Matrix& features) const;
+
+ private:
+  linalg::Matrix weights_;  ///< (dim + 1) x classes, last row is the bias.
+  int num_classes_ = 0;
+};
+
+}  // namespace x2vec::ml
+
+#endif  // X2VEC_ML_LOGISTIC_H_

@@ -1,0 +1,64 @@
+#include "ml/metrics.h"
+
+#include <map>
+#include <set>
+
+namespace x2vec::ml {
+
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& actual) {
+  X2VEC_CHECK_EQ(predicted.size(), actual.size());
+  X2VEC_CHECK(!actual.empty());
+  int correct = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    correct += predicted[i] == actual[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / actual.size();
+}
+
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& actual) {
+  X2VEC_CHECK_EQ(predicted.size(), actual.size());
+  X2VEC_CHECK(!actual.empty());
+  std::set<int> classes(actual.begin(), actual.end());
+  double f1_total = 0.0;
+  for (int c : classes) {
+    int tp = 0;
+    int fp = 0;
+    int fn = 0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      const bool predicted_c = predicted[i] == c;
+      const bool actual_c = actual[i] == c;
+      if (predicted_c && actual_c) ++tp;
+      if (predicted_c && !actual_c) ++fp;
+      if (!predicted_c && actual_c) ++fn;
+    }
+    const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp)
+                                         : 0.0;
+    const double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn)
+                                      : 0.0;
+    f1_total += precision + recall > 0
+                    ? 2.0 * precision * recall / (precision + recall)
+                    : 0.0;
+  }
+  return f1_total / classes.size();
+}
+
+double MeanReciprocalRank(const std::vector<int>& ranks) {
+  X2VEC_CHECK(!ranks.empty());
+  double total = 0.0;
+  for (int rank : ranks) {
+    X2VEC_CHECK_GE(rank, 1);
+    total += 1.0 / rank;
+  }
+  return total / ranks.size();
+}
+
+double HitsAtK(const std::vector<int>& ranks, int k) {
+  X2VEC_CHECK(!ranks.empty());
+  int hits = 0;
+  for (int rank : ranks) hits += rank <= k ? 1 : 0;
+  return static_cast<double>(hits) / ranks.size();
+}
+
+}  // namespace x2vec::ml

@@ -1,0 +1,26 @@
+#ifndef X2VEC_ML_METRICS_H_
+#define X2VEC_ML_METRICS_H_
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace x2vec::ml {
+
+/// Fraction of positions where predicted == actual.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& actual);
+
+/// Macro-averaged F1 over the classes present in `actual`.
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& actual);
+
+/// Mean reciprocal rank: ranks are 1-based positions of the true item.
+double MeanReciprocalRank(const std::vector<int>& ranks);
+
+/// Fraction of ranks <= k.
+double HitsAtK(const std::vector<int>& ranks, int k);
+
+}  // namespace x2vec::ml
+
+#endif  // X2VEC_ML_METRICS_H_

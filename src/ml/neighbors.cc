@@ -1,0 +1,129 @@
+#include "ml/neighbors.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace x2vec::ml {
+
+void KnnClassifier::Fit(const linalg::Matrix& features,
+                        const std::vector<int>& labels) {
+  X2VEC_CHECK_EQ(features.rows(), static_cast<int>(labels.size()));
+  X2VEC_CHECK_GE(features.rows(), k_);
+  features_ = features;
+  labels_ = labels;
+}
+
+int KnnClassifier::Predict(const std::vector<double>& point) const {
+  X2VEC_CHECK_GT(features_.rows(), 0) << "Fit before Predict";
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(features_.rows());
+  for (int i = 0; i < features_.rows(); ++i) {
+    distances.emplace_back(linalg::Distance2(features_.Row(i), point), i);
+  }
+  std::partial_sort(distances.begin(), distances.begin() + k_,
+                    distances.end());
+  std::map<int, int> votes;
+  for (int i = 0; i < k_; ++i) ++votes[labels_[distances[i].second]];
+  int best_label = votes.begin()->first;
+  int best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<int> KnnClassifier::PredictAll(const linalg::Matrix& points) const {
+  std::vector<int> out(points.rows());
+  for (int i = 0; i < points.rows(); ++i) out[i] = Predict(points.Row(i));
+  return out;
+}
+
+KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
+                    int max_iterations) {
+  const int n = features.rows();
+  const int d = features.cols();
+  X2VEC_CHECK_GE(k, 1);
+  X2VEC_CHECK_GE(n, k);
+
+  // k-means++ seeding.
+  KMeansResult result;
+  result.centroids = linalg::Matrix(k, d);
+  std::vector<int> chosen;
+  chosen.push_back(static_cast<int>(UniformInt(rng, 0, n - 1)));
+  std::vector<double> min_dist_sq(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(chosen.size()) < k) {
+    const std::vector<double> last = features.Row(chosen.back());
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double dist = linalg::Distance2(features.Row(i), last);
+      min_dist_sq[i] = std::min(min_dist_sq[i], dist * dist);
+      total += min_dist_sq[i];
+    }
+    double pick = UniformReal(rng, 0.0, total);
+    int next = n - 1;
+    for (int i = 0; i < n; ++i) {
+      pick -= min_dist_sq[i];
+      if (pick <= 0.0) {
+        next = i;
+        break;
+      }
+    }
+    chosen.push_back(next);
+  }
+  for (int c = 0; c < k; ++c) {
+    result.centroids.SetRow(c, features.Row(chosen[c]));
+  }
+
+  result.assignment.assign(n, -1);
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    // Assign.
+    bool moved = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = linalg::Distance2(features.Row(i),
+                                           result.centroids.Row(0));
+      for (int c = 1; c < k; ++c) {
+        const double dist =
+            linalg::Distance2(features.Row(i), result.centroids.Row(c));
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        moved = true;
+      }
+    }
+    result.iterations = iteration + 1;
+    if (!moved) break;
+    // Update.
+    linalg::Matrix sums(k, d);
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      for (int j = 0; j < d; ++j) sums(c, j) += features(i, j);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Keep the old centroid.
+      for (int j = 0; j < d; ++j) {
+        result.centroids(c, j) = sums(c, j) / counts[c];
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double dist = linalg::Distance2(
+        features.Row(i), result.centroids.Row(result.assignment[i]));
+    result.inertia += dist * dist;
+  }
+  return result;
+}
+
+}  // namespace x2vec::ml

@@ -1,0 +1,41 @@
+#ifndef X2VEC_ML_NEIGHBORS_H_
+#define X2VEC_ML_NEIGHBORS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::ml {
+
+/// k-nearest-neighbour classifier on dense feature vectors (Euclidean
+/// metric) — the "nearest-neighbour based classification on the embedding"
+/// probe from the paper's introduction.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k) : k_(k) { X2VEC_CHECK_GE(k, 1); }
+
+  void Fit(const linalg::Matrix& features, const std::vector<int>& labels);
+  int Predict(const std::vector<double>& point) const;
+  std::vector<int> PredictAll(const linalg::Matrix& points) const;
+
+ private:
+  int k_;
+  linalg::Matrix features_;
+  std::vector<int> labels_;
+};
+
+/// Lloyd's k-means with k-means++ seeding on rows of `features`.
+struct KMeansResult {
+  std::vector<int> assignment;   ///< Cluster id per row.
+  linalg::Matrix centroids;      ///< k x d.
+  double inertia = 0.0;          ///< Sum of squared distances to centroids.
+  int iterations = 0;
+};
+
+KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
+                    int max_iterations = 100);
+
+}  // namespace x2vec::ml
+
+#endif  // X2VEC_ML_NEIGHBORS_H_

@@ -1,0 +1,169 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ml/metrics.h"
+#include "ml/validation.h"
+
+namespace x2vec::ml {
+
+void KernelSvm::Fit(const linalg::Matrix& gram,
+                    const std::vector<double>& labels,
+                    const SvmOptions& options, Rng& rng) {
+  const int n = gram.rows();
+  X2VEC_CHECK_EQ(gram.rows(), gram.cols());
+  X2VEC_CHECK_EQ(static_cast<int>(labels.size()), n);
+  for (double y : labels) {
+    X2VEC_CHECK(y == 1.0 || y == -1.0) << "labels must be +-1";
+  }
+  labels_ = labels;
+  alphas_.assign(n, 0.0);
+  bias_ = 0.0;
+
+  auto decision = [&](int i) {
+    double value = bias_;
+    for (int j = 0; j < n; ++j) {
+      if (alphas_[j] != 0.0) value += alphas_[j] * labels_[j] * gram(j, i);
+    }
+    return value;
+  };
+
+  // Simplified SMO: sweep over i, pick a random j != i, solve the
+  // two-variable subproblem analytically.
+  int passes = 0;
+  int iterations = 0;
+  while (passes < options.max_passes && iterations < options.max_iterations) {
+    int changed = 0;
+    for (int i = 0; i < n; ++i) {
+      const double error_i = decision(i) - labels_[i];
+      const bool violates =
+          (labels_[i] * error_i < -options.tol && alphas_[i] < options.c) ||
+          (labels_[i] * error_i > options.tol && alphas_[i] > 0.0);
+      if (!violates) continue;
+      int j = static_cast<int>(UniformInt(rng, 0, n - 2));
+      if (j >= i) ++j;
+      const double error_j = decision(j) - labels_[j];
+      const double alpha_i_old = alphas_[i];
+      const double alpha_j_old = alphas_[j];
+      double lo;
+      double hi;
+      if (labels_[i] != labels_[j]) {
+        lo = std::max(0.0, alphas_[j] - alphas_[i]);
+        hi = std::min(options.c, options.c + alphas_[j] - alphas_[i]);
+      } else {
+        lo = std::max(0.0, alphas_[i] + alphas_[j] - options.c);
+        hi = std::min(options.c, alphas_[i] + alphas_[j]);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * gram(i, j) - gram(i, i) - gram(j, j);
+      if (eta >= 0.0) continue;
+      double alpha_j = alpha_j_old - labels_[j] * (error_i - error_j) / eta;
+      alpha_j = std::clamp(alpha_j, lo, hi);
+      if (std::abs(alpha_j - alpha_j_old) < 1e-6) continue;
+      const double alpha_i =
+          alpha_i_old + labels_[i] * labels_[j] * (alpha_j_old - alpha_j);
+      alphas_[i] = alpha_i;
+      alphas_[j] = alpha_j;
+      const double b1 = bias_ - error_i -
+                        labels_[i] * (alpha_i - alpha_i_old) * gram(i, i) -
+                        labels_[j] * (alpha_j - alpha_j_old) * gram(i, j);
+      const double b2 = bias_ - error_j -
+                        labels_[i] * (alpha_i - alpha_i_old) * gram(i, j) -
+                        labels_[j] * (alpha_j - alpha_j_old) * gram(j, j);
+      if (alpha_i > 0.0 && alpha_i < options.c) {
+        bias_ = b1;
+      } else if (alpha_j > 0.0 && alpha_j < options.c) {
+        bias_ = b2;
+      } else {
+        bias_ = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    ++iterations;
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+}
+
+double KernelSvm::Decision(const std::vector<double>& kernel_row) const {
+  X2VEC_CHECK_EQ(kernel_row.size(), alphas_.size());
+  double value = bias_;
+  for (size_t j = 0; j < alphas_.size(); ++j) {
+    if (alphas_[j] != 0.0) value += alphas_[j] * labels_[j] * kernel_row[j];
+  }
+  return value;
+}
+
+void OneVsRestSvm::Fit(const linalg::Matrix& gram,
+                       const std::vector<int>& labels,
+                       const SvmOptions& options, Rng& rng) {
+  const std::set<int> class_set(labels.begin(), labels.end());
+  classes_.assign(class_set.begin(), class_set.end());
+  X2VEC_CHECK_GE(classes_.size(), 2u);
+  machines_.clear();
+  machines_.resize(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    std::vector<double> binary(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == classes_[c] ? 1.0 : -1.0;
+    }
+    machines_[c].Fit(gram, binary, options, rng);
+  }
+}
+
+std::vector<int> OneVsRestSvm::Predict(
+    const linalg::Matrix& kernel_rows) const {
+  std::vector<int> predictions(kernel_rows.rows());
+  for (int i = 0; i < kernel_rows.rows(); ++i) {
+    const std::vector<double> row = kernel_rows.Row(i);
+    int best = 0;
+    double best_score = machines_[0].Decision(row);
+    for (size_t c = 1; c < machines_.size(); ++c) {
+      const double score = machines_[c].Decision(row);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(c);
+      }
+    }
+    predictions[i] = classes_[best];
+  }
+  return predictions;
+}
+
+double CrossValidatedSvmAccuracy(const linalg::Matrix& gram,
+                                 const std::vector<int>& labels, int folds,
+                                 const SvmOptions& options, Rng& rng) {
+  const std::vector<Split> splits = StratifiedKFold(labels, folds, rng);
+  double accuracy_total = 0.0;
+  for (const Split& split : splits) {
+    // Restrict the Gram matrix to the fold's training rows/cols.
+    const int train_size = static_cast<int>(split.train.size());
+    linalg::Matrix train_gram(train_size, train_size);
+    for (int a = 0; a < train_size; ++a) {
+      for (int b = 0; b < train_size; ++b) {
+        train_gram(a, b) = gram(split.train[a], split.train[b]);
+      }
+    }
+    std::vector<int> train_labels(train_size);
+    for (int a = 0; a < train_size; ++a) {
+      train_labels[a] = labels[split.train[a]];
+    }
+    OneVsRestSvm svm;
+    svm.Fit(train_gram, train_labels, options, rng);
+
+    const int test_size = static_cast<int>(split.test.size());
+    linalg::Matrix kernel_rows(test_size, train_size);
+    std::vector<int> test_labels(test_size);
+    for (int t = 0; t < test_size; ++t) {
+      test_labels[t] = labels[split.test[t]];
+      for (int a = 0; a < train_size; ++a) {
+        kernel_rows(t, a) = gram(split.test[t], split.train[a]);
+      }
+    }
+    accuracy_total += Accuracy(svm.Predict(kernel_rows), test_labels);
+  }
+  return accuracy_total / folds;
+}
+
+}  // namespace x2vec::ml

@@ -1,0 +1,68 @@
+#ifndef X2VEC_ML_SVM_H_
+#define X2VEC_ML_SVM_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::ml {
+
+/// Hyperparameters for the SMO solver.
+struct SvmOptions {
+  double c = 1.0;          ///< Soft-margin penalty.
+  double tol = 1e-3;       ///< KKT violation tolerance.
+  int max_passes = 10;     ///< Consecutive violation-free sweeps to stop.
+  int max_iterations = 10000;
+};
+
+/// Binary soft-margin kernel SVM trained by simplified SMO [Platt] on a
+/// precomputed Gram matrix (kernel methods never touch the feature vectors
+/// — Section 2.4). Labels are +-1.
+class KernelSvm {
+ public:
+  /// Fits on gram (n x n, training rows/cols) and labels in {-1, +1}.
+  void Fit(const linalg::Matrix& gram, const std::vector<double>& labels,
+           const SvmOptions& options, Rng& rng);
+
+  /// Decision value for a point x given its kernel row
+  /// (k(x, train_0), ..., k(x, train_{n-1})).
+  double Decision(const std::vector<double>& kernel_row) const;
+
+  const std::vector<double>& alphas() const { return alphas_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> alphas_;
+  std::vector<double> labels_;
+  double bias_ = 0.0;
+};
+
+/// One-vs-rest multiclass wrapper over KernelSvm.
+class OneVsRestSvm {
+ public:
+  /// Fits on the training Gram matrix and integer class labels.
+  void Fit(const linalg::Matrix& gram, const std::vector<int>& labels,
+           const SvmOptions& options, Rng& rng);
+
+  /// Predicts the class of each row of `kernel_rows` (rows are kernel
+  /// evaluations against the training set, in training order).
+  std::vector<int> Predict(const linalg::Matrix& kernel_rows) const;
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+ private:
+  std::vector<int> classes_;
+  std::vector<KernelSvm> machines_;
+};
+
+/// Convenience harness used by every classification bench: k-fold
+/// cross-validated accuracy of a one-vs-rest SVM on a precomputed kernel
+/// matrix over the full dataset.
+double CrossValidatedSvmAccuracy(const linalg::Matrix& gram,
+                                 const std::vector<int>& labels, int folds,
+                                 const SvmOptions& options, Rng& rng);
+
+}  // namespace x2vec::ml
+
+#endif  // X2VEC_ML_SVM_H_

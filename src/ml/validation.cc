@@ -1,0 +1,50 @@
+#include "ml/validation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace x2vec::ml {
+
+Split TrainTestSplit(int n, double test_fraction, Rng& rng) {
+  X2VEC_CHECK_GE(n, 2);
+  X2VEC_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<int> order = RandomPermutation(n, rng);
+  int test_size = static_cast<int>(n * test_fraction);
+  test_size = std::clamp(test_size, 1, n - 1);
+  Split split;
+  split.test.assign(order.begin(), order.begin() + test_size);
+  split.train.assign(order.begin() + test_size, order.end());
+  return split;
+}
+
+std::vector<Split> StratifiedKFold(const std::vector<int>& labels, int folds,
+                                   Rng& rng) {
+  X2VEC_CHECK_GE(folds, 2);
+  const int n = static_cast<int>(labels.size());
+  X2VEC_CHECK_GE(n, folds);
+  // Distribute each class round-robin over folds after shuffling.
+  std::map<int, std::vector<int>> by_class;
+  for (int i : RandomPermutation(n, rng)) by_class[labels[i]].push_back(i);
+  std::vector<std::vector<int>> fold_members(folds);
+  int next_fold = 0;
+  for (auto& [label, members] : by_class) {
+    for (int i : members) {
+      fold_members[next_fold].push_back(i);
+      next_fold = (next_fold + 1) % folds;
+    }
+  }
+  std::vector<Split> splits(folds);
+  for (int f = 0; f < folds; ++f) {
+    splits[f].test = fold_members[f];
+    for (int other = 0; other < folds; ++other) {
+      if (other == f) continue;
+      splits[f].train.insert(splits[f].train.end(), fold_members[other].begin(),
+                             fold_members[other].end());
+    }
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+}  // namespace x2vec::ml

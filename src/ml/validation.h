@@ -1,0 +1,26 @@
+#ifndef X2VEC_ML_VALIDATION_H_
+#define X2VEC_ML_VALIDATION_H_
+
+#include <vector>
+
+#include "base/rng.h"
+
+namespace x2vec::ml {
+
+/// Index split into train and test sets.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+
+/// Random split with the given test fraction (at least one element each).
+Split TrainTestSplit(int n, double test_fraction, Rng& rng);
+
+/// Stratified k-fold splits: class proportions are (approximately)
+/// preserved in every fold. Returns one Split per fold.
+std::vector<Split> StratifiedKFold(const std::vector<int>& labels, int folds,
+                                   Rng& rng);
+
+}  // namespace x2vec::ml
+
+#endif  // X2VEC_ML_VALIDATION_H_

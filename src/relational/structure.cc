@@ -1,0 +1,164 @@
+#include "relational/structure.h"
+
+#include <algorithm>
+
+#include "wl/color_refinement.h"
+
+namespace x2vec::relational {
+
+Structure::Structure(Vocabulary vocabulary, int universe_size)
+    : vocabulary_(std::move(vocabulary)),
+      universe_size_(universe_size),
+      relations_(vocabulary_.size()) {
+  X2VEC_CHECK_GE(universe_size, 0);
+  for (const RelationSymbol& symbol : vocabulary_) {
+    X2VEC_CHECK_GE(symbol.arity, 1);
+  }
+}
+
+void Structure::AddTuple(int r, const std::vector<int>& tuple) {
+  X2VEC_CHECK(r >= 0 && r < NumRelations());
+  X2VEC_CHECK_EQ(static_cast<int>(tuple.size()), vocabulary_[r].arity);
+  for (int element : tuple) {
+    X2VEC_CHECK(element >= 0 && element < universe_size_);
+  }
+  relations_[r].insert(tuple);
+}
+
+bool Structure::HasTuple(int r, const std::vector<int>& tuple) const {
+  X2VEC_CHECK(r >= 0 && r < NumRelations());
+  return relations_[r].count(tuple) > 0;
+}
+
+int64_t Structure::TotalTuples() const {
+  int64_t total = 0;
+  for (const auto& relation : relations_) total += relation.size();
+  return total;
+}
+
+graph::Graph GaifmanGraph(const Structure& a) {
+  graph::Graph g(a.UniverseSize());
+  for (int r = 0; r < a.NumRelations(); ++r) {
+    for (const std::vector<int>& tuple : a.Tuples(r)) {
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        for (size_t j = i + 1; j < tuple.size(); ++j) {
+          if (tuple[i] != tuple[j] && !g.HasEdge(tuple[i], tuple[j])) {
+            g.AddEdge(tuple[i], tuple[j]);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+graph::Graph IncidenceGraph(const Structure& a) {
+  graph::Graph g(a.UniverseSize());  // Elements carry label 0.
+  for (int r = 0; r < a.NumRelations(); ++r) {
+    for (const std::vector<int>& tuple : a.Tuples(r)) {
+      const int fact = g.AddVertex(1 + r);  // P_r membership as a label.
+      for (size_t j = 0; j < tuple.size(); ++j) {
+        // E_j edges; a repeated element in two positions would be a
+        // parallel edge, so fold the positions into distinct labels and
+        // skip exact duplicates defensively.
+        if (!g.HasEdge(tuple[j], fact)) {
+          g.AddEdge(tuple[j], fact, 1.0, static_cast<int>(j + 1));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool IncidenceWlIndistinguishable(const Structure& a, const Structure& b) {
+  return wl::WlIndistinguishable(IncidenceGraph(a), IncidenceGraph(b));
+}
+
+namespace {
+
+bool TupleMapsInto(const Structure& b, int r, const std::vector<int>& tuple,
+                   const std::vector<int>& mapping) {
+  std::vector<int> image(tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (mapping[tuple[i]] == -1) return true;  // Not yet constrained.
+    image[i] = mapping[tuple[i]];
+  }
+  return b.HasTuple(r, image);
+}
+
+void Extend(const Structure& a, const Structure& b, int element,
+            std::vector<int>& mapping, int64_t& count) {
+  if (element == a.UniverseSize()) {
+    ++count;
+    return;
+  }
+  for (int target = 0; target < b.UniverseSize(); ++target) {
+    mapping[element] = target;
+    bool consistent = true;
+    for (int r = 0; r < a.NumRelations() && consistent; ++r) {
+      for (const std::vector<int>& tuple : a.Tuples(r)) {
+        // Only check tuples whose every element is now mapped or that
+        // involve `element`.
+        if (std::find(tuple.begin(), tuple.end(), element) == tuple.end()) {
+          continue;
+        }
+        bool fully_mapped = true;
+        for (int e : tuple) {
+          if (mapping[e] == -1) {
+            fully_mapped = false;
+            break;
+          }
+        }
+        if (fully_mapped && !TupleMapsInto(b, r, tuple, mapping)) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (consistent) Extend(a, b, element + 1, mapping, count);
+    mapping[element] = -1;
+  }
+}
+
+}  // namespace
+
+int64_t CountStructureHoms(const Structure& a, const Structure& b) {
+  X2VEC_CHECK_EQ(a.NumRelations(), b.NumRelations());
+  for (int r = 0; r < a.NumRelations(); ++r) {
+    X2VEC_CHECK_EQ(a.vocabulary()[r].arity, b.vocabulary()[r].arity);
+  }
+  std::vector<int> mapping(a.UniverseSize(), -1);
+  int64_t count = 0;
+  Extend(a, b, 0, mapping, count);
+  return count;
+}
+
+Structure RandomStructure(const Vocabulary& vocabulary, int universe_size,
+                          double p, Rng& rng) {
+  Structure s(vocabulary, universe_size);
+  if (universe_size == 0) return s;
+  for (int r = 0; r < s.NumRelations(); ++r) {
+    const int arity = vocabulary[r].arity;
+    std::vector<int> tuple(arity, 0);
+    // Odometer over all universe_size^arity tuples.
+    while (true) {
+      bool has_repeat = false;
+      for (size_t i = 0; i < tuple.size() && !has_repeat; ++i) {
+        for (size_t j = i + 1; j < tuple.size(); ++j) {
+          if (tuple[i] == tuple[j]) {
+            has_repeat = true;
+            break;
+          }
+        }
+      }
+      if (!has_repeat && Coin(rng, p)) s.AddTuple(r, tuple);
+      int pos = arity - 1;
+      while (pos >= 0 && tuple[pos] == universe_size - 1) tuple[pos--] = 0;
+      if (pos < 0) break;
+      ++tuple[pos];
+    }
+  }
+  return s;
+}
+
+}  // namespace x2vec::relational

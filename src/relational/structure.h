@@ -1,0 +1,76 @@
+#ifndef X2VEC_RELATIONAL_STRUCTURE_H_
+#define X2VEC_RELATIONAL_STRUCTURE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "graph/graph.h"
+
+namespace x2vec::relational {
+
+/// A relation symbol with its arity.
+struct RelationSymbol {
+  std::string name;
+  int arity = 2;
+};
+
+/// A relational vocabulary sigma = {R_1, ..., R_m} (Section 4.2).
+using Vocabulary = std::vector<RelationSymbol>;
+
+/// A finite sigma-structure: universe {0, ..., n-1} plus one tuple set per
+/// relation symbol. This is the library's data model for relations of
+/// arity beyond 2 — the "beyond knowledge graphs" setting the paper calls
+/// out as underexplored.
+class Structure {
+ public:
+  Structure(Vocabulary vocabulary, int universe_size);
+
+  int UniverseSize() const { return universe_size_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  int NumRelations() const { return static_cast<int>(vocabulary_.size()); }
+
+  /// Adds a tuple to relation r (arity-checked; duplicates ignored).
+  void AddTuple(int r, const std::vector<int>& tuple);
+  bool HasTuple(int r, const std::vector<int>& tuple) const;
+  const std::set<std::vector<int>>& Tuples(int r) const {
+    X2VEC_CHECK(r >= 0 && r < NumRelations());
+    return relations_[r];
+  }
+  int64_t TotalTuples() const;
+
+ private:
+  Vocabulary vocabulary_;
+  int universe_size_;
+  std::vector<std::set<std::vector<int>>> relations_;
+};
+
+/// Gaifman graph: elements adjacent iff they co-occur in some tuple.
+graph::Graph GaifmanGraph(const Structure& a);
+
+/// The incidence structure A_I of Section 4.2, encoded as a labelled
+/// graph: one vertex per element (label 0) and one per fact
+/// (label 1 + relation index), with an edge of label j from the fact
+/// vertex to the element in its j-th position.
+graph::Graph IncidenceGraph(const Structure& a);
+
+/// 1-WL indistinguishability of the incidence structures — the
+/// Corollary 4.12 equivalence (equals C^2 equivalence of A_I and B_I and
+/// tree-homomorphism indistinguishability over sigma_I).
+bool IncidenceWlIndistinguishable(const Structure& a, const Structure& b);
+
+/// hom(A, B): structure homomorphisms by backtracking (small structures;
+/// the conjunctive-query connection of Section 4).
+int64_t CountStructureHoms(const Structure& a, const Structure& b);
+
+/// Uniformly random structure: each possible tuple of each relation is
+/// present with probability p.
+Structure RandomStructure(const Vocabulary& vocabulary, int universe_size,
+                          double p, Rng& rng);
+
+}  // namespace x2vec::relational
+
+#endif  // X2VEC_RELATIONAL_STRUCTURE_H_

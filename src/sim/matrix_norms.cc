@@ -1,0 +1,62 @@
+#include "sim/matrix_norms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "linalg/eigen.h"
+
+namespace x2vec::sim {
+
+double CutNorm(const linalg::Matrix& m) {
+  const int rows = m.rows();
+  const int cols = m.cols();
+  X2VEC_CHECK_LE(rows, 24) << "exact cut norm enumerates 2^rows subsets";
+  double best = 0.0;
+  std::vector<double> column_sums(cols);
+  for (uint64_t subset = 0; subset < (1ULL << rows); ++subset) {
+    std::fill(column_sums.begin(), column_sums.end(), 0.0);
+    for (int i = 0; i < rows; ++i) {
+      if ((subset >> i) & 1ULL) {
+        for (int j = 0; j < cols; ++j) column_sums[j] += m(i, j);
+      }
+    }
+    // For fixed S, the optimal T takes either all positive or all negative
+    // column sums.
+    double positive = 0.0;
+    double negative = 0.0;
+    for (double c : column_sums) {
+      if (c > 0.0) {
+        positive += c;
+      } else {
+        negative += c;
+      }
+    }
+    best = std::max({best, positive, -negative});
+  }
+  return best;
+}
+
+double NormValue(const linalg::Matrix& m, MatrixNorm norm) {
+  switch (norm) {
+    case MatrixNorm::kFrobenius:
+      return m.FrobeniusNorm();
+    case MatrixNorm::kEntrywiseL1:
+      return m.EntrywiseNorm(1.0);
+    case MatrixNorm::kOperatorOne:
+      return m.OperatorOneNorm();
+    case MatrixNorm::kOperatorInf:
+      return m.OperatorInfNorm();
+    case MatrixNorm::kSpectral: {
+      const std::vector<double> spectrum =
+          linalg::Spectrum(m.Transposed() * m);
+      return spectrum.empty() ? 0.0 : std::sqrt(std::max(0.0, spectrum[0]));
+    }
+    case MatrixNorm::kCut:
+      return CutNorm(m);
+  }
+  X2VEC_CHECK(false) << "unknown norm";
+  return 0.0;
+}
+
+}  // namespace x2vec::sim

@@ -1,0 +1,28 @@
+#ifndef X2VEC_SIM_MATRIX_NORMS_H_
+#define X2VEC_SIM_MATRIX_NORMS_H_
+
+#include "linalg/matrix.h"
+
+namespace x2vec::sim {
+
+/// The permutation-invariant matrix norms of Section 5.1.
+enum class MatrixNorm {
+  kFrobenius,    ///< ||M||_F = ||M||_2 entrywise.
+  kEntrywiseL1,  ///< ||M||_1 entrywise.
+  kOperatorOne,  ///< ||M||_{<1>} = max column absolute sum.
+  kOperatorInf,  ///< Operator norm from the l_inf vector norm.
+  kSpectral,     ///< ||M||_{<2>} = largest singular value.
+  kCut,          ///< Cut norm max_{S,T} |sum_{i in S, j in T} M_ij|.
+};
+
+/// Evaluates the chosen norm. The cut norm is computed exactly by
+/// enumerating row subsets (O(2^n * n) — matrices up to ~20 rows); the
+/// spectral norm via the eigendecomposition of M^T M.
+double NormValue(const linalg::Matrix& m, MatrixNorm norm);
+
+/// Exact cut norm (exposed separately for the Section 5 experiments).
+double CutNorm(const linalg::Matrix& m);
+
+}  // namespace x2vec::sim
+
+#endif  // X2VEC_SIM_MATRIX_NORMS_H_

@@ -1,0 +1,86 @@
+#include "wl/cfi.h"
+
+#include <vector>
+
+namespace x2vec::wl {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+// Even-cardinality subsets of {0, ..., d-1} as bitmasks.
+std::vector<uint32_t> EvenSubsets(int d) {
+  std::vector<uint32_t> subsets;
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    if (__builtin_popcount(mask) % 2 == 0) subsets.push_back(mask);
+  }
+  return subsets;
+}
+
+Graph BuildOne(const Graph& base, bool twist) {
+  const int n = base.NumVertices();
+  X2VEC_CHECK(!base.directed());
+  X2VEC_CHECK(graph::IsConnected(base)) << "CFI base must be connected";
+  X2VEC_CHECK_GT(base.NumEdges(), 0);
+
+  // Incident edge lists with positions, so subsets are bitmasks over the
+  // incidence order.
+  std::vector<std::vector<int>> incident(n);  // Edge indices per vertex.
+  for (size_t e = 0; e < base.Edges().size(); ++e) {
+    incident[base.Edges()[e].u].push_back(static_cast<int>(e));
+    incident[base.Edges()[e].v].push_back(static_cast<int>(e));
+  }
+  std::vector<std::vector<uint32_t>> subsets(n);
+  std::vector<int> first_gadget_vertex(n, 0);
+  int total = 0;
+  for (int v = 0; v < n; ++v) {
+    X2VEC_CHECK_LE(base.Degree(v), 16) << "base degree too large for CFI";
+    subsets[v] = EvenSubsets(base.Degree(v));
+    first_gadget_vertex[v] = total;
+    total += static_cast<int>(subsets[v].size());
+  }
+
+  Graph out(total);
+  for (int v = 0; v < n; ++v) {
+    for (size_t s = 0; s < subsets[v].size(); ++s) {
+      out.SetVertexLabel(first_gadget_vertex[v] + static_cast<int>(s), v);
+    }
+  }
+
+  auto edge_position = [&incident](int v, int edge_index) {
+    for (size_t i = 0; i < incident[v].size(); ++i) {
+      if (incident[v][i] == edge_index) return static_cast<int>(i);
+    }
+    X2VEC_CHECK(false) << "edge not incident";
+    return -1;
+  };
+
+  // The twisted graph flips the agreement condition on edge 0.
+  for (size_t e = 0; e < base.Edges().size(); ++e) {
+    const Edge& be = base.Edges()[e];
+    const int pu = edge_position(be.u, static_cast<int>(e));
+    const int pv = edge_position(be.v, static_cast<int>(e));
+    const bool flip = twist && e == 0;
+    for (size_t su = 0; su < subsets[be.u].size(); ++su) {
+      const bool in_s = (subsets[be.u][su] >> pu) & 1u;
+      for (size_t sv = 0; sv < subsets[be.v].size(); ++sv) {
+        const bool in_t = (subsets[be.v][sv] >> pv) & 1u;
+        const bool agree = in_s == in_t;
+        if (agree != flip) {
+          out.AddEdge(first_gadget_vertex[be.u] + static_cast<int>(su),
+                      first_gadget_vertex[be.v] + static_cast<int>(sv));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CfiPair BuildCfiPair(const Graph& base) {
+  return CfiPair{BuildOne(base, /*twist=*/false),
+                 BuildOne(base, /*twist=*/true)};
+}
+
+}  // namespace x2vec::wl

@@ -1,0 +1,29 @@
+#ifndef X2VEC_WL_CFI_H_
+#define X2VEC_WL_CFI_H_
+
+#include "graph/graph.h"
+
+namespace x2vec::wl {
+
+/// A Cai–Fürer–Immerman pair (Section 3.3): two non-isomorphic graphs built
+/// over a connected base graph that agree under low-dimensional WL. The
+/// higher the treewidth of the base, the higher the WL dimension needed to
+/// tell them apart.
+struct CfiPair {
+  graph::Graph untwisted;
+  graph::Graph twisted;
+};
+
+/// Builds the CFI pair over a connected base graph using the
+/// middle-vertex-free gadget construction: for each base vertex v the
+/// gadget has one vertex (v, S) per even-cardinality subset S of the edges
+/// incident to v; gadget vertices (u, S), (v, T) of a base edge e = uv are
+/// adjacent iff (e in S) == (e in T). The twisted graph flips this
+/// condition on one distinguished base edge. Base vertex v's gadget
+/// vertices carry vertex label v so the pair is labelled the way CFI
+/// graphs usually are.
+CfiPair BuildCfiPair(const graph::Graph& base);
+
+}  // namespace x2vec::wl
+
+#endif  // X2VEC_WL_CFI_H_

@@ -1,0 +1,242 @@
+#include "wl/color_refinement.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <utility>
+
+namespace x2vec::wl {
+namespace {
+
+using graph::Graph;
+using graph::Neighbor;
+
+// Per-vertex refinement signature: old colour plus the sorted multisets of
+// (edge label, neighbour colour) pairs, split by direction for digraphs.
+struct Signature {
+  int old_color = 0;
+  std::vector<std::pair<int, int>> out_neighbors;
+  std::vector<std::pair<int, int>> in_neighbors;
+
+  auto operator<=>(const Signature&) const = default;
+};
+
+// Canonical initial colouring: ids in increasing order of vertex label.
+std::vector<int> InitialColors(const Graph& g,
+                               const RefinementOptions& options) {
+  std::vector<int> colors(g.NumVertices(), 0);
+  if (!options.use_vertex_labels) return colors;
+  std::map<int, int> label_to_color;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    label_to_color.emplace(g.VertexLabel(v), 0);
+  }
+  int next = 0;
+  for (auto& [label, color] : label_to_color) color = next++;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    colors[v] = label_to_color.at(g.VertexLabel(v));
+  }
+  return colors;
+}
+
+int CountColors(const std::vector<int>& colors) {
+  return colors.empty() ? 0 : *std::max_element(colors.begin(), colors.end()) + 1;
+}
+
+}  // namespace
+
+RefinementResult ColorRefinement(const Graph& g,
+                                 const RefinementOptions& options) {
+  const int n = g.NumVertices();
+  RefinementResult result;
+  result.round_colors.push_back(InitialColors(g, options));
+  result.colors_per_round.push_back(CountColors(result.round_colors[0]));
+
+  const int max_rounds = options.max_rounds < 0 ? n : options.max_rounds;
+  for (int round = 0; round < max_rounds; ++round) {
+    const std::vector<int>& current = result.round_colors.back();
+    std::vector<Signature> signatures(n);
+    for (int v = 0; v < n; ++v) {
+      Signature& sig = signatures[v];
+      sig.old_color = current[v];
+      sig.out_neighbors.reserve(g.Neighbors(v).size());
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        sig.out_neighbors.emplace_back(
+            options.use_edge_labels ? nb.label : 0, current[nb.to]);
+      }
+      std::sort(sig.out_neighbors.begin(), sig.out_neighbors.end());
+      if (g.directed()) {
+        sig.in_neighbors.reserve(g.InNeighbors(v).size());
+        for (const Neighbor& nb : g.InNeighbors(v)) {
+          sig.in_neighbors.emplace_back(
+              options.use_edge_labels ? nb.label : 0, current[nb.to]);
+        }
+        std::sort(sig.in_neighbors.begin(), sig.in_neighbors.end());
+      }
+    }
+    // Canonical new ids: lexicographic order of signatures.
+    std::map<Signature, int> signature_to_color;
+    for (const Signature& sig : signatures) {
+      signature_to_color.emplace(sig, 0);
+    }
+    int next = 0;
+    for (auto& [sig, color] : signature_to_color) color = next++;
+    std::vector<int> refined(n);
+    for (int v = 0; v < n; ++v) {
+      refined[v] = signature_to_color.at(signatures[v]);
+    }
+    const int new_count = CountColors(refined);
+    const bool stable = new_count == result.colors_per_round.back();
+    result.round_colors.push_back(std::move(refined));
+    result.colors_per_round.push_back(new_count);
+    if (stable) {
+      // The partition stopped splitting; the last round only renamed ids.
+      result.stable_round = round + 1;
+      return result;
+    }
+  }
+  result.stable_round = static_cast<int>(result.round_colors.size()) - 1;
+  return result;
+}
+
+JointRefinementResult RefineTogether(const Graph& g, const Graph& h,
+                                     const RefinementOptions& options) {
+  X2VEC_CHECK_EQ(g.directed(), h.directed());
+  const Graph joint = graph::DisjointUnion(g, h);
+  JointRefinementResult result;
+  result.combined = ColorRefinement(joint, options);
+
+  const int ng = g.NumVertices();
+  const int nh = h.NumVertices();
+  for (size_t round = 0; round < result.combined.round_colors.size();
+       ++round) {
+    const std::vector<int>& colors = result.combined.round_colors[round];
+    const int num_colors = result.combined.colors_per_round[round];
+    std::vector<int> hist_g(num_colors, 0);
+    std::vector<int> hist_h(num_colors, 0);
+    for (int v = 0; v < ng; ++v) ++hist_g[colors[v]];
+    for (int v = 0; v < nh; ++v) ++hist_h[colors[ng + v]];
+    if (hist_g != hist_h) {
+      result.distinguishes = true;
+      result.distinguishing_round = static_cast<int>(round);
+      break;
+    }
+  }
+  const std::vector<int>& stable = result.combined.StableColors();
+  result.colors_g.assign(stable.begin(), stable.begin() + ng);
+  result.colors_h.assign(stable.begin() + ng, stable.end());
+  return result;
+}
+
+bool WlIndistinguishable(const Graph& g, const Graph& h,
+                         const RefinementOptions& options) {
+  return !RefineTogether(g, h, options).distinguishes;
+}
+
+std::vector<int> StableColoringFast(const Graph& g) {
+  const int n = g.NumVertices();
+  if (n == 0) return {};
+  // Partition refinement with a worklist of splitter classes. Colours are
+  // class ids; classes split by the number of edges into the splitter.
+  std::vector<int> color(n, 0);
+  std::vector<std::vector<int>> members = {std::vector<int>(n)};
+  std::iota(members[0].begin(), members[0].end(), 0);
+  std::deque<int> worklist = {0};
+  std::vector<bool> queued = {true};
+
+  std::vector<int> hits(n, 0);  // Edges from v into the current splitter.
+  while (!worklist.empty()) {
+    const int splitter = worklist.front();
+    worklist.pop_front();
+    queued[splitter] = false;
+
+    // Count hits; collect touched classes. Copy the splitter member list:
+    // splits below may reallocate `members`.
+    const std::vector<int> splitter_members = members[splitter];
+    std::vector<int> touched_vertices;
+    for (int s : splitter_members) {
+      for (const Neighbor& nb : g.Neighbors(s)) {
+        if (hits[nb.to] == 0) touched_vertices.push_back(nb.to);
+        ++hits[nb.to];
+      }
+    }
+    std::vector<int> touched_classes;
+    for (int v : touched_vertices) {
+      bool seen = false;
+      for (int c : touched_classes) {
+        if (c == color[v]) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) touched_classes.push_back(color[v]);
+    }
+
+    for (int c : touched_classes) {
+      // Partition class c by hit count.
+      std::map<int, std::vector<int>> buckets;
+      for (int v : members[c]) buckets[hits[v]].push_back(v);
+      if (buckets.size() <= 1) continue;
+      // Keep the largest bucket as class c; new ids for the rest. Enqueue
+      // all but the largest (Hopcroft's smaller-half rule); if c itself is
+      // queued, enqueue all parts.
+      size_t largest_size = 0;
+      int largest_key = buckets.begin()->first;
+      for (const auto& [key, verts] : buckets) {
+        if (verts.size() > largest_size) {
+          largest_size = verts.size();
+          largest_key = key;
+        }
+      }
+      const bool c_was_queued = queued[c];
+      for (auto& [key, verts] : buckets) {
+        int id;
+        if (key == largest_key) {
+          id = c;
+          members[c] = verts;
+        } else {
+          id = static_cast<int>(members.size());
+          for (int v : verts) color[v] = id;
+          members.push_back(std::move(verts));
+          queued.push_back(false);
+        }
+        const bool enqueue = c_was_queued || key != largest_key;
+        if (enqueue && !queued[id]) {
+          queued[id] = true;
+          worklist.push_back(id);
+        }
+      }
+    }
+    for (int v : touched_vertices) hits[v] = 0;
+  }
+
+  // Normalise colour ids to 0..k-1 in order of first appearance.
+  std::vector<int> remap(members.size(), -1);
+  int next = 0;
+  std::vector<int> out(n);
+  for (int v = 0; v < n; ++v) {
+    if (remap[color[v]] == -1) remap[color[v]] = next++;
+    out[v] = remap[color[v]];
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> ColorClasses(const std::vector<int>& colors) {
+  int num = 0;
+  for (int c : colors) num = std::max(num, c + 1);
+  std::vector<std::vector<int>> classes(num);
+  for (size_t v = 0; v < colors.size(); ++v) {
+    classes[colors[v]].push_back(static_cast<int>(v));
+  }
+  return classes;
+}
+
+std::vector<int> ColorHistogram(const std::vector<int>& colors) {
+  int num = 0;
+  for (int c : colors) num = std::max(num, c + 1);
+  std::vector<int> hist(num, 0);
+  for (int c : colors) ++hist[c];
+  return hist;
+}
+
+}  // namespace x2vec::wl

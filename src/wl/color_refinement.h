@@ -1,0 +1,85 @@
+#ifndef X2VEC_WL_COLOR_REFINEMENT_H_
+#define X2VEC_WL_COLOR_REFINEMENT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace x2vec::wl {
+
+/// Options for 1-WL colour refinement (Algorithm 1 of the paper and its
+/// Section 3.2 variants).
+struct RefinementOptions {
+  /// Seed the initial colouring from vertex labels (Section 3.2); when
+  /// false all vertices start with the same colour, as in Algorithm 1.
+  bool use_vertex_labels = true;
+  /// Distinguish neighbours by edge label during refinement (Section 3.2).
+  bool use_edge_labels = true;
+  /// Stop after at most this many refinement rounds (-1 = run to the stable
+  /// colouring; at most n-1 rounds are ever needed).
+  int max_rounds = -1;
+};
+
+/// Trace of a 1-WL run. Colour ids are canonical: within each round they
+/// are assigned in lexicographic order of the (old colour, neighbourhood
+/// signature) pairs, so two isomorphic graphs produce identical colour
+/// histograms and repeated runs are deterministic.
+struct RefinementResult {
+  /// round_colors[r][v] = colour of v after r rounds; round 0 is the
+  /// initial colouring. The last round equals the stable colouring (or the
+  /// max_rounds cut-off).
+  std::vector<std::vector<int>> round_colors;
+  /// Number of distinct colours per round.
+  std::vector<int> colors_per_round;
+  /// First round r with colors_per_round[r] == colors_per_round[r-1]
+  /// (i.e., the colouring stopped splitting); equals rounds run if cut off.
+  int stable_round = 0;
+
+  const std::vector<int>& StableColors() const { return round_colors.back(); }
+  int NumStableColors() const { return colors_per_round.back(); }
+};
+
+/// Runs 1-WL on a single graph. Handles undirected and directed graphs
+/// (directed refinement uses separate in/out neighbourhood signatures).
+RefinementResult ColorRefinement(const graph::Graph& g,
+                                 const RefinementOptions& options = {});
+
+/// Result of running 1-WL jointly on two graphs (shared colour namespace,
+/// i.e., on their disjoint union).
+struct JointRefinementResult {
+  RefinementResult combined;  ///< Colours on the disjoint union of g and h.
+  /// True if some round has different colour histograms on g and h — the
+  /// "1-WL distinguishes G and H" relation.
+  bool distinguishes = false;
+  /// First round whose histograms differ (-1 if indistinguishable).
+  int distinguishing_round = -1;
+  /// Stable colours restricted to g and to h.
+  std::vector<int> colors_g;
+  std::vector<int> colors_h;
+};
+
+/// Runs 1-WL on g and h together and compares colour histograms per round.
+JointRefinementResult RefineTogether(const graph::Graph& g,
+                                     const graph::Graph& h,
+                                     const RefinementOptions& options = {});
+
+/// Convenience: true iff 1-WL does NOT distinguish g and h.
+bool WlIndistinguishable(const graph::Graph& g, const graph::Graph& h,
+                         const RefinementOptions& options = {});
+
+/// Stable 1-WL partition via asynchronous partition refinement with the
+/// smaller-half worklist strategy — the O((n+m) log n) algorithm referenced
+/// in Section 3.1 [Cardon–Crochemore]. Returns colours normalised to
+/// 0..k-1 (ids are NOT comparable across graphs; use RefineTogether for
+/// cross-graph comparisons). Ignores labels and weights.
+std::vector<int> StableColoringFast(const graph::Graph& g);
+
+/// Groups vertices by colour: result[c] = vertices with colour c.
+std::vector<std::vector<int>> ColorClasses(const std::vector<int>& colors);
+
+/// Histogram over colours 0..max: counts[c] = #vertices with colour c.
+std::vector<int> ColorHistogram(const std::vector<int>& colors);
+
+}  // namespace x2vec::wl
+
+#endif  // X2VEC_WL_COLOR_REFINEMENT_H_

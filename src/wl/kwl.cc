@@ -1,0 +1,176 @@
+#include "wl/kwl.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace x2vec::wl {
+namespace {
+
+using graph::Graph;
+
+// Dense tuple index: tuples in V^k addressed in mixed radix base n.
+int64_t TupleCount(int n, int k) {
+  int64_t count = 1;
+  for (int i = 0; i < k; ++i) count *= n;
+  return count;
+}
+
+void DecodeTuple(int64_t index, int n, int k, std::vector<int>& tuple) {
+  for (int i = k - 1; i >= 0; --i) {
+    tuple[i] = static_cast<int>(index % n);
+    index /= n;
+  }
+}
+
+// Atomic type of a k-tuple: vertex labels plus, for each ordered pair of
+// positions, equality and adjacency indicators. Identical encodings across
+// graphs give the shared initial colour namespace.
+std::vector<int> AtomicType(const Graph& g, const std::vector<int>& tuple) {
+  const int k = static_cast<int>(tuple.size());
+  std::vector<int> type;
+  type.reserve(k + k * k);
+  for (int i = 0; i < k; ++i) type.push_back(g.VertexLabel(tuple[i]));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      type.push_back(tuple[i] == tuple[j] ? 2
+                     : g.HasEdge(tuple[i], tuple[j]) ? 1
+                                                     : 0);
+    }
+  }
+  return type;
+}
+
+// One graph's tuple-colour state.
+struct TupleColors {
+  const Graph* graph;
+  std::vector<int> colors;  // Indexed by dense tuple index.
+};
+
+// Folklore k-WL signature of one tuple: its colour plus the multiset, over
+// all substitution targets w, of the colour k-vector
+// (c(t[1->w]), ..., c(t[k->w])).
+std::vector<std::vector<int>> ExtensionMultiset(const TupleColors& state,
+                                                int64_t index, int n, int k) {
+  std::vector<int> tuple(k);
+  DecodeTuple(index, n, k, tuple);
+  // Precompute radix strides.
+  std::vector<int64_t> stride(k, 1);
+  for (int i = k - 2; i >= 0; --i) stride[i] = stride[i + 1] * n;
+
+  std::vector<std::vector<int>> rows;
+  rows.reserve(n);
+  for (int w = 0; w < n; ++w) {
+    // Row: colours of the k substituted tuples plus the atomic relation of
+    // w to every tuple position (equality / adjacency). The latter makes
+    // this the "folklore" k-WL of Theorem 3.1 and, for k = 1, recovers
+    // ordinary colour refinement.
+    std::vector<int> row(2 * k);
+    for (int i = 0; i < k; ++i) {
+      const int64_t substituted = index + (w - tuple[i]) * stride[i];
+      row[i] = state.colors[substituted];
+      row[k + i] = w == tuple[i]                     ? 2
+                   : state.graph->HasEdge(w, tuple[i]) ? 1
+                                                       : 0;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+KwlResult KwlCompare(const Graph& g, const Graph& h, int k) {
+  X2VEC_CHECK_GE(k, 1);
+  KwlResult result;
+  if (g.NumVertices() != h.NumVertices()) {
+    // Different orders: trivially distinguished (histogram sizes differ).
+    result.distinguishes = true;
+    result.distinguishing_round = 0;
+    return result;
+  }
+  const int n = g.NumVertices();
+  const int64_t tuples = TupleCount(n, k);
+
+  TupleColors state_g{&g, std::vector<int>(tuples)};
+  TupleColors state_h{&h, std::vector<int>(tuples)};
+
+  // Round 0: atomic types in a joint namespace.
+  {
+    std::map<std::vector<int>, int> type_to_color;
+    std::vector<std::vector<int>> types_g(tuples);
+    std::vector<std::vector<int>> types_h(tuples);
+    std::vector<int> tuple(k);
+    for (int64_t t = 0; t < tuples; ++t) {
+      DecodeTuple(t, n, k, tuple);
+      types_g[t] = AtomicType(g, tuple);
+      types_h[t] = AtomicType(h, tuple);
+      type_to_color.emplace(types_g[t], 0);
+      type_to_color.emplace(types_h[t], 0);
+    }
+    int next = 0;
+    for (auto& [type, color] : type_to_color) color = next++;
+    for (int64_t t = 0; t < tuples; ++t) {
+      state_g.colors[t] = type_to_color.at(types_g[t]);
+      state_h.colors[t] = type_to_color.at(types_h[t]);
+    }
+    result.num_colors = next;
+  }
+
+  auto histograms_differ = [&]() {
+    std::vector<int64_t> hist_g(result.num_colors, 0);
+    std::vector<int64_t> hist_h(result.num_colors, 0);
+    for (int64_t t = 0; t < tuples; ++t) {
+      ++hist_g[state_g.colors[t]];
+      ++hist_h[state_h.colors[t]];
+    }
+    return hist_g != hist_h;
+  };
+
+  if (histograms_differ()) {
+    result.distinguishes = true;
+    result.distinguishing_round = 0;
+    return result;
+  }
+
+  using Signature = std::pair<int, std::vector<std::vector<int>>>;
+  for (int round = 1; round <= tuples; ++round) {
+    std::map<Signature, int> signature_to_color;
+    std::vector<Signature> sigs_g(tuples);
+    std::vector<Signature> sigs_h(tuples);
+    for (int64_t t = 0; t < tuples; ++t) {
+      sigs_g[t] = {state_g.colors[t], ExtensionMultiset(state_g, t, n, k)};
+      sigs_h[t] = {state_h.colors[t], ExtensionMultiset(state_h, t, n, k)};
+      signature_to_color.emplace(sigs_g[t], 0);
+      signature_to_color.emplace(sigs_h[t], 0);
+    }
+    int next = 0;
+    for (auto& [sig, color] : signature_to_color) color = next++;
+    const int previous = result.num_colors;
+    for (int64_t t = 0; t < tuples; ++t) {
+      state_g.colors[t] = signature_to_color.at(sigs_g[t]);
+      state_h.colors[t] = signature_to_color.at(sigs_h[t]);
+    }
+    result.num_colors = next;
+
+    if (histograms_differ()) {
+      result.distinguishes = true;
+      result.distinguishing_round = round;
+      return result;
+    }
+    if (next == previous) {
+      result.rounds_to_stable = round;
+      return result;
+    }
+  }
+  result.rounds_to_stable = static_cast<int>(tuples);
+  return result;
+}
+
+bool KwlDistinguishes(const Graph& g, const Graph& h, int k) {
+  return KwlCompare(g, h, k).distinguishes;
+}
+
+}  // namespace x2vec::wl

@@ -1,0 +1,34 @@
+#ifndef X2VEC_WL_KWL_H_
+#define X2VEC_WL_KWL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace x2vec::wl {
+
+/// Result of running k-dimensional Weisfeiler-Leman jointly on two graphs
+/// (Section 3.3). We implement the "folklore" k-WL, the variant matching
+/// the logic characterisation of Theorem 3.1: k-WL does not distinguish
+/// G and H iff G and H are C^{k+1}-equivalent. k=1 coincides with colour
+/// refinement.
+struct KwlResult {
+  bool distinguishes = false;
+  /// First round whose colour histograms differ (-1 if none; round 0 is
+  /// the atomic-type colouring).
+  int distinguishing_round = -1;
+  int rounds_to_stable = 0;
+  int num_colors = 0;  ///< Stable number of tuple colours (joint namespace).
+};
+
+/// Runs k-WL on V(G)^k and V(H)^k with a shared colour namespace and
+/// compares per-round histograms. Cost O((n^k)^2-ish) per round with naive
+/// signatures — fine for the n <= ~10, k <= 3 experiments.
+KwlResult KwlCompare(const graph::Graph& g, const graph::Graph& h, int k);
+
+/// Convenience: true iff k-WL distinguishes g and h.
+bool KwlDistinguishes(const graph::Graph& g, const graph::Graph& h, int k);
+
+}  // namespace x2vec::wl
+
+#endif  // X2VEC_WL_KWL_H_

@@ -1,0 +1,75 @@
+#include "wl/wl_hash.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "wl/color_refinement.h"
+
+namespace x2vec::wl {
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+// Serialises, for each round, the canonical colour "dictionary": per
+// colour id, its defining signature (previous id + neighbour id
+// multiset), plus the colour histogram. Because ColorRefinement assigns
+// ids canonically (lexicographic signature order), two graphs produce the
+// same serialisation iff their refinements agree round for round — i.e.
+// iff 1-WL does not distinguish them.
+std::string Serialize(const graph::Graph& g, int rounds) {
+  RefinementOptions options;
+  options.max_rounds = rounds;
+  const RefinementResult result = ColorRefinement(g, options);
+  std::ostringstream os;
+  os << "n=" << g.NumVertices() << ";";
+  for (size_t round = 0; round < result.round_colors.size(); ++round) {
+    const std::vector<int>& colors = result.round_colors[round];
+    os << "r" << round << "[";
+    // Histogram.
+    for (int count : ColorHistogram(colors)) os << count << ",";
+    os << "]";
+    if (round == 0) continue;
+    // Dictionary: per colour id of this round, the signature in terms of
+    // the previous round's ids.
+    const std::vector<int>& previous = result.round_colors[round - 1];
+    std::map<int, std::pair<int, std::vector<int>>> dictionary;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (dictionary.count(colors[v])) continue;
+      std::vector<int> neighborhood;
+      for (const graph::Neighbor& nb : g.Neighbors(v)) {
+        neighborhood.push_back(previous[nb.to]);
+      }
+      std::sort(neighborhood.begin(), neighborhood.end());
+      dictionary.emplace(colors[v],
+                         std::make_pair(previous[v], std::move(neighborhood)));
+    }
+    os << "{";
+    for (const auto& [id, signature] : dictionary) {
+      os << id << ":" << signature.first << "(";
+      for (int c : signature.second) os << c << ",";
+      os << ")";
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+uint64_t WlHash(const graph::Graph& g, int rounds) {
+  const std::string certificate = Serialize(g, rounds);
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : certificate) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::string WlCertificate(const graph::Graph& g, int rounds) {
+  return Serialize(g, rounds);
+}
+
+}  // namespace x2vec::wl

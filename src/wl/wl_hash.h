@@ -1,0 +1,27 @@
+#ifndef X2VEC_WL_WL_HASH_H_
+#define X2VEC_WL_WL_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace x2vec::wl {
+
+/// Deterministic 1-WL fingerprint of a graph: the sorted per-round colour
+/// histograms hashed into 64 bits. Isomorphic graphs always collide;
+/// 1-WL-distinguishable graphs collide only with hash-collision
+/// probability. This is the "fingerprinting technique for chemical
+/// molecules" role in which the algorithm was born [Morgan 1965],
+/// mentioned at the top of Section 3.
+uint64_t WlHash(const graph::Graph& g, int rounds = -1);
+
+/// Human-readable certificate string (exact, no hashing): per round, the
+/// sorted multiset of colour class sizes, plus canonical colour names of
+/// the final round. Two graphs get equal certificates iff 1-WL does not
+/// distinguish them (within the round budget).
+std::string WlCertificate(const graph::Graph& g, int rounds = -1);
+
+}  // namespace x2vec::wl
+
+#endif  // X2VEC_WL_WL_HASH_H_

@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "gtest/gtest.h"
+
+namespace x2vec {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad p");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad p");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicAcrossRuns) {
+  Rng a = MakeRng(7);
+  Rng b = MakeRng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(UniformInt(a, 0, 1000), UniformInt(b, 0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng = MakeRng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = UniformInt(rng, -3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, RandomPermutationIsPermutation) {
+  Rng rng = MakeRng(2);
+  std::vector<int> perm = RandomPermutation(50, rng);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng = MakeRng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> sample = SampleWithoutReplacement(100, 30, rng);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (int x : sample) {
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, 100);
+    }
+  }
+}
+
+TEST(AliasTableTest, MatchesWeightsEmpirically) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng = MakeRng(4);
+  std::vector<int> counts(4, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0;
+    const double observed = static_cast<double>(counts[i]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.01) << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, HandlesZeroWeightBuckets) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  AliasTable table(weights);
+  Rng rng = MakeRng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.Sample(rng), 1);
+}
+
+TEST(CheckDeathTest, CheckAborts) {
+  EXPECT_DEATH(X2VEC_CHECK(1 == 2) << "context", "check failed");
+}
+
+}  // namespace
+}  // namespace x2vec

@@ -1,0 +1,105 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/datasets.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+
+namespace x2vec::data {
+namespace {
+
+TEST(DatasetsTest, MotifShapesAndLabels) {
+  Rng rng = MakeRng(71);
+  const GraphDataset dataset = MotifDataset(5, 15, rng);
+  EXPECT_EQ(dataset.graphs.size(), 10u);
+  EXPECT_EQ(dataset.labels.size(), 10u);
+  int zeros = 0;
+  for (int l : dataset.labels) zeros += l == 0 ? 1 : 0;
+  EXPECT_EQ(zeros, 5);
+  for (const graph::Graph& g : dataset.graphs) {
+    EXPECT_EQ(g.NumVertices(), 15);
+  }
+}
+
+TEST(DatasetsTest, AllFourDatasetsBuild) {
+  Rng rng = MakeRng(72);
+  const std::vector<GraphDataset> datasets =
+      AllClassificationDatasets(4, 14, rng);
+  EXPECT_EQ(datasets.size(), 4u);
+  std::set<std::string> names;
+  for (const GraphDataset& d : datasets) {
+    names.insert(d.name);
+    EXPECT_EQ(d.graphs.size(), 8u);
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(DatasetsTest, ChemLikeHasLabelsAndRings) {
+  Rng rng = MakeRng(73);
+  const GraphDataset dataset = ChemLikeDataset(4, 12, rng);
+  bool any_labelled = false;
+  for (const graph::Graph& g : dataset.graphs) {
+    if (g.HasVertexLabels()) any_labelled = true;
+  }
+  EXPECT_TRUE(any_labelled);
+  // Class-1 graphs have at least one cycle (m >= n), class-0 are trees.
+  for (size_t i = 0; i < dataset.graphs.size(); ++i) {
+    if (dataset.labels[i] == 0) {
+      EXPECT_EQ(dataset.graphs[i].NumEdges(),
+                dataset.graphs[i].NumVertices() - 1);
+    } else {
+      EXPECT_GE(dataset.graphs[i].NumEdges(),
+                dataset.graphs[i].NumVertices());
+    }
+  }
+}
+
+TEST(DatasetsTest, DegreeDatasetMatchedEdges) {
+  Rng rng = MakeRng(74);
+  const GraphDataset dataset = DegreeDataset(3, 20, rng);
+  for (size_t i = 0; i < dataset.graphs.size(); ++i) {
+    EXPECT_EQ(dataset.graphs[i].NumEdges(), 40) << i;  // n * d / 2.
+  }
+}
+
+TEST(DatasetsTest, SbmNodeDatasetLabels) {
+  Rng rng = MakeRng(75);
+  const NodeClassificationDataset dataset =
+      SbmNodeDataset(3, 10, 0.5, 0.05, rng);
+  EXPECT_EQ(dataset.graph.NumVertices(), 30);
+  EXPECT_EQ(dataset.num_classes, 3);
+  std::set<int> classes(dataset.labels.begin(), dataset.labels.end());
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(DatasetsTest, TopicCorpusTokens) {
+  Rng rng = MakeRng(76);
+  const auto corpus = TopicCorpus(3, 4, 50, 6, rng);
+  EXPECT_EQ(corpus.size(), 50u);
+  for (const auto& sentence : corpus) {
+    EXPECT_EQ(sentence.size(), 6u);
+    for (const std::string& token : sentence) {
+      EXPECT_TRUE(token[0] == 't' || token[0] == 'f') << token;
+    }
+  }
+}
+
+TEST(DatasetsTest, CountriesKgStructure) {
+  Rng rng = MakeRng(77);
+  const kg::KnowledgeGraph kg = CountriesKnowledgeGraph(8, rng);
+  EXPECT_GE(kg.NumRelations(), 4);
+  EXPECT_GE(kg.NumEntities(), 16);
+  // Every country has a capital-of inverse fact.
+  const int capital_of = kg.RelationId("capital-of");
+  ASSERT_GE(capital_of, 0);
+  int capital_facts = 0;
+  for (const kg::Triple& t : kg.Triples()) {
+    capital_facts += t.relation == capital_of ? 1 : 0;
+  }
+  EXPECT_EQ(capital_facts, 8);
+}
+
+}  // namespace
+}  // namespace x2vec::data

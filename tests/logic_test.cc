@@ -1,0 +1,115 @@
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "logic/counting_logic.h"
+#include "wl/color_refinement.h"
+
+namespace x2vec::logic {
+namespace {
+
+using graph::DisjointUnion;
+using graph::Graph;
+
+TEST(FormulaTest, AtomsEvaluate) {
+  const Graph p3 = Graph::Path(3);
+  std::vector<int> assignment = {0, 1};
+  EXPECT_TRUE(Formula::Edge(0, 1).Evaluate(p3, assignment));
+  assignment = {0, 2};
+  EXPECT_FALSE(Formula::Edge(0, 1).Evaluate(p3, assignment));
+  EXPECT_FALSE(Formula::Equal(0, 1).Evaluate(p3, assignment));
+  assignment = {2, 2};
+  EXPECT_TRUE(Formula::Equal(0, 1).Evaluate(p3, assignment));
+}
+
+TEST(FormulaTest, LabelsAndConnectives) {
+  Graph g = Graph::Path(2);
+  g.SetVertexLabel(1, 7);
+  std::vector<int> assignment = {1};
+  EXPECT_TRUE(Formula::HasLabel(0, 7).Evaluate(g, assignment));
+  EXPECT_FALSE(Formula::Not(Formula::HasLabel(0, 7)).Evaluate(g, assignment));
+  EXPECT_TRUE(Formula::Or(Formula::HasLabel(0, 3), Formula::HasLabel(0, 7))
+                  .Evaluate(g, assignment));
+  EXPECT_FALSE(Formula::And(Formula::HasLabel(0, 3), Formula::HasLabel(0, 7))
+                   .Evaluate(g, assignment));
+}
+
+TEST(FormulaTest, CountingQuantifierDegrees) {
+  // "x0 has at least 2 neighbours": Exists>=2 x1 E(x0, x1).
+  const Formula has_two =
+      Formula::CountExists(1, 2, Formula::Edge(0, 1));
+  const Graph star = Graph::Star(3);
+  std::vector<int> assignment = {0, 0};
+  EXPECT_TRUE(has_two.Evaluate(star, assignment));  // Centre has 3.
+  assignment = {1, 0};
+  EXPECT_FALSE(has_two.Evaluate(star, assignment));  // Leaf has 1.
+}
+
+TEST(FormulaTest, MinDegreeTwoSentence) {
+  // "every vertex has >= 2 neighbours" as ~ E>=1 x0 ~ (E>=2 x1 E(x0,x1)).
+  const Formula sentence = Formula::Not(Formula::CountExists(
+      0, 1,
+      Formula::Not(Formula::CountExists(1, 2, Formula::Edge(0, 1)))));
+  EXPECT_TRUE(sentence.EvaluateSentence(Graph::Cycle(5), 2));
+  EXPECT_FALSE(sentence.EvaluateSentence(Graph::Path(5), 2));
+  EXPECT_EQ(sentence.NumVariables(), 2);
+  EXPECT_EQ(sentence.QuantifierRank(), 2);
+}
+
+TEST(FormulaTest, ToStringIsReadable) {
+  const Formula f = Formula::CountExists(0, 2, Formula::Edge(0, 1));
+  EXPECT_EQ(f.ToString(), "E>=2 x0.E(x0,x1)");
+}
+
+TEST(CtwoTest, WlIndistinguishablePairsAgreeOnRandomSentences) {
+  // Theorem 3.1 for k = 1: C6 and 2xC3 are C^2-equivalent.
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles = DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  Rng rng = MakeRng(51);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Formula sentence =
+        RandomC2Sentence(1 + trial % 4, rng);
+    EXPECT_EQ(sentence.EvaluateSentence(c6, 2),
+              sentence.EvaluateSentence(triangles, 2))
+        << sentence.ToString();
+  }
+}
+
+TEST(CtwoTest, SomeSentenceSeparatesDistinguishablePair) {
+  // P4 vs K1,3 differ in max degree: "E>=1 x0 E>=3 x1 E(x0,x1)".
+  const Formula has_degree3 = Formula::CountExists(
+      0, 1, Formula::CountExists(1, 3, Formula::Edge(0, 1)));
+  EXPECT_FALSE(has_degree3.EvaluateSentence(Graph::Path(4), 2));
+  EXPECT_TRUE(has_degree3.EvaluateSentence(Graph::Star(3), 2));
+}
+
+TEST(CtwoTest, RandomSentencesAgreeOnIsomorphicPairs) {
+  Rng rng = MakeRng(52);
+  const Graph g = graph::ErdosRenyiGnp(7, 0.4, rng);
+  const Graph p = graph::Permuted(g, RandomPermutation(7, rng));
+  for (int trial = 0; trial < 50; ++trial) {
+    const Formula sentence = RandomC2Sentence(1 + trial % 3, rng);
+    EXPECT_EQ(sentence.EvaluateSentence(g, 2),
+              sentence.EvaluateSentence(p, 2));
+  }
+}
+
+TEST(CtwoTest, WlEquivalentRandomRegularPairsAgree) {
+  // Any two d-regular graphs of the same order are 1-WL-indistinguishable,
+  // hence C^2-equivalent (Thm 3.1). Sample sentences to confirm.
+  Rng rng = MakeRng(53);
+  const Graph a = graph::RandomRegular(8, 3, rng);
+  const Graph b = graph::RandomRegular(8, 3, rng);
+  ASSERT_TRUE(wl::WlIndistinguishable(a, b));
+  for (int trial = 0; trial < 60; ++trial) {
+    const Formula sentence = RandomC2Sentence(1 + trial % 4, rng);
+    EXPECT_EQ(sentence.EvaluateSentence(a, 2),
+              sentence.EvaluateSentence(b, 2))
+        << sentence.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace x2vec::logic

@@ -1,0 +1,329 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/isomorphism.h"
+#include "gtest/gtest.h"
+#include "wl/cfi.h"
+#include "wl/color_refinement.h"
+#include "wl/fractional.h"
+#include "wl/kwl.h"
+#include "wl/unfolding_tree.h"
+#include "wl/weighted_wl.h"
+
+namespace x2vec::wl {
+namespace {
+
+using graph::DisjointUnion;
+using graph::Graph;
+
+TEST(ColorRefinementTest, PathStableClasses) {
+  // P5 refines to 3 classes: endpoints, their neighbours, the centre.
+  const RefinementResult r = ColorRefinement(Graph::Path(5));
+  EXPECT_EQ(r.NumStableColors(), 3);
+  const std::vector<int>& c = r.StableColors();
+  EXPECT_EQ(c[0], c[4]);
+  EXPECT_EQ(c[1], c[3]);
+  EXPECT_NE(c[0], c[1]);
+  EXPECT_NE(c[1], c[2]);
+}
+
+TEST(ColorRefinementTest, RegularGraphStaysMonochromatic) {
+  const RefinementResult r = ColorRefinement(Graph::Cycle(7));
+  EXPECT_EQ(r.NumStableColors(), 1);
+  EXPECT_EQ(r.stable_round, 1);  // One confirming round.
+}
+
+TEST(ColorRefinementTest, RoundProgressionOnPath) {
+  const RefinementResult r = ColorRefinement(Graph::Path(5));
+  // Round 0: 1 colour; round 1: degree split (2); round 2: centre splits (3).
+  EXPECT_EQ(r.colors_per_round[0], 1);
+  EXPECT_EQ(r.colors_per_round[1], 2);
+  EXPECT_EQ(r.colors_per_round[2], 3);
+}
+
+TEST(ColorRefinementTest, VertexLabelsSeedInitialColoring) {
+  Graph g = Graph::Cycle(4);
+  g.SetVertexLabel(0, 5);
+  const RefinementResult r = ColorRefinement(g);
+  EXPECT_GT(r.colors_per_round[0], 1);
+  EXPECT_EQ(r.NumStableColors(), 3);  // {0}, {1,3}, {2}.
+}
+
+TEST(ColorRefinementTest, C6VersusTwoTrianglesIndistinguishable) {
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles = DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  EXPECT_FALSE(graph::AreIsomorphic(c6, triangles));
+  EXPECT_TRUE(WlIndistinguishable(c6, triangles));
+}
+
+TEST(ColorRefinementTest, PathVersusStarDistinguished) {
+  const JointRefinementResult joint =
+      RefineTogether(Graph::Path(4), Graph::Star(3));
+  EXPECT_TRUE(joint.distinguishes);
+  EXPECT_EQ(joint.distinguishing_round, 1);  // Degrees differ already.
+}
+
+TEST(ColorRefinementTest, MaxRoundsCutsOffEarly) {
+  RefinementOptions options;
+  options.max_rounds = 1;
+  const RefinementResult r = ColorRefinement(Graph::Path(6), options);
+  // Initial + exactly one refinement round.
+  EXPECT_EQ(r.round_colors.size(), 2u);
+  EXPECT_EQ(r.colors_per_round[1], 2);  // Degree split only.
+}
+
+TEST(ColorRefinementTest, InvariantUnderPermutation) {
+  Rng rng = MakeRng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::ErdosRenyiGnp(9, 0.4, rng);
+    const Graph p = graph::Permuted(g, RandomPermutation(9, rng));
+    EXPECT_TRUE(WlIndistinguishable(g, p));
+  }
+}
+
+TEST(ColorRefinementTest, EdgeLabelsRefine) {
+  // Two 4-cycles with different edge-label arrangements.
+  Graph a = Graph(4);
+  a.AddEdge(0, 1, 1.0, /*label=*/1);
+  a.AddEdge(1, 2, 1.0, 1);
+  a.AddEdge(2, 3, 1.0, 0);
+  a.AddEdge(3, 0, 1.0, 0);
+  Graph b = Graph(4);
+  b.AddEdge(0, 1, 1.0, 1);
+  b.AddEdge(1, 2, 1.0, 0);
+  b.AddEdge(2, 3, 1.0, 1);
+  b.AddEdge(3, 0, 1.0, 0);
+  EXPECT_FALSE(WlIndistinguishable(a, b));
+  RefinementOptions ignore_edges;
+  ignore_edges.use_edge_labels = false;
+  EXPECT_TRUE(WlIndistinguishable(a, b, ignore_edges));
+}
+
+TEST(ColorRefinementTest, DirectedOrientationMatters) {
+  Graph a(3, /*directed=*/true);  // Directed path 0->1->2.
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  Graph b(3, /*directed=*/true);  // Out-star 0->1, 0->2.
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  EXPECT_FALSE(WlIndistinguishable(a, b));
+}
+
+TEST(StableColoringFastTest, MatchesHashRefinementPartition) {
+  Rng rng = MakeRng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::ErdosRenyiGnp(12, 0.3, rng);
+    RefinementOptions plain;
+    plain.use_vertex_labels = false;
+    const std::vector<int> slow = ColorRefinement(g, plain).StableColors();
+    const std::vector<int> fast = StableColoringFast(g);
+    // Same partition up to renaming: the colour-pair maps are bijective.
+    std::map<int, int> fwd;
+    std::map<int, int> bwd;
+    for (int v = 0; v < 12; ++v) {
+      auto [it1, ins1] = fwd.emplace(slow[v], fast[v]);
+      EXPECT_EQ(it1->second, fast[v]);
+      auto [it2, ins2] = bwd.emplace(fast[v], slow[v]);
+      EXPECT_EQ(it2->second, slow[v]);
+    }
+  }
+}
+
+TEST(StableColoringFastTest, PathClasses) {
+  const std::vector<int> colors = StableColoringFast(Graph::Path(5));
+  EXPECT_EQ(colors[0], colors[4]);
+  EXPECT_EQ(colors[1], colors[3]);
+  EXPECT_NE(colors[0], colors[1]);
+  EXPECT_NE(colors[1], colors[2]);
+}
+
+TEST(ColorUtilsTest, ClassesAndHistogram) {
+  const std::vector<int> colors = {0, 1, 0, 2, 1};
+  const auto classes = ColorClasses(colors);
+  EXPECT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(ColorHistogram(colors), (std::vector<int>{2, 2, 1}));
+}
+
+TEST(WeightedWlTest, WeightsSplitWhereCountsDoNot) {
+  // Two weighted 4-cycles with equal degree structure but different weight
+  // sums around each vertex.
+  Graph a(4);
+  a.AddEdge(0, 1, 2.0);
+  a.AddEdge(1, 2, 2.0);
+  a.AddEdge(2, 3, 1.0);
+  a.AddEdge(3, 0, 1.0);
+  Graph b(4);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(2, 3, 2.0);
+  b.AddEdge(3, 0, 1.0);
+  EXPECT_TRUE(WeightedWlDistinguishes(a, b));
+}
+
+TEST(WeightedWlTest, AgreesWithUnweightedOnPlainGraphs) {
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles = DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  EXPECT_FALSE(WeightedWlDistinguishes(c6, triangles));
+  EXPECT_TRUE(WeightedWlDistinguishes(Graph::Path(4), Graph::Star(3)));
+}
+
+TEST(WeightedWlTest, RefinementOnWeightedStar) {
+  Graph g = Graph::Star(3);
+  // Give one spoke a different weight: that leaf must split off.
+  Graph h(4);
+  h.AddEdge(0, 1, 5.0);
+  h.AddEdge(0, 2, 1.0);
+  h.AddEdge(0, 3, 1.0);
+  const WeightedRefinementResult r = WeightedColorRefinement(h);
+  EXPECT_EQ(r.NumStableColors(), 3);  // Centre, heavy leaf, light leaves.
+  const WeightedRefinementResult plain = WeightedColorRefinement(g);
+  EXPECT_EQ(plain.NumStableColors(), 2);
+}
+
+TEST(MatrixWlTest, CirculantMatrixCollapsesToOneClass) {
+  linalg::Matrix a = {{1, 1, 0}, {0, 1, 1}, {1, 0, 1}};
+  const MatrixWlResult r = MatrixWl(a);
+  EXPECT_EQ(r.num_row_colors, 1);
+  EXPECT_EQ(r.num_col_colors, 1);
+  const linalg::Matrix reduced = ReduceMatrixByWl(a, r);
+  EXPECT_EQ(reduced.rows(), 1);
+  EXPECT_DOUBLE_EQ(reduced(0, 0), 2.0);  // Row sum.
+}
+
+TEST(MatrixWlTest, BlockStructureIsRecovered) {
+  // Two row blocks with different totals into two column blocks.
+  linalg::Matrix a = {
+      {3, 3, 0, 0},
+      {3, 3, 0, 0},
+      {0, 0, 7, 7},
+      {0, 0, 7, 7},
+  };
+  const MatrixWlResult r = MatrixWl(a);
+  EXPECT_EQ(r.num_row_colors, 2);
+  EXPECT_EQ(r.num_col_colors, 2);
+  EXPECT_EQ(r.row_colors[0], r.row_colors[1]);
+  EXPECT_NE(r.row_colors[0], r.row_colors[2]);
+  const linalg::Matrix reduced = ReduceMatrixByWl(a, r);
+  EXPECT_EQ(reduced.rows(), 2);
+  // One block contributes 6 per row, the other 14.
+  std::multiset<double> totals = {reduced(0, 0) + reduced(0, 1),
+                                  reduced(1, 0) + reduced(1, 1)};
+  EXPECT_EQ(totals, (std::multiset<double>{6.0, 14.0}));
+}
+
+TEST(KwlTest, DimensionOneMatchesColorRefinement) {
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles = DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  EXPECT_FALSE(KwlDistinguishes(c6, triangles, 1));
+  EXPECT_TRUE(KwlDistinguishes(Graph::Path(4), Graph::Star(3), 1));
+}
+
+TEST(KwlTest, DimensionTwoSeparatesC6FromTriangles) {
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles = DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  EXPECT_TRUE(KwlDistinguishes(c6, triangles, 2));
+}
+
+TEST(KwlTest, InvariantUnderPermutation) {
+  Rng rng = MakeRng(43);
+  const Graph g = graph::ErdosRenyiGnp(6, 0.5, rng);
+  const Graph p = graph::Permuted(g, RandomPermutation(6, rng));
+  EXPECT_FALSE(KwlDistinguishes(g, p, 2));
+}
+
+TEST(KwlTest, DifferentOrdersAreDistinguished) {
+  EXPECT_TRUE(KwlDistinguishes(Graph::Path(3), Graph::Path(4), 2));
+}
+
+TEST(CfiTest, TrianglePairSeparatedAtDimensionTwo) {
+  const CfiPair pair = BuildCfiPair(Graph::Cycle(3));
+  EXPECT_EQ(pair.untwisted.NumVertices(), 6);
+  EXPECT_EQ(pair.twisted.NumVertices(), 6);
+  EXPECT_FALSE(graph::AreIsomorphic(pair.untwisted, pair.twisted));
+  EXPECT_TRUE(WlIndistinguishable(pair.untwisted, pair.twisted));
+  EXPECT_TRUE(KwlDistinguishes(pair.untwisted, pair.twisted, 2));
+}
+
+TEST(CfiTest, GadgetSizesMatchEvenSubsetCounts) {
+  const CfiPair pair = BuildCfiPair(graph::Graph::Complete(4));
+  // Each K4 vertex has degree 3: 4 even subsets -> 16 gadget vertices.
+  EXPECT_EQ(pair.untwisted.NumVertices(), 16);
+  EXPECT_EQ(pair.untwisted.NumEdges(), 48);
+  EXPECT_FALSE(graph::AreIsomorphic(pair.untwisted, pair.twisted));
+}
+
+TEST(UnfoldingTreeTest, SizesOnPath) {
+  const Graph p3 = Graph::Path(3);
+  const RootedGraph t0 = UnfoldingTree(p3, 1, 0);
+  EXPECT_EQ(t0.graph.NumVertices(), 1);
+  const RootedGraph t1 = UnfoldingTree(p3, 1, 1);
+  EXPECT_EQ(t1.graph.NumVertices(), 3);
+  // Depth 2 from the centre: each endpoint child walks back to the centre.
+  const RootedGraph t2 = UnfoldingTree(p3, 1, 2);
+  EXPECT_EQ(t2.graph.NumVertices(), 5);
+  EXPECT_TRUE(graph::IsTree(t2.graph));
+}
+
+TEST(UnfoldingTreeTest, StringMatchesWlColorEquality) {
+  Rng rng = MakeRng(44);
+  const Graph g = graph::ErdosRenyiGnp(8, 0.4, rng);
+  RefinementOptions plain;
+  plain.use_vertex_labels = false;
+  const RefinementResult r = ColorRefinement(g, plain);
+  for (int depth = 0; depth < static_cast<int>(r.round_colors.size());
+       ++depth) {
+    for (int u = 0; u < 8; ++u) {
+      for (int v = 0; v < 8; ++v) {
+        const bool same_color =
+            r.round_colors[depth][u] == r.round_colors[depth][v];
+        const bool same_tree = UnfoldingTreeString(g, u, depth) ==
+                               UnfoldingTreeString(g, v, depth);
+        EXPECT_EQ(same_color, same_tree)
+            << "depth " << depth << " u " << u << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(FractionalTest, WitnessIsDoublyStochasticAndCommutes) {
+  const Graph c6 = Graph::Cycle(6);
+  const Graph triangles = DisjointUnion(Graph::Cycle(3), Graph::Cycle(3));
+  const auto x = FractionalIsomorphism(c6, triangles);
+  ASSERT_TRUE(x.has_value());
+  for (int i = 0; i < 6; ++i) {
+    double row = 0.0;
+    double col = 0.0;
+    for (int j = 0; j < 6; ++j) {
+      row += (*x)(i, j);
+      col += (*x)(j, i);
+      EXPECT_GE((*x)(i, j), 0.0);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12);
+    EXPECT_NEAR(col, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(FractionalResidual(c6, triangles, *x), 0.0, 1e-12);
+}
+
+TEST(FractionalTest, DistinguishablePairsHaveNoWitness) {
+  EXPECT_FALSE(FractionalIsomorphism(Graph::Path(4), Graph::Star(3)).has_value());
+  EXPECT_FALSE(AreFractionallyIsomorphic(Graph::Path(3), Graph::Path(4)));
+}
+
+TEST(FractionalTest, IsomorphicGraphsAreFractionallyIsomorphic) {
+  Rng rng = MakeRng(45);
+  const Graph g = graph::ErdosRenyiGnp(7, 0.5, rng);
+  const Graph p = graph::Permuted(g, RandomPermutation(7, rng));
+  EXPECT_TRUE(AreFractionallyIsomorphic(g, p));
+  const auto x = FractionalIsomorphism(g, p);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(FractionalResidual(g, p, *x), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace x2vec::wl
