@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hom_family.dir/ablation_hom_family.cc.o"
+  "CMakeFiles/ablation_hom_family.dir/ablation_hom_family.cc.o.d"
+  "ablation_hom_family"
+  "ablation_hom_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hom_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wl_rounds.dir/ablation_wl_rounds.cc.o"
+  "CMakeFiles/ablation_wl_rounds.dir/ablation_wl_rounds.cc.o.d"
+  "ablation_wl_rounds"
+  "ablation_wl_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wl_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

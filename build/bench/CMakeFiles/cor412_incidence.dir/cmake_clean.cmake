@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cor412_incidence.dir/cor412_incidence.cc.o"
+  "CMakeFiles/cor412_incidence.dir/cor412_incidence.cc.o.d"
+  "cor412_incidence"
+  "cor412_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cor412_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex41_tree_hom_counts.dir/ex41_tree_hom_counts.cc.o"
+  "CMakeFiles/ex41_tree_hom_counts.dir/ex41_tree_hom_counts.cc.o.d"
+  "ex41_tree_hom_counts"
+  "ex41_tree_hom_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex41_tree_hom_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex41_tree_hom_counts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_node_embeddings.dir/fig2_node_embeddings.cc.o"
+  "CMakeFiles/fig2_node_embeddings.dir/fig2_node_embeddings.cc.o.d"
+  "fig2_node_embeddings"
+  "fig2_node_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_node_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wl_run.dir/fig3_wl_run.cc.o"
+  "CMakeFiles/fig3_wl_run.dir/fig3_wl_run.cc.o.d"
+  "fig3_wl_run"
+  "fig3_wl_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wl_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_matrix_wl.dir/fig4_matrix_wl.cc.o"
+  "CMakeFiles/fig4_matrix_wl.dir/fig4_matrix_wl.cc.o.d"
+  "fig4_matrix_wl"
+  "fig4_matrix_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_matrix_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

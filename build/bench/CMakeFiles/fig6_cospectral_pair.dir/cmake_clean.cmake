@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cospectral_pair.dir/fig6_cospectral_pair.cc.o"
+  "CMakeFiles/fig6_cospectral_pair.dir/fig6_cospectral_pair.cc.o.d"
+  "fig6_cospectral_pair"
+  "fig6_cospectral_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cospectral_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

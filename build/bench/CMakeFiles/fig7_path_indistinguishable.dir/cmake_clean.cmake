@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_path_indistinguishable.dir/fig7_path_indistinguishable.cc.o"
+  "CMakeFiles/fig7_path_indistinguishable.dir/fig7_path_indistinguishable.cc.o.d"
+  "fig7_path_indistinguishable"
+  "fig7_path_indistinguishable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_path_indistinguishable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_path_indistinguishable.
+# This may be replaced when dependencies are built.

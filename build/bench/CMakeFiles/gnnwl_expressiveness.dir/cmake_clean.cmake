@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnwl_expressiveness.dir/gnnwl_expressiveness.cc.o"
+  "CMakeFiles/gnnwl_expressiveness.dir/gnnwl_expressiveness.cc.o.d"
+  "gnnwl_expressiveness"
+  "gnnwl_expressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnwl_expressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphon_convergence.dir/graphon_convergence.cc.o"
+  "CMakeFiles/graphon_convergence.dir/graphon_convergence.cc.o.d"
+  "graphon_convergence"
+  "graphon_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphon_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwl_cfi_hierarchy.dir/kwl_cfi_hierarchy.cc.o"
+  "CMakeFiles/kwl_cfi_hierarchy.dir/kwl_cfi_hierarchy.cc.o.d"
+  "kwl_cfi_hierarchy"
+  "kwl_cfi_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwl_cfi_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_hom_counting.dir/perf_hom_counting.cc.o"
+  "CMakeFiles/perf_hom_counting.dir/perf_hom_counting.cc.o.d"
+  "perf_hom_counting"
+  "perf_hom_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_hom_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

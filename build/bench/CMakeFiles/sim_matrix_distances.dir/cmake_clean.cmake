@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_matrix_distances.dir/sim_matrix_distances.cc.o"
+  "CMakeFiles/sim_matrix_distances.dir/sim_matrix_distances.cc.o.d"
+  "sim_matrix_distances"
+  "sim_matrix_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_matrix_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

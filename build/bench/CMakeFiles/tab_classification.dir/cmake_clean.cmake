@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_classification.dir/tab_classification.cc.o"
+  "CMakeFiles/tab_classification.dir/tab_classification.cc.o.d"
+  "tab_classification"
+  "tab_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_knowledge_graph.dir/tab_knowledge_graph.cc.o"
+  "CMakeFiles/tab_knowledge_graph.dir/tab_knowledge_graph.cc.o.d"
+  "tab_knowledge_graph"
+  "tab_knowledge_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_knowledge_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_node_classification.dir/tab_node_classification.cc.o"
+  "CMakeFiles/tab_node_classification.dir/tab_node_classification.cc.o.d"
+  "tab_node_classification"
+  "tab_node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_word2vec.dir/tab_word2vec.cc.o"
+  "CMakeFiles/tab_word2vec.dir/tab_word2vec.cc.o.d"
+  "tab_word2vec"
+  "tab_word2vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_word2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

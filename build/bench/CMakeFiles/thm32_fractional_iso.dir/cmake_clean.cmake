@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm32_fractional_iso.dir/thm32_fractional_iso.cc.o"
+  "CMakeFiles/thm32_fractional_iso.dir/thm32_fractional_iso.cc.o.d"
+  "thm32_fractional_iso"
+  "thm32_fractional_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm32_fractional_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thm32_fractional_iso.
+# This may be replaced when dependencies are built.

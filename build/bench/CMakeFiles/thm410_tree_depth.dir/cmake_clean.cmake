@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm410_tree_depth.dir/thm410_tree_depth.cc.o"
+  "CMakeFiles/thm410_tree_depth.dir/thm410_tree_depth.cc.o.d"
+  "thm410_tree_depth"
+  "thm410_tree_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm410_tree_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm411_directed.dir/thm411_directed.cc.o"
+  "CMakeFiles/thm411_directed.dir/thm411_directed.cc.o.d"
+  "thm411_directed"
+  "thm411_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm411_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

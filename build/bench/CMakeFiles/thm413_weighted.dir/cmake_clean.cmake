@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm413_weighted.dir/thm413_weighted.cc.o"
+  "CMakeFiles/thm413_weighted.dir/thm413_weighted.cc.o.d"
+  "thm413_weighted"
+  "thm413_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm413_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm414_node_homs.dir/thm414_node_homs.cc.o"
+  "CMakeFiles/thm414_node_homs.dir/thm414_node_homs.cc.o.d"
+  "thm414_node_homs"
+  "thm414_node_homs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm414_node_homs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thm414_node_homs.
+# This may be replaced when dependencies are built.

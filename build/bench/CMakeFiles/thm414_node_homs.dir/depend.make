@@ -1,0 +1,2 @@
+# Empty dependencies file for thm414_node_homs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm42_lovasz.dir/thm42_lovasz.cc.o"
+  "CMakeFiles/thm42_lovasz.dir/thm42_lovasz.cc.o.d"
+  "thm42_lovasz"
+  "thm42_lovasz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm42_lovasz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

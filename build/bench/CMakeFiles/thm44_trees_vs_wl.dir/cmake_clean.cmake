@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm44_trees_vs_wl.dir/thm44_trees_vs_wl.cc.o"
+  "CMakeFiles/thm44_trees_vs_wl.dir/thm44_trees_vs_wl.cc.o.d"
+  "thm44_trees_vs_wl"
+  "thm44_trees_vs_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm44_trees_vs_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

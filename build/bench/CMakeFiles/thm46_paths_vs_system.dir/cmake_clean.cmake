@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm46_paths_vs_system.dir/thm46_paths_vs_system.cc.o"
+  "CMakeFiles/thm46_paths_vs_system.dir/thm46_paths_vs_system.cc.o.d"
+  "thm46_paths_vs_system"
+  "thm46_paths_vs_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm46_paths_vs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thm46_paths_vs_system.
+# This may be replaced when dependencies are built.

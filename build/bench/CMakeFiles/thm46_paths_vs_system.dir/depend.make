@@ -1,0 +1,2 @@
+# Empty dependencies file for thm46_paths_vs_system.
+# This may be replaced when dependencies are built.

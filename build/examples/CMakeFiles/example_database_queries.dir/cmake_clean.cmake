@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_database_queries.dir/database_queries.cpp.o"
+  "CMakeFiles/example_database_queries.dir/database_queries.cpp.o.d"
+  "example_database_queries"
+  "example_database_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_database_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

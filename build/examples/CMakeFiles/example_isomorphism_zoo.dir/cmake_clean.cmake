@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_isomorphism_zoo.dir/isomorphism_zoo.cpp.o"
+  "CMakeFiles/example_isomorphism_zoo.dir/isomorphism_zoo.cpp.o.d"
+  "example_isomorphism_zoo"
+  "example_isomorphism_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_isomorphism_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_knowledge_graph_completion.dir/knowledge_graph_completion.cpp.o"
+  "CMakeFiles/example_knowledge_graph_completion.dir/knowledge_graph_completion.cpp.o.d"
+  "example_knowledge_graph_completion"
+  "example_knowledge_graph_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_knowledge_graph_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_molecule_classification.dir/molecule_classification.cpp.o"
+  "CMakeFiles/example_molecule_classification.dir/molecule_classification.cpp.o.d"
+  "example_molecule_classification"
+  "example_molecule_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_molecule_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

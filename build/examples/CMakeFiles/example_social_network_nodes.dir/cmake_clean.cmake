@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_network_nodes.dir/social_network_nodes.cpp.o"
+  "CMakeFiles/example_social_network_nodes.dir/social_network_nodes.cpp.o.d"
+  "example_social_network_nodes"
+  "example_social_network_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_network_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

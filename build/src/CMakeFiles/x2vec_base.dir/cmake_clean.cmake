@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_base.dir/base/check.cc.o"
+  "CMakeFiles/x2vec_base.dir/base/check.cc.o.d"
+  "CMakeFiles/x2vec_base.dir/base/rng.cc.o"
+  "CMakeFiles/x2vec_base.dir/base/rng.cc.o.d"
+  "CMakeFiles/x2vec_base.dir/base/status.cc.o"
+  "CMakeFiles/x2vec_base.dir/base/status.cc.o.d"
+  "libx2vec_base.a"
+  "libx2vec_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

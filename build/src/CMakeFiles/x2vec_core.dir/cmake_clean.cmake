@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_core.dir/core/compare.cc.o"
+  "CMakeFiles/x2vec_core.dir/core/compare.cc.o.d"
+  "CMakeFiles/x2vec_core.dir/core/registry.cc.o"
+  "CMakeFiles/x2vec_core.dir/core/registry.cc.o.d"
+  "libx2vec_core.a"
+  "libx2vec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/x2vec_data.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/x2vec_data.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/x2vec_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/x2vec_data.dir/data/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_data.dir/data/datasets.cc.o"
+  "CMakeFiles/x2vec_data.dir/data/datasets.cc.o.d"
+  "CMakeFiles/x2vec_data.dir/data/io.cc.o"
+  "CMakeFiles/x2vec_data.dir/data/io.cc.o.d"
+  "libx2vec_data.a"
+  "libx2vec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

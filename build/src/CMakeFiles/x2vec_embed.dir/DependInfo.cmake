@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/corpus.cc" "src/CMakeFiles/x2vec_embed.dir/embed/corpus.cc.o" "gcc" "src/CMakeFiles/x2vec_embed.dir/embed/corpus.cc.o.d"
+  "/root/repo/src/embed/factorization.cc" "src/CMakeFiles/x2vec_embed.dir/embed/factorization.cc.o" "gcc" "src/CMakeFiles/x2vec_embed.dir/embed/factorization.cc.o.d"
+  "/root/repo/src/embed/graph2vec.cc" "src/CMakeFiles/x2vec_embed.dir/embed/graph2vec.cc.o" "gcc" "src/CMakeFiles/x2vec_embed.dir/embed/graph2vec.cc.o.d"
+  "/root/repo/src/embed/node_embeddings.cc" "src/CMakeFiles/x2vec_embed.dir/embed/node_embeddings.cc.o" "gcc" "src/CMakeFiles/x2vec_embed.dir/embed/node_embeddings.cc.o.d"
+  "/root/repo/src/embed/sgns.cc" "src/CMakeFiles/x2vec_embed.dir/embed/sgns.cc.o" "gcc" "src/CMakeFiles/x2vec_embed.dir/embed/sgns.cc.o.d"
+  "/root/repo/src/embed/walks.cc" "src/CMakeFiles/x2vec_embed.dir/embed/walks.cc.o" "gcc" "src/CMakeFiles/x2vec_embed.dir/embed/walks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_embed.dir/embed/corpus.cc.o"
+  "CMakeFiles/x2vec_embed.dir/embed/corpus.cc.o.d"
+  "CMakeFiles/x2vec_embed.dir/embed/factorization.cc.o"
+  "CMakeFiles/x2vec_embed.dir/embed/factorization.cc.o.d"
+  "CMakeFiles/x2vec_embed.dir/embed/graph2vec.cc.o"
+  "CMakeFiles/x2vec_embed.dir/embed/graph2vec.cc.o.d"
+  "CMakeFiles/x2vec_embed.dir/embed/node_embeddings.cc.o"
+  "CMakeFiles/x2vec_embed.dir/embed/node_embeddings.cc.o.d"
+  "CMakeFiles/x2vec_embed.dir/embed/sgns.cc.o"
+  "CMakeFiles/x2vec_embed.dir/embed/sgns.cc.o.d"
+  "CMakeFiles/x2vec_embed.dir/embed/walks.cc.o"
+  "CMakeFiles/x2vec_embed.dir/embed/walks.cc.o.d"
+  "libx2vec_embed.a"
+  "libx2vec_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/gcn.cc" "src/CMakeFiles/x2vec_gnn.dir/gnn/gcn.cc.o" "gcc" "src/CMakeFiles/x2vec_gnn.dir/gnn/gcn.cc.o.d"
+  "/root/repo/src/gnn/graphsage.cc" "src/CMakeFiles/x2vec_gnn.dir/gnn/graphsage.cc.o" "gcc" "src/CMakeFiles/x2vec_gnn.dir/gnn/graphsage.cc.o.d"
+  "/root/repo/src/gnn/higher_order.cc" "src/CMakeFiles/x2vec_gnn.dir/gnn/higher_order.cc.o" "gcc" "src/CMakeFiles/x2vec_gnn.dir/gnn/higher_order.cc.o.d"
+  "/root/repo/src/gnn/layers.cc" "src/CMakeFiles/x2vec_gnn.dir/gnn/layers.cc.o" "gcc" "src/CMakeFiles/x2vec_gnn.dir/gnn/layers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_gnn.dir/gnn/gcn.cc.o"
+  "CMakeFiles/x2vec_gnn.dir/gnn/gcn.cc.o.d"
+  "CMakeFiles/x2vec_gnn.dir/gnn/graphsage.cc.o"
+  "CMakeFiles/x2vec_gnn.dir/gnn/graphsage.cc.o.d"
+  "CMakeFiles/x2vec_gnn.dir/gnn/higher_order.cc.o"
+  "CMakeFiles/x2vec_gnn.dir/gnn/higher_order.cc.o.d"
+  "CMakeFiles/x2vec_gnn.dir/gnn/layers.cc.o"
+  "CMakeFiles/x2vec_gnn.dir/gnn/layers.cc.o.d"
+  "libx2vec_gnn.a"
+  "libx2vec_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

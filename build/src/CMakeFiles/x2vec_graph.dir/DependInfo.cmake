@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/x2vec_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/x2vec_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/enumeration.cc" "src/CMakeFiles/x2vec_graph.dir/graph/enumeration.cc.o" "gcc" "src/CMakeFiles/x2vec_graph.dir/graph/enumeration.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/x2vec_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/x2vec_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/x2vec_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/x2vec_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph6.cc" "src/CMakeFiles/x2vec_graph.dir/graph/graph6.cc.o" "gcc" "src/CMakeFiles/x2vec_graph.dir/graph/graph6.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "src/CMakeFiles/x2vec_graph.dir/graph/isomorphism.cc.o" "gcc" "src/CMakeFiles/x2vec_graph.dir/graph/isomorphism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/x2vec_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/x2vec_graph.dir/graph/enumeration.cc.o"
+  "CMakeFiles/x2vec_graph.dir/graph/enumeration.cc.o.d"
+  "CMakeFiles/x2vec_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/x2vec_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/x2vec_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/x2vec_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/x2vec_graph.dir/graph/graph6.cc.o"
+  "CMakeFiles/x2vec_graph.dir/graph/graph6.cc.o.d"
+  "CMakeFiles/x2vec_graph.dir/graph/isomorphism.cc.o"
+  "CMakeFiles/x2vec_graph.dir/graph/isomorphism.cc.o.d"
+  "libx2vec_graph.a"
+  "libx2vec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

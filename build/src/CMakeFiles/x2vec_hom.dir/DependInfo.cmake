@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hom/brute_force.cc" "src/CMakeFiles/x2vec_hom.dir/hom/brute_force.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/brute_force.cc.o.d"
+  "/root/repo/src/hom/densities.cc" "src/CMakeFiles/x2vec_hom.dir/hom/densities.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/densities.cc.o.d"
+  "/root/repo/src/hom/embeddings.cc" "src/CMakeFiles/x2vec_hom.dir/hom/embeddings.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/embeddings.cc.o.d"
+  "/root/repo/src/hom/indistinguishability.cc" "src/CMakeFiles/x2vec_hom.dir/hom/indistinguishability.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/indistinguishability.cc.o.d"
+  "/root/repo/src/hom/path_cycle.cc" "src/CMakeFiles/x2vec_hom.dir/hom/path_cycle.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/path_cycle.cc.o.d"
+  "/root/repo/src/hom/subgraph_counts.cc" "src/CMakeFiles/x2vec_hom.dir/hom/subgraph_counts.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/subgraph_counts.cc.o.d"
+  "/root/repo/src/hom/tree_depth.cc" "src/CMakeFiles/x2vec_hom.dir/hom/tree_depth.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/tree_depth.cc.o.d"
+  "/root/repo/src/hom/tree_hom.cc" "src/CMakeFiles/x2vec_hom.dir/hom/tree_hom.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/tree_hom.cc.o.d"
+  "/root/repo/src/hom/treewidth.cc" "src/CMakeFiles/x2vec_hom.dir/hom/treewidth.cc.o" "gcc" "src/CMakeFiles/x2vec_hom.dir/hom/treewidth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

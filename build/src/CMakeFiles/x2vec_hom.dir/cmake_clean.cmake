@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_hom.dir/hom/brute_force.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/brute_force.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/densities.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/densities.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/embeddings.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/embeddings.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/indistinguishability.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/indistinguishability.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/path_cycle.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/path_cycle.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/subgraph_counts.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/subgraph_counts.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/tree_depth.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/tree_depth.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/tree_hom.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/tree_hom.cc.o.d"
+  "CMakeFiles/x2vec_hom.dir/hom/treewidth.cc.o"
+  "CMakeFiles/x2vec_hom.dir/hom/treewidth.cc.o.d"
+  "libx2vec_hom.a"
+  "libx2vec_hom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_hom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/graph_kernels.cc" "src/CMakeFiles/x2vec_kernel.dir/kernel/graph_kernels.cc.o" "gcc" "src/CMakeFiles/x2vec_kernel.dir/kernel/graph_kernels.cc.o.d"
+  "/root/repo/src/kernel/kwl_kernel.cc" "src/CMakeFiles/x2vec_kernel.dir/kernel/kwl_kernel.cc.o" "gcc" "src/CMakeFiles/x2vec_kernel.dir/kernel/kwl_kernel.cc.o.d"
+  "/root/repo/src/kernel/node_kernels.cc" "src/CMakeFiles/x2vec_kernel.dir/kernel/node_kernels.cc.o" "gcc" "src/CMakeFiles/x2vec_kernel.dir/kernel/node_kernels.cc.o.d"
+  "/root/repo/src/kernel/wl_kernel.cc" "src/CMakeFiles/x2vec_kernel.dir/kernel/wl_kernel.cc.o" "gcc" "src/CMakeFiles/x2vec_kernel.dir/kernel/wl_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_hom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

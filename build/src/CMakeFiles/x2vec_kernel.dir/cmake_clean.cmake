@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_kernel.dir/kernel/graph_kernels.cc.o"
+  "CMakeFiles/x2vec_kernel.dir/kernel/graph_kernels.cc.o.d"
+  "CMakeFiles/x2vec_kernel.dir/kernel/kwl_kernel.cc.o"
+  "CMakeFiles/x2vec_kernel.dir/kernel/kwl_kernel.cc.o.d"
+  "CMakeFiles/x2vec_kernel.dir/kernel/node_kernels.cc.o"
+  "CMakeFiles/x2vec_kernel.dir/kernel/node_kernels.cc.o.d"
+  "CMakeFiles/x2vec_kernel.dir/kernel/wl_kernel.cc.o"
+  "CMakeFiles/x2vec_kernel.dir/kernel/wl_kernel.cc.o.d"
+  "libx2vec_kernel.a"
+  "libx2vec_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_kg.dir/kg/knowledge_graph.cc.o"
+  "CMakeFiles/x2vec_kg.dir/kg/knowledge_graph.cc.o.d"
+  "CMakeFiles/x2vec_kg.dir/kg/rescal.cc.o"
+  "CMakeFiles/x2vec_kg.dir/kg/rescal.cc.o.d"
+  "CMakeFiles/x2vec_kg.dir/kg/transe.cc.o"
+  "CMakeFiles/x2vec_kg.dir/kg/transe.cc.o.d"
+  "libx2vec_kg.a"
+  "libx2vec_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/charpoly.cc" "src/CMakeFiles/x2vec_linalg.dir/linalg/charpoly.cc.o" "gcc" "src/CMakeFiles/x2vec_linalg.dir/linalg/charpoly.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/x2vec_linalg.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/x2vec_linalg.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/hungarian.cc" "src/CMakeFiles/x2vec_linalg.dir/linalg/hungarian.cc.o" "gcc" "src/CMakeFiles/x2vec_linalg.dir/linalg/hungarian.cc.o.d"
+  "/root/repo/src/linalg/linear_system.cc" "src/CMakeFiles/x2vec_linalg.dir/linalg/linear_system.cc.o" "gcc" "src/CMakeFiles/x2vec_linalg.dir/linalg/linear_system.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/x2vec_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/x2vec_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/rational.cc" "src/CMakeFiles/x2vec_linalg.dir/linalg/rational.cc.o" "gcc" "src/CMakeFiles/x2vec_linalg.dir/linalg/rational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_linalg.dir/linalg/charpoly.cc.o"
+  "CMakeFiles/x2vec_linalg.dir/linalg/charpoly.cc.o.d"
+  "CMakeFiles/x2vec_linalg.dir/linalg/eigen.cc.o"
+  "CMakeFiles/x2vec_linalg.dir/linalg/eigen.cc.o.d"
+  "CMakeFiles/x2vec_linalg.dir/linalg/hungarian.cc.o"
+  "CMakeFiles/x2vec_linalg.dir/linalg/hungarian.cc.o.d"
+  "CMakeFiles/x2vec_linalg.dir/linalg/linear_system.cc.o"
+  "CMakeFiles/x2vec_linalg.dir/linalg/linear_system.cc.o.d"
+  "CMakeFiles/x2vec_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/x2vec_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/x2vec_linalg.dir/linalg/rational.cc.o"
+  "CMakeFiles/x2vec_linalg.dir/linalg/rational.cc.o.d"
+  "libx2vec_linalg.a"
+  "libx2vec_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_logic.dir/logic/counting_logic.cc.o"
+  "CMakeFiles/x2vec_logic.dir/logic/counting_logic.cc.o.d"
+  "libx2vec_logic.a"
+  "libx2vec_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/logistic.cc" "src/CMakeFiles/x2vec_ml.dir/ml/logistic.cc.o" "gcc" "src/CMakeFiles/x2vec_ml.dir/ml/logistic.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/x2vec_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/x2vec_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/neighbors.cc" "src/CMakeFiles/x2vec_ml.dir/ml/neighbors.cc.o" "gcc" "src/CMakeFiles/x2vec_ml.dir/ml/neighbors.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/CMakeFiles/x2vec_ml.dir/ml/pca.cc.o" "gcc" "src/CMakeFiles/x2vec_ml.dir/ml/pca.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/CMakeFiles/x2vec_ml.dir/ml/svm.cc.o" "gcc" "src/CMakeFiles/x2vec_ml.dir/ml/svm.cc.o.d"
+  "/root/repo/src/ml/validation.cc" "src/CMakeFiles/x2vec_ml.dir/ml/validation.cc.o" "gcc" "src/CMakeFiles/x2vec_ml.dir/ml/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

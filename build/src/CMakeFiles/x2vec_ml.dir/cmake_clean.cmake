@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_ml.dir/ml/logistic.cc.o"
+  "CMakeFiles/x2vec_ml.dir/ml/logistic.cc.o.d"
+  "CMakeFiles/x2vec_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/x2vec_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/x2vec_ml.dir/ml/neighbors.cc.o"
+  "CMakeFiles/x2vec_ml.dir/ml/neighbors.cc.o.d"
+  "CMakeFiles/x2vec_ml.dir/ml/pca.cc.o"
+  "CMakeFiles/x2vec_ml.dir/ml/pca.cc.o.d"
+  "CMakeFiles/x2vec_ml.dir/ml/svm.cc.o"
+  "CMakeFiles/x2vec_ml.dir/ml/svm.cc.o.d"
+  "CMakeFiles/x2vec_ml.dir/ml/validation.cc.o"
+  "CMakeFiles/x2vec_ml.dir/ml/validation.cc.o.d"
+  "libx2vec_ml.a"
+  "libx2vec_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libx2vec_ml.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_relational.dir/relational/structure.cc.o"
+  "CMakeFiles/x2vec_relational.dir/relational/structure.cc.o.d"
+  "libx2vec_relational.a"
+  "libx2vec_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for x2vec_relational.
+# This may be replaced when dependencies are built.

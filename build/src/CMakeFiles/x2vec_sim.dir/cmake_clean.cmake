@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_sim.dir/sim/graph_distance.cc.o"
+  "CMakeFiles/x2vec_sim.dir/sim/graph_distance.cc.o.d"
+  "CMakeFiles/x2vec_sim.dir/sim/matrix_norms.cc.o"
+  "CMakeFiles/x2vec_sim.dir/sim/matrix_norms.cc.o.d"
+  "libx2vec_sim.a"
+  "libx2vec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

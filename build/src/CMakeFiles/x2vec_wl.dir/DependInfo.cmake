@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/cfi.cc" "src/CMakeFiles/x2vec_wl.dir/wl/cfi.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/cfi.cc.o.d"
+  "/root/repo/src/wl/color_refinement.cc" "src/CMakeFiles/x2vec_wl.dir/wl/color_refinement.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/color_refinement.cc.o.d"
+  "/root/repo/src/wl/fractional.cc" "src/CMakeFiles/x2vec_wl.dir/wl/fractional.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/fractional.cc.o.d"
+  "/root/repo/src/wl/kwl.cc" "src/CMakeFiles/x2vec_wl.dir/wl/kwl.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/kwl.cc.o.d"
+  "/root/repo/src/wl/unfolding_tree.cc" "src/CMakeFiles/x2vec_wl.dir/wl/unfolding_tree.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/unfolding_tree.cc.o.d"
+  "/root/repo/src/wl/weighted_wl.cc" "src/CMakeFiles/x2vec_wl.dir/wl/weighted_wl.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/weighted_wl.cc.o.d"
+  "/root/repo/src/wl/wl_hash.cc" "src/CMakeFiles/x2vec_wl.dir/wl/wl_hash.cc.o" "gcc" "src/CMakeFiles/x2vec_wl.dir/wl/wl_hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/x2vec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/x2vec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

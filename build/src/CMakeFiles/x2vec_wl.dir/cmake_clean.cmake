@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2vec_wl.dir/wl/cfi.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/cfi.cc.o.d"
+  "CMakeFiles/x2vec_wl.dir/wl/color_refinement.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/color_refinement.cc.o.d"
+  "CMakeFiles/x2vec_wl.dir/wl/fractional.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/fractional.cc.o.d"
+  "CMakeFiles/x2vec_wl.dir/wl/kwl.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/kwl.cc.o.d"
+  "CMakeFiles/x2vec_wl.dir/wl/unfolding_tree.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/unfolding_tree.cc.o.d"
+  "CMakeFiles/x2vec_wl.dir/wl/weighted_wl.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/weighted_wl.cc.o.d"
+  "CMakeFiles/x2vec_wl.dir/wl/wl_hash.cc.o"
+  "CMakeFiles/x2vec_wl.dir/wl/wl_hash.cc.o.d"
+  "libx2vec_wl.a"
+  "libx2vec_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2vec_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
