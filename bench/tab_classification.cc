@@ -36,13 +36,27 @@ int main() {
   for (size_t i = 0; i < datasets.size(); ++i) std::printf("  %-10s", "----");
   std::printf("  ----\n");
 
+  // Generous per-method wall-clock deadline: a stuck or runaway method is
+  // reported as skipped instead of wedging the whole sweep.
+  BudgetSpec budget_spec;
+  budget_spec.deadline_seconds = 300.0;
+
+  std::vector<std::string> skipped;
   for (const core::GraphKernelMethod& method : methods) {
     std::printf("%-16s", method.name.c_str());
     double total = 0.0;
+    int completed = 0;
     for (const data::GraphDataset& dataset : datasets) {
-      Rng method_rng = MakeRng(7);
-      const linalg::Matrix gram = kernel::NormalizeKernel(
-          method.gram(dataset.graphs, method_rng));
+      const std::vector<core::MethodOutcome> outcomes = core::RunMethodSuite(
+          {method}, dataset.graphs, /*seed=*/7, budget_spec);
+      const core::MethodOutcome& outcome = outcomes.front();
+      if (!outcome.status.ok()) {
+        std::printf("  %-10s", "skipped");
+        skipped.push_back(method.name + " on " + dataset.name + ": " +
+                          outcome.status.ToString());
+        continue;
+      }
+      const linalg::Matrix gram = kernel::NormalizeKernel(outcome.matrix);
       ml::SvmOptions svm_options;
       svm_options.c = 10.0;
       Rng svm_rng = MakeRng(99);
@@ -50,8 +64,16 @@ int main() {
           gram, dataset.labels, 5, svm_options, svm_rng);
       std::printf("  %-10.3f", accuracy);
       total += accuracy;
+      ++completed;
     }
-    std::printf("  %-8.3f\n", total / datasets.size());
+    if (completed > 0) {
+      std::printf("  %-8.3f\n", total / completed);
+    } else {
+      std::printf("  %-8s\n", "skipped");
+    }
+  }
+  for (const std::string& note : skipped) {
+    std::printf("skipped: %s\n", note.c_str());
   }
 
   std::printf(

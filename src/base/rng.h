@@ -12,7 +12,29 @@ namespace x2vec {
 /// Deterministic random source shared across the library. Every randomised
 /// algorithm takes an Rng& (or a seed) explicitly so experiments are
 /// reproducible; there is no global generator.
-using Rng = std::mt19937_64;
+///
+/// Rng wraps std::mt19937_64 behind a virtual raw-draw so the fault-
+/// injection harness (tests/robustness_test.cc) can subclass it and feed
+/// algorithms scripted or degenerate bit streams. The default path forwards
+/// straight to the engine, so draws — and therefore every experiment — are
+/// bit-identical to a bare mt19937_64.
+class Rng {
+ public:
+  using result_type = std::mt19937_64::result_type;
+
+  Rng() = default;
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+  virtual ~Rng() = default;
+
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+
+  /// Raw 64-bit draw; the single override point for fault injection.
+  virtual result_type operator()() { return engine_(); }
+
+ protected:
+  std::mt19937_64 engine_;
+};
 
 /// Creates a generator from a fixed seed.
 inline Rng MakeRng(uint64_t seed) { return Rng(seed); }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,  ///< A budget (deadline / work quota) was exceeded.
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -47,6 +48,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

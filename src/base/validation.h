@@ -1,0 +1,61 @@
+#ifndef X2VEC_BASE_VALIDATION_H_
+#define X2VEC_BASE_VALIDATION_H_
+
+#include <cmath>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace x2vec {
+
+/// One named option-value constraint for ValidateOptions below.
+struct OptionCheck {
+  enum class Rule {
+    kPositive,        ///< value > 0 (epochs, dimension, window, ...).
+    kNonNegative,     ///< value >= 0 (negatives, margins, regularisers).
+    kPositiveFinite,  ///< value > 0 and finite (learning rates).
+    kFinite,          ///< finite (exponents, thresholds).
+  };
+
+  std::string_view name;
+  double value = 0.0;
+  Rule rule = Rule::kPositive;
+};
+
+/// Shared fail-fast validator for trainer option structs: returns
+/// kInvalidArgument naming the first offending option, or OK. Keeps every
+/// trainer from silently accepting non-positive epochs/dimensions and
+/// producing empty or degenerate models.
+inline Status ValidateOptions(std::initializer_list<OptionCheck> checks) {
+  for (const OptionCheck& check : checks) {
+    std::string_view constraint;
+    switch (check.rule) {
+      case OptionCheck::Rule::kPositive:
+        if (!(check.value > 0.0)) constraint = "must be positive";
+        break;
+      case OptionCheck::Rule::kNonNegative:
+        if (!(check.value >= 0.0)) constraint = "must be non-negative";
+        break;
+      case OptionCheck::Rule::kPositiveFinite:
+        if (!(check.value > 0.0) || !std::isfinite(check.value)) {
+          constraint = "must be positive and finite";
+        }
+        break;
+      case OptionCheck::Rule::kFinite:
+        if (!std::isfinite(check.value)) constraint = "must be finite";
+        break;
+    }
+    if (!constraint.empty()) {
+      return Status::InvalidArgument(std::string(check.name) + " " +
+                                     std::string(constraint) + ", got " +
+                                     std::to_string(check.value));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace x2vec
+
+#endif  // X2VEC_BASE_VALIDATION_H_

@@ -1,11 +1,14 @@
 #ifndef X2VEC_CORE_REGISTRY_H_
 #define X2VEC_CORE_REGISTRY_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "graph/graph.h"
 #include "linalg/matrix.h"
 
@@ -19,8 +22,17 @@ namespace x2vec::core {
 /// surveys with the same downstream pipeline.
 struct GraphKernelMethod {
   std::string name;
-  std::function<linalg::Matrix(const std::vector<graph::Graph>&, Rng&)>
-      gram;
+  /// Budget-aware entry point: returns kResourceExhausted when the budget
+  /// runs out (at least one work unit per input graph is charged; the
+  /// trainer-backed methods charge much finer). Other error codes surface
+  /// trainer validation / divergence failures.
+  std::function<StatusOr<linalg::Matrix>(const std::vector<graph::Graph>&,
+                                         Rng&, Budget&)>
+      gram_budgeted;
+
+  /// Unlimited-budget convenience wrapper (crashes on non-budget errors).
+  linalg::Matrix gram(const std::vector<graph::Graph>& graphs,
+                      Rng& rng) const;
 };
 
 /// The default method suite used by the classification benchmark
@@ -31,12 +43,42 @@ std::vector<GraphKernelMethod> DefaultMethodSuite();
 /// A named node-embedding method: graph -> one row per vertex.
 struct NodeEmbeddingMethod {
   std::string name;
-  std::function<linalg::Matrix(const graph::Graph&, Rng&)> embed;
+  /// Budget-aware entry point; same contract as
+  /// GraphKernelMethod::gram_budgeted with one work unit per vertex floor.
+  std::function<StatusOr<linalg::Matrix>(const graph::Graph&, Rng&, Budget&)>
+      embed_budgeted;
+
+  /// Unlimited-budget convenience wrapper (crashes on non-budget errors).
+  linalg::Matrix embed(const graph::Graph& g, Rng& rng) const;
 };
 
 /// Spectral (Fig. 2a/2b), DeepWalk, node2vec and rooted-hom-vector node
 /// embedders with library-default hyperparameters.
 std::vector<NodeEmbeddingMethod> DefaultNodeMethodSuite();
+
+/// One method's result in a budgeted suite sweep: either a Gram/embedding
+/// matrix (status OK) or the reason the method was skipped (budget blown,
+/// trainer diverged, ...). A blown per-method budget degrades the sweep
+/// gracefully instead of hanging or crashing it.
+struct MethodOutcome {
+  std::string name;
+  Status status;
+  linalg::Matrix matrix;  ///< Empty (0 x 0) when !status.ok().
+};
+
+/// Runs every method with a fresh per-method budget from `spec` and a
+/// per-method Rng seeded with seed + method index. Never throws or hangs:
+/// methods that exhaust their budget (or fail validation / diverge) are
+/// reported as skipped via their Status.
+std::vector<MethodOutcome> RunMethodSuite(
+    const std::vector<GraphKernelMethod>& suite,
+    const std::vector<graph::Graph>& graphs, uint64_t seed,
+    const BudgetSpec& spec);
+
+/// Node-method analogue of RunMethodSuite.
+std::vector<MethodOutcome> RunNodeMethodSuite(
+    const std::vector<NodeEmbeddingMethod>& suite, const graph::Graph& g,
+    uint64_t seed, const BudgetSpec& spec);
 
 }  // namespace x2vec::core
 

@@ -6,12 +6,16 @@
 /// "word2vec, node2vec, graph2vec, X2vec". Include this to get the whole
 /// public API; fine-grained headers are available per module.
 
+#include "base/budget.h"           // IWYU pragma: export
 #include "base/check.h"            // IWYU pragma: export
+#include "base/recovery.h"         // IWYU pragma: export
 #include "base/rng.h"              // IWYU pragma: export
 #include "base/status.h"           // IWYU pragma: export
+#include "base/validation.h"       // IWYU pragma: export
 #include "core/compare.h"          // IWYU pragma: export
 #include "core/registry.h"         // IWYU pragma: export
 #include "data/datasets.h"         // IWYU pragma: export
+#include "data/io.h"               // IWYU pragma: export
 #include "embed/corpus.h"          // IWYU pragma: export
 #include "embed/factorization.h"   // IWYU pragma: export
 #include "embed/graph2vec.h"       // IWYU pragma: export

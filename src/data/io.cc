@@ -37,45 +37,96 @@ StatusOr<std::string> SerializeDataset(const GraphDataset& dataset) {
 }
 
 StatusOr<GraphDataset> ParseDataset(const std::string& text) {
+  // A sanity cap on the declared graph count: a corrupt or hostile header
+  // must not drive a multi-gigabyte reserve/parse loop.
+  constexpr long long kMaxGraphs = 10'000'000;
+
   std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument(
+        "line 1: empty input, expected 'x2vec-dataset v1 <name> <count>' "
+        "header");
+  }
+  std::istringstream header(line);
   std::string magic;
   std::string version;
   GraphDataset dataset;
-  size_t count = 0;
-  if (!(stream >> magic >> version >> dataset.name >> count) ||
+  long long count = 0;
+  if (!(header >> magic >> version >> dataset.name >> count) ||
       magic != "x2vec-dataset" || version != "v1") {
-    return Status::InvalidArgument("bad dataset header");
+    return Status::InvalidArgument(
+        "line 1: bad dataset header, expected 'x2vec-dataset v1 <name> "
+        "<count>', got '" +
+        line + "'");
   }
-  std::string line;
-  std::getline(stream, line);  // Consume the header's newline.
-  for (size_t i = 0; i < count; ++i) {
+  if (count < 0) {
+    return Status::InvalidArgument("line 1: negative graph count " +
+                                   std::to_string(count));
+  }
+  if (count > kMaxGraphs) {
+    return Status::InvalidArgument(
+        "line 1: graph count " + std::to_string(count) +
+        " exceeds the sanity cap of " + std::to_string(kMaxGraphs));
+  }
+  if (std::string extra; header >> extra) {
+    return Status::InvalidArgument("line 1: trailing garbage '" + extra +
+                                   "' after dataset header");
+  }
+
+  for (long long i = 0; i < count; ++i) {
+    const std::string line_tag = "line " + std::to_string(i + 2) + ": ";
     if (!std::getline(stream, line)) {
-      return Status::InvalidArgument("truncated dataset: expected " +
-                                     std::to_string(count) + " graphs");
+      return Status::InvalidArgument(
+          "truncated dataset: header declared " + std::to_string(count) +
+          " graphs but input ended after " + std::to_string(i));
     }
     std::istringstream fields(line);
     std::string encoded;
+    if (!(fields >> encoded)) {
+      return Status::InvalidArgument(line_tag + "missing graph6 field");
+    }
     int label = 0;
-    if (!(fields >> encoded >> label)) {
-      return Status::InvalidArgument("bad graph line " + std::to_string(i));
+    if (!(fields >> label)) {
+      return Status::InvalidArgument(
+          line_tag + "missing or non-numeric label after graph6 field");
     }
     StatusOr<graph::Graph> g = graph::FromGraph6(encoded);
-    if (!g.ok()) return g.status();
+    if (!g.ok()) {
+      return Status::InvalidArgument(line_tag + g.status().message());
+    }
     int vertex_label;
     int v = 0;
     while (fields >> vertex_label) {
       if (v >= g->NumVertices()) {
-        return Status::InvalidArgument("too many vertex labels on line " +
-                                       std::to_string(i));
+        return Status::InvalidArgument(
+            line_tag + "too many vertex labels (graph has " +
+            std::to_string(g->NumVertices()) + " vertices)");
       }
       g->SetVertexLabel(v++, vertex_label);
     }
     if (v != 0 && v != g->NumVertices()) {
-      return Status::InvalidArgument("partial vertex labels on line " +
-                                     std::to_string(i));
+      return Status::InvalidArgument(
+          line_tag + "partial vertex labels: got " + std::to_string(v) +
+          " of " + std::to_string(g->NumVertices()));
+    }
+    fields.clear();  // Recover from the >> failure to inspect the rest.
+    if (std::string extra; fields >> extra) {
+      return Status::InvalidArgument(line_tag + "trailing garbage '" + extra +
+                                     "'");
     }
     dataset.graphs.push_back(std::move(*g));
     dataset.labels.push_back(label);
+  }
+
+  long long extra_line = count + 2;
+  while (std::getline(stream, line)) {
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(extra_line) + ": trailing garbage after " +
+          std::to_string(count) + " declared graphs");
+    }
+    ++extra_line;
   }
   return dataset;
 }

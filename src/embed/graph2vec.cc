@@ -8,7 +8,20 @@ namespace x2vec::embed {
 
 linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
                                   const Graph2VecOptions& options, Rng& rng) {
-  X2VEC_CHECK(!graphs.empty());
+  Budget unlimited;
+  return *Graph2VecEmbeddingBudgeted(graphs, options, rng, unlimited);
+}
+
+StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
+    const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
+    Rng& rng, Budget& budget) {
+  if (graphs.empty()) {
+    return Status::InvalidArgument(
+        "graph2vec needs at least one input graph");
+  }
+  if (budget.Exhausted()) {
+    return budget.ExhaustedError("graph2vec embedding");
+  }
   // Joint refinement for shared colour ids.
   graph::Graph joint = graphs[0];
   std::vector<int> offsets = {0};
@@ -39,9 +52,10 @@ linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
       }
     }
   }
-  const SgnsModel model =
-      TrainPvDbow(documents, vocab_size, options.sgns, rng);
-  return model.input;
+  StatusOr<SgnsModel> model =
+      TrainPvDbowBudgeted(documents, vocab_size, options.sgns, rng, budget);
+  if (!model.ok()) return model.status();
+  return std::move(model->input);
 }
 
 }  // namespace x2vec::embed

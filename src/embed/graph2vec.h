@@ -26,6 +26,15 @@ struct Graph2VecOptions {
 linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
                                   const Graph2VecOptions& options, Rng& rng);
 
+/// Budgeted variant: budget semantics are those of TrainPvDbowBudgeted
+/// (one work unit per positive document-word pair), which dominates the
+/// cost. Returns kResourceExhausted / kInvalidArgument / kInternal as the
+/// underlying trainer does; with an unlimited budget the result is
+/// bit-identical to Graph2VecEmbedding (a thin wrapper over this).
+StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
+    const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
+    Rng& rng, Budget& budget);
+
 }  // namespace x2vec::embed
 
 #endif  // X2VEC_EMBED_GRAPH2VEC_H_

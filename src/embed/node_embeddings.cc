@@ -82,10 +82,17 @@ linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d) {
 
 namespace {
 
-linalg::Matrix WalkSkipGram(const graph::Graph& g,
-                            const Node2VecOptions& options, Rng& rng) {
+StatusOr<linalg::Matrix> WalkSkipGram(const graph::Graph& g,
+                                      const Node2VecOptions& options, Rng& rng,
+                                      Budget& budget) {
+  if (budget.Exhausted()) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
   const std::vector<std::vector<int>> walks =
       GenerateWalks(g, options.walks, rng);
+  if (!budget.Spend(static_cast<int64_t>(walks.size()))) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
   // Node ids are already dense; bypass the string vocabulary and count
   // occurrences for the noise table.
   Corpus corpus;
@@ -98,23 +105,39 @@ linalg::Matrix WalkSkipGram(const graph::Graph& g,
     for (int v : walk) corpus.vocab.Add("n" + std::to_string(v));
   }
   corpus.sentences = walks;
-  const SgnsModel model = TrainSgns(corpus, options.sgns, rng);
-  return model.input;
+  StatusOr<SgnsModel> model = TrainSgnsBudgeted(corpus, options.sgns, rng,
+                                                budget);
+  if (!model.ok()) return model.status();
+  return std::move(model->input);
 }
 
 }  // namespace
 
 linalg::Matrix DeepWalkEmbedding(const graph::Graph& g,
                                  const Node2VecOptions& options, Rng& rng) {
-  Node2VecOptions uniform = options;
-  uniform.walks.p = 1.0;
-  uniform.walks.q = 1.0;
-  return WalkSkipGram(g, uniform, rng);
+  Budget unlimited;
+  return *DeepWalkEmbeddingBudgeted(g, options, rng, unlimited);
 }
 
 linalg::Matrix Node2VecEmbedding(const graph::Graph& g,
                                  const Node2VecOptions& options, Rng& rng) {
-  return WalkSkipGram(g, options, rng);
+  Budget unlimited;
+  return *Node2VecEmbeddingBudgeted(g, options, rng, unlimited);
+}
+
+StatusOr<linalg::Matrix> DeepWalkEmbeddingBudgeted(
+    const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
+    Budget& budget) {
+  Node2VecOptions uniform = options;
+  uniform.walks.p = 1.0;
+  uniform.walks.q = 1.0;
+  return WalkSkipGram(g, uniform, rng, budget);
+}
+
+StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
+    const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
+    Budget& budget) {
+  return WalkSkipGram(g, options, rng, budget);
 }
 
 double ReconstructionError(const linalg::Matrix& embedding,

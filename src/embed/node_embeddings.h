@@ -45,6 +45,20 @@ linalg::Matrix DeepWalkEmbedding(const graph::Graph& g,
 linalg::Matrix Node2VecEmbedding(const graph::Graph& g,
                                  const Node2VecOptions& options, Rng& rng);
 
+/// Budgeted variants of the walk + skip-gram embedders: one work unit per
+/// generated random walk plus the TrainSgnsBudgeted unit per positive pair
+/// (which dominates). Returns kResourceExhausted / kInvalidArgument /
+/// kInternal as the underlying trainer does; with an unlimited budget the
+/// results are bit-identical to the plain functions above (which are thin
+/// wrappers over these).
+StatusOr<linalg::Matrix> DeepWalkEmbeddingBudgeted(
+    const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
+    Budget& budget);
+
+StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
+    const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
+    Budget& budget);
+
 /// Encoder-decoder objective value ||X X^T - S||_F of Section 2.1, for
 /// comparing factorisation embeddings against a target similarity.
 double ReconstructionError(const linalg::Matrix& embedding,

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/validation.h"
+#include "linalg/health.h"
+
 namespace x2vec::embed {
 namespace {
+
+constexpr std::string_view kOperation = "SGNS training";
 
 double Sigmoid(double x) {
   if (x > 30.0) return 1.0;
@@ -14,24 +19,35 @@ double Sigmoid(double x) {
 
 // One SGD step on the pair (center -> context, label): maximises
 // log sigma(u_ctx . v_center) for positives and log sigma(-u . v) for
-// negatives. Returns the update applied to the centre row accumulator.
-void UpdatePair(linalg::Matrix& input, linalg::Matrix& output, int center,
-                int context, double label, double lr,
-                std::vector<double>& center_gradient) {
+// negatives. The centre-row update goes into `center_gradient` (applied by
+// the caller, possibly clipped); the context row is updated in place.
+// Returns the pair's negative log-likelihood for the epoch-loss health
+// check.
+double UpdatePair(linalg::Matrix& input, linalg::Matrix& output, int center,
+                  int context, double label, double lr,
+                  std::vector<double>& center_gradient) {
   const int dim = input.cols();
   double score = 0.0;
   for (int d = 0; d < dim; ++d) score += input(center, d) * output(context, d);
-  const double gradient = (label - Sigmoid(score)) * lr;
+  const double sig = Sigmoid(score);
+  const double gradient = (label - sig) * lr;
   for (int d = 0; d < dim; ++d) {
     center_gradient[d] += gradient * output(context, d);
     output(context, d) += gradient * input(center, d);
   }
+  return label > 0.5 ? -std::log(std::max(sig, 1e-12))
+                     : -std::log(std::max(1.0 - sig, 1e-12));
 }
 
-SgnsModel Train(const std::vector<std::vector<int>>& sequences,
-                const std::vector<double>& noise_weights, int rows_in,
-                int rows_out, bool skipgram_window,
-                const SgnsOptions& options, Rng& rng) {
+StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
+                          const std::vector<double>& noise_weights,
+                          int rows_in, int rows_out, bool skipgram_window,
+                          const SgnsOptions& options, Rng& rng,
+                          Budget& budget) {
+  if (Status status = ValidateSgnsOptions(options); !status.ok()) {
+    return status;
+  }
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
   X2VEC_CHECK_GT(rows_in, 0);
   X2VEC_CHECK_GT(rows_out, 0);
   SgnsModel model;
@@ -56,14 +72,20 @@ SgnsModel Train(const std::vector<std::vector<int>>& sequences,
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
 
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Halved on each numeric recovery.
+  double clip = recovery.clip_norm;
+  int retries = 0;
+
   int64_t seen = 0;
   std::vector<double> center_gradient(options.dimension);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
     for (size_t s = 0; s < sequences.size(); ++s) {
       const std::vector<int>& seq = sequences[s];
       for (size_t pos = 0; pos < seq.size(); ++pos) {
         const double progress = static_cast<double>(seen) / total_pairs;
-        const double lr = options.learning_rate *
+        const double lr = options.learning_rate * lr_scale *
                           std::max(1e-4, 1.0 - progress);
         if (skipgram_window) {
           const int center = seq[pos];
@@ -73,15 +95,17 @@ SgnsModel Train(const std::vector<std::vector<int>>& sequences,
                                        static_cast<int>(pos) + options.window);
           for (int other = lo; other <= hi; ++other) {
             if (other == static_cast<int>(pos)) continue;
+            if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
             std::fill(center_gradient.begin(), center_gradient.end(), 0.0);
-            UpdatePair(model.input, model.output, center, seq[other], 1.0, lr,
-                       center_gradient);
+            epoch_loss += UpdatePair(model.input, model.output, center,
+                                     seq[other], 1.0, lr, center_gradient);
             for (int k = 0; k < options.negatives; ++k) {
               int negative = noise.Sample(rng);
               if (negative == seq[other]) continue;
-              UpdatePair(model.input, model.output, center, negative, 0.0, lr,
-                         center_gradient);
+              epoch_loss += UpdatePair(model.input, model.output, center,
+                                       negative, 0.0, lr, center_gradient);
             }
+            linalg::ClipGradient(center_gradient, clip);
             for (int d = 0; d < options.dimension; ++d) {
               model.input(center, d) += center_gradient[d];
             }
@@ -89,16 +113,18 @@ SgnsModel Train(const std::vector<std::vector<int>>& sequences,
           }
         } else {
           // PV-DBOW: the document id is the centre, the token the context.
+          if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
           const int doc = static_cast<int>(s);
           std::fill(center_gradient.begin(), center_gradient.end(), 0.0);
-          UpdatePair(model.input, model.output, doc, seq[pos], 1.0, lr,
-                     center_gradient);
+          epoch_loss += UpdatePair(model.input, model.output, doc, seq[pos],
+                                   1.0, lr, center_gradient);
           for (int k = 0; k < options.negatives; ++k) {
             int negative = noise.Sample(rng);
             if (negative == seq[pos]) continue;
-            UpdatePair(model.input, model.output, doc, negative, 0.0, lr,
-                       center_gradient);
+            epoch_loss += UpdatePair(model.input, model.output, doc, negative,
+                                     0.0, lr, center_gradient);
           }
+          linalg::ClipGradient(center_gradient, clip);
           for (int d = 0; d < options.dimension; ++d) {
             model.input(doc, d) += center_gradient[d];
           }
@@ -106,24 +132,83 @@ SgnsModel Train(const std::vector<std::vector<int>>& sequences,
         }
       }
     }
+
+    // Per-epoch numeric health check with bounded self-healing.
+    const bool healthy = std::isfinite(epoch_loss) &&
+                         linalg::MatrixHealthy(model.input, recovery.max_abs) &&
+                         linalg::MatrixHealthy(model.output, recovery.max_abs);
+    if (!healthy) {
+      if (++retries > recovery.max_retries) {
+        return Status::Internal(
+            "SGNS training diverged (non-finite or runaway parameters) and "
+            "exhausted " +
+            std::to_string(recovery.max_retries) + " recovery retries");
+      }
+      lr_scale *= recovery.lr_backoff;
+      clip *= recovery.clip_backoff;
+      linalg::ReseedUnhealthyRows(model.input, init, recovery.max_abs, rng);
+      linalg::ReseedUnhealthyRows(model.output, init, recovery.max_abs, rng);
+      --epoch;  // Retry the failed epoch with the gentler settings.
+      continue;
+    }
   }
   return model;
 }
 
 }  // namespace
 
+Status ValidateSgnsOptions(const SgnsOptions& options) {
+  return ValidateOptions({
+      {"dimension", static_cast<double>(options.dimension),
+       OptionCheck::Rule::kPositive},
+      {"window", static_cast<double>(options.window),
+       OptionCheck::Rule::kPositive},
+      {"negatives", static_cast<double>(options.negatives),
+       OptionCheck::Rule::kPositive},
+      // Zero epochs is a valid "untrained baseline" request.
+      {"epochs", static_cast<double>(options.epochs),
+       OptionCheck::Rule::kNonNegative},
+      {"learning_rate", options.learning_rate,
+       OptionCheck::Rule::kPositiveFinite},
+      {"noise_power", options.noise_power, OptionCheck::Rule::kFinite},
+  });
+}
+
 SgnsModel TrainSgns(const Corpus& corpus, const SgnsOptions& options,
                     Rng& rng) {
-  X2VEC_CHECK_GT(corpus.vocab.size(), 0);
-  return Train(corpus.sentences, corpus.vocab.NoiseDistribution(
-                                     options.noise_power),
-               corpus.vocab.size(), corpus.vocab.size(),
-               /*skipgram_window=*/true, options, rng);
+  Budget unlimited;
+  return *TrainSgnsBudgeted(corpus, options, rng, unlimited);
 }
 
 SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
                       int vocab_size, const SgnsOptions& options, Rng& rng) {
-  X2VEC_CHECK_GT(vocab_size, 0);
+  Budget unlimited;
+  return *TrainPvDbowBudgeted(documents, vocab_size, options, rng, unlimited);
+}
+
+StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
+                                      const SgnsOptions& options, Rng& rng,
+                                      Budget& budget) {
+  if (corpus.vocab.size() == 0) {
+    return Status::InvalidArgument("SGNS training needs a non-empty vocabulary");
+  }
+  return Train(corpus.sentences,
+               corpus.vocab.NoiseDistribution(options.noise_power),
+               corpus.vocab.size(), corpus.vocab.size(),
+               /*skipgram_window=*/true, options, rng, budget);
+}
+
+StatusOr<SgnsModel> TrainPvDbowBudgeted(
+    const std::vector<std::vector<int>>& documents, int vocab_size,
+    const SgnsOptions& options, Rng& rng, Budget& budget) {
+  if (vocab_size <= 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs a positive vocab_size");
+  }
+  if (documents.empty()) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs at least one document");
+  }
   std::vector<double> counts(vocab_size, 0.0);
   for (const auto& doc : documents) {
     for (int token : doc) {
@@ -134,7 +219,7 @@ SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
   // Noise power applied to raw counts.
   for (double& c : counts) c = std::pow(std::max(c, 1e-9), options.noise_power);
   return Train(documents, counts, static_cast<int>(documents.size()),
-               vocab_size, /*skipgram_window=*/false, options, rng);
+               vocab_size, /*skipgram_window=*/false, options, rng, budget);
 }
 
 }  // namespace x2vec::embed

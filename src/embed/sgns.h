@@ -3,7 +3,10 @@
 
 #include <vector>
 
+#include "base/budget.h"
+#include "base/recovery.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "embed/corpus.h"
 #include "linalg/matrix.h"
 
@@ -19,6 +22,9 @@ struct SgnsOptions {
   int epochs = 5;
   double learning_rate = 0.05;  ///< Linearly decayed to 1e-4 of itself.
   double noise_power = 0.75;    ///< Exponent of the unigram noise table.
+  /// Numeric-health guardrails: gradient clipping plus NaN/Inf detection
+  /// with LR-backoff retries. The defaults never engage on a healthy run.
+  RecoveryPolicy recovery;
 };
 
 /// Trained embedding: `input` holds the vectors normally used downstream
@@ -27,6 +33,12 @@ struct SgnsModel {
   linalg::Matrix input;
   linalg::Matrix output;
 };
+
+/// kInvalidArgument naming the first bad field (non-positive dimension /
+/// window / negatives, negative epochs, non-finite or non-positive
+/// learning rate), OK otherwise. Zero epochs is valid: it requests the
+/// untrained (randomly initialised) baseline.
+Status ValidateSgnsOptions(const SgnsOptions& options);
 
 /// Trains skip-gram with negative sampling on a corpus: for each token
 /// occurrence, each context token within the window is a positive pair and
@@ -40,6 +52,25 @@ SgnsModel TrainSgns(const Corpus& corpus, const SgnsOptions& options,
 /// `output`.
 SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
                       int vocab_size, const SgnsOptions& options, Rng& rng);
+
+/// ---- Budgeted, self-healing variants. One work unit = one positive
+/// training pair (with its negatives). After every epoch the embeddings and
+/// accumulated loss are checked for NaN/Inf and runaway magnitudes; on
+/// failure the trainer halves the learning rate, tightens the gradient clip,
+/// reseeds the offending rows and retries the epoch, giving up with
+/// kInternal after `options.recovery.max_retries` cumulative retries.
+/// Returns kResourceExhausted when the budget runs out and kInvalidArgument
+/// for bad options or inputs. With an unlimited budget and a healthy run the
+/// result is bit-identical to the plain functions above (which are thin
+/// wrappers over these).
+
+StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
+                                      const SgnsOptions& options, Rng& rng,
+                                      Budget& budget);
+
+StatusOr<SgnsModel> TrainPvDbowBudgeted(
+    const std::vector<std::vector<int>>& documents, int vocab_size,
+    const SgnsOptions& options, Rng& rng, Budget& budget);
 
 }  // namespace x2vec::embed
 

@@ -37,21 +37,30 @@ StatusOr<Graph> FromGraph6(const std::string& encoded) {
   }
   const int n = encoded[0] - 63;
   if (n < 0 || n >= 63) {
-    return Status::InvalidArgument("unsupported graph6 size byte");
+    return Status::InvalidArgument(
+        "unsupported graph6 size byte (value " +
+        std::to_string(static_cast<int>(encoded[0])) +
+        " at offset 0; short form needs 63..125)");
   }
   const int pair_bits = n * (n - 1) / 2;
   const int expected_chars = (pair_bits + 5) / 6;
   if (static_cast<int>(encoded.size()) != 1 + expected_chars) {
-    return Status::InvalidArgument("graph6 length mismatch for n=" +
-                                   std::to_string(n));
+    return Status::InvalidArgument(
+        "graph6 length mismatch for n=" + std::to_string(n) + ": expected " +
+        std::to_string(1 + expected_chars) + " characters, got " +
+        std::to_string(encoded.size()));
   }
   Graph g(n);
   int bit_index = 0;
   for (int j = 1; j < n; ++j) {
     for (int i = 0; i < j; ++i, ++bit_index) {
-      const int chunk = encoded[1 + bit_index / 6] - 63;
+      const int offset = 1 + bit_index / 6;
+      const int chunk = encoded[offset] - 63;
       if (chunk < 0 || chunk >= 64) {
-        return Status::InvalidArgument("invalid graph6 character");
+        return Status::InvalidArgument(
+            "invalid graph6 character at offset " + std::to_string(offset) +
+            " (byte value " +
+            std::to_string(static_cast<int>(encoded[offset])) + ")");
       }
       const int bit = (chunk >> (5 - bit_index % 6)) & 1;
       if (bit) g.AddEdge(i, j);

@@ -8,15 +8,19 @@ namespace {
 // Shared backtracking engine. Maps vertices of g to vertices of h one at a
 // time in a degree-guided order, checking adjacency, labels and edge
 // attributes incrementally. When `count_all` is false the search stops at
-// the first full mapping.
+// the first full mapping. Each candidate pair trial spends one budget
+// unit; an exhausted budget aborts the search (`aborted()`).
 class IsomorphismSearch {
  public:
-  IsomorphismSearch(const Graph& g, const Graph& h, bool count_all)
-      : g_(g), h_(h), count_all_(count_all) {}
+  IsomorphismSearch(const Graph& g, const Graph& h, bool count_all,
+                    Budget& budget)
+      : g_(g), h_(h), count_all_(count_all), budget_(budget) {}
 
   // Runs the search; returns the number of isomorphisms found (capped at 1
   // unless count_all). `witness` receives the first mapping if non-null.
   int64_t Run(std::vector<int>* witness) {
+    aborted_ = budget_.Exhausted();
+    if (aborted_) return 0;
     const int n = g_.NumVertices();
     if (n != h_.NumVertices() || g_.NumEdges() != h_.NumEdges() ||
         g_.directed() != h_.directed()) {
@@ -39,6 +43,8 @@ class IsomorphismSearch {
     Extend(0);
     return count_;
   }
+
+  bool aborted() const { return aborted_; }
 
  private:
   // Order vertices of g so that each vertex (after the first in its
@@ -147,6 +153,11 @@ class IsomorphismSearch {
     }
     const int u = order_[depth];
     for (int w = 0; w < h_.NumVertices(); ++w) {
+      if (aborted_) return;
+      if (!budget_.Spend(1)) {
+        aborted_ = true;
+        return;
+      }
       if (used_[w] || !Feasible(u, w)) continue;
       mapping_[u] = w;
       used_[w] = true;
@@ -160,35 +171,64 @@ class IsomorphismSearch {
   const Graph& g_;
   const Graph& h_;
   const bool count_all_;
+  Budget& budget_;
   std::vector<int> mapping_;
   std::vector<bool> used_;
   std::vector<int> order_;
   std::vector<int>* witness_ = nullptr;
   int64_t count_ = 0;
+  bool aborted_ = false;
 };
+
+constexpr std::string_view kOperation = "isomorphism search";
 
 }  // namespace
 
 bool AreIsomorphic(const Graph& g, const Graph& h) {
-  IsomorphismSearch search(g, h, /*count_all=*/false);
-  return search.Run(nullptr) > 0;
+  Budget unlimited;
+  return *AreIsomorphicBudgeted(g, h, unlimited);
 }
 
 std::optional<std::vector<int>> FindIsomorphism(const Graph& g,
                                                 const Graph& h) {
   std::vector<int> witness;
-  IsomorphismSearch search(g, h, /*count_all=*/false);
+  Budget unlimited;
+  IsomorphismSearch search(g, h, /*count_all=*/false, unlimited);
   if (search.Run(&witness) > 0) return witness;
   return std::nullopt;
 }
 
 int64_t CountIsomorphisms(const Graph& g, const Graph& h) {
-  IsomorphismSearch search(g, h, /*count_all=*/true);
-  return search.Run(nullptr);
+  Budget unlimited;
+  return *CountIsomorphismsBudgeted(g, h, unlimited);
 }
 
 int64_t CountAutomorphisms(const Graph& g) {
   return CountIsomorphisms(g, g);
+}
+
+StatusOr<bool> AreIsomorphicBudgeted(const Graph& g, const Graph& h,
+                                     Budget& budget) {
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
+  IsomorphismSearch search(g, h, /*count_all=*/false, budget);
+  const bool found = search.Run(nullptr) > 0;
+  // A truncated search that already found a witness still has a sound
+  // positive answer; only an exhausted *negative* is inconclusive.
+  if (!found && search.aborted()) return budget.ExhaustedError(kOperation);
+  return found;
+}
+
+StatusOr<int64_t> CountIsomorphismsBudgeted(const Graph& g, const Graph& h,
+                                            Budget& budget) {
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
+  IsomorphismSearch search(g, h, /*count_all=*/true, budget);
+  const int64_t count = search.Run(nullptr);
+  if (search.aborted()) return budget.ExhaustedError(kOperation);
+  return count;
+}
+
+StatusOr<int64_t> CountAutomorphismsBudgeted(const Graph& g, Budget& budget) {
+  return CountIsomorphismsBudgeted(g, g, budget);
 }
 
 }  // namespace x2vec::graph

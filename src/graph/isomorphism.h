@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/status.h"
 #include "graph/graph.h"
 
 namespace x2vec::graph {
@@ -26,6 +28,21 @@ int64_t CountIsomorphisms(const Graph& g, const Graph& h);
 
 /// Number of automorphisms of g (the aut(F'') of Theorem 4.2's proof).
 int64_t CountAutomorphisms(const Graph& g);
+
+/// ---- Budgeted variants: isomorphism search is exponential in the worst
+/// case, so servers must be able to bound or cancel it. One work unit =
+/// one candidate vertex-pair trial in the backtracking search. Returns
+/// kResourceExhausted when the budget runs out; with an unlimited budget
+/// the answers match the plain functions above exactly (those are thin
+/// wrappers over these).
+
+StatusOr<bool> AreIsomorphicBudgeted(const Graph& g, const Graph& h,
+                                     Budget& budget);
+
+StatusOr<int64_t> CountIsomorphismsBudgeted(const Graph& g, const Graph& h,
+                                            Budget& budget);
+
+StatusOr<int64_t> CountAutomorphismsBudgeted(const Graph& g, Budget& budget);
 
 }  // namespace x2vec::graph
 

@@ -1,5 +1,6 @@
 #include "hom/brute_force.h"
 
+#include <utility>
 #include <vector>
 
 namespace x2vec::hom {
@@ -8,14 +9,17 @@ namespace {
 using graph::Graph;
 using graph::Neighbor;
 
+constexpr std::string_view kOperation = "brute-force homomorphism search";
+
 // Generic backtracking over maps V(F) -> V(G). The visitor is called once
 // per complete homomorphism with the weight product of its edges (1.0 for
-// unweighted G).
+// unweighted G). Each candidate extension spends one budget unit; when the
+// budget runs out the search unwinds and reports `aborted()`.
 class HomSearch {
  public:
-  HomSearch(const Graph& f, const Graph& g, bool injective)
-      : f_(f), g_(g), injective_(injective), mapping_(f.NumVertices(), -1),
-        used_(g.NumVertices(), false) {}
+  HomSearch(const Graph& f, const Graph& g, bool injective, Budget& budget)
+      : f_(f), g_(g), injective_(injective), budget_(budget),
+        mapping_(f.NumVertices(), -1), used_(g.NumVertices(), false) {}
 
   // Optional pin: force mapping_[root] = target.
   void Pin(int root, int target) {
@@ -28,11 +32,13 @@ class HomSearch {
   int64_t Run(double* weighted_total) {
     count_ = 0;
     weighted_sum_ = 0.0;
-    weighted_ = weighted_total != nullptr;
-    Extend(0, 1.0);
+    aborted_ = budget_.Exhausted();
+    if (!aborted_) Extend(0, 1.0);
     if (weighted_total != nullptr) *weighted_total = weighted_sum_;
     return count_;
   }
+
+  bool aborted() const { return aborted_; }
 
  private:
   // Checks that mapping f-vertex u to g-vertex w is consistent with all
@@ -78,6 +84,10 @@ class HomSearch {
       return;
     }
     if (u == pinned_root_) {
+      if (!budget_.Spend(1)) {
+        aborted_ = true;
+        return;
+      }
       double w = weight;
       if (!(injective_ && used_[pinned_target_]) &&
           Consistent(u, pinned_target_, &w)) {
@@ -90,6 +100,11 @@ class HomSearch {
       return;
     }
     for (int w_vertex = 0; w_vertex < g_.NumVertices(); ++w_vertex) {
+      if (aborted_) return;
+      if (!budget_.Spend(1)) {
+        aborted_ = true;
+        return;
+      }
       if (injective_ && used_[w_vertex]) continue;
       double w = weight;
       if (!Consistent(u, w_vertex, &w)) continue;
@@ -104,55 +119,73 @@ class HomSearch {
   const Graph& f_;
   const Graph& g_;
   const bool injective_;
+  Budget& budget_;
   std::vector<int> mapping_;
   std::vector<bool> used_;
   int pinned_root_ = -1;
   int pinned_target_ = -1;
   int64_t count_ = 0;
   double weighted_sum_ = 0.0;
-  bool weighted_ = false;
+  bool aborted_ = false;
 };
 
 }  // namespace
 
-int64_t CountHomomorphismsBruteForce(const Graph& f, const Graph& g) {
-  HomSearch search(f, g, /*injective=*/false);
-  return search.Run(nullptr);
+StatusOr<int64_t> CountHomomorphismsBruteForceBudgeted(const Graph& f,
+                                                       const Graph& g,
+                                                       Budget& budget) {
+  HomSearch search(f, g, /*injective=*/false, budget);
+  const int64_t count = search.Run(nullptr);
+  if (search.aborted()) return budget.ExhaustedError(kOperation);
+  return count;
 }
 
-int64_t CountRootedHomomorphismsBruteForce(const Graph& f, int r,
-                                           const Graph& g, int v) {
+StatusOr<int64_t> CountRootedHomomorphismsBruteForceBudgeted(
+    const Graph& f, int r, const Graph& g, int v, Budget& budget) {
   X2VEC_CHECK(r >= 0 && r < f.NumVertices());
   X2VEC_CHECK(v >= 0 && v < g.NumVertices());
-  HomSearch search(f, g, /*injective=*/false);
+  HomSearch search(f, g, /*injective=*/false, budget);
   search.Pin(r, v);
-  return search.Run(nullptr);
+  const int64_t count = search.Run(nullptr);
+  if (search.aborted()) return budget.ExhaustedError(kOperation);
+  return count;
 }
 
-double WeightedHomomorphismBruteForce(const Graph& f, const Graph& g) {
-  HomSearch search(f, g, /*injective=*/false);
+StatusOr<double> WeightedHomomorphismBruteForceBudgeted(const Graph& f,
+                                                        const Graph& g,
+                                                        Budget& budget) {
+  HomSearch search(f, g, /*injective=*/false, budget);
   double total = 0.0;
   search.Run(&total);
+  if (search.aborted()) return budget.ExhaustedError(kOperation);
   return total;
 }
 
-int64_t CountEmbeddingsBruteForce(const Graph& f, const Graph& g) {
-  HomSearch search(f, g, /*injective=*/true);
-  return search.Run(nullptr);
+StatusOr<int64_t> CountEmbeddingsBruteForceBudgeted(const Graph& f,
+                                                    const Graph& g,
+                                                    Budget& budget) {
+  HomSearch search(f, g, /*injective=*/true, budget);
+  const int64_t count = search.Run(nullptr);
+  if (search.aborted()) return budget.ExhaustedError(kOperation);
+  return count;
 }
 
-int64_t CountEpimorphismsBruteForce(const Graph& f, const Graph& g) {
+StatusOr<int64_t> CountEpimorphismsBruteForceBudgeted(const Graph& f,
+                                                      const Graph& g,
+                                                      Budget& budget) {
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
   // Inclusion-exclusion over vertex subsets of G would be faster, but the
   // direct filter is clear and only used on tiny instances: count
   // homomorphisms whose image covers all of V(G) and E(G). We re-run the
   // backtracking with an explicit enumeration.
   if (f.NumVertices() < g.NumVertices() || f.NumEdges() < g.NumEdges()) {
-    return 0;
+    return int64_t{0};
   }
   // Enumerate all homomorphisms via recursion with a callback-style check.
   // Reuse brute force by enumerating maps directly here.
   std::vector<int> mapping(f.NumVertices(), -1);
   int64_t count = 0;
+  bool aborted = false;
 
   // Recursive lambda over partial maps with surjectivity check at the leaf.
   auto consistent = [&](int u, int w) {
@@ -198,6 +231,11 @@ int64_t CountEpimorphismsBruteForce(const Graph& f, const Graph& g) {
       return;
     }
     for (int w = 0; w < g.NumVertices(); ++w) {
+      if (aborted) return;
+      if (!budget.Spend(1)) {
+        aborted = true;
+        return;
+      }
       if (!consistent(u, w)) continue;
       mapping[u] = w;
       self(self, u + 1);
@@ -205,7 +243,34 @@ int64_t CountEpimorphismsBruteForce(const Graph& f, const Graph& g) {
     }
   };
   extend(extend, 0);
+  if (aborted) return budget.ExhaustedError(kOperation);
   return count;
+}
+
+int64_t CountHomomorphismsBruteForce(const Graph& f, const Graph& g) {
+  Budget unlimited;
+  return *CountHomomorphismsBruteForceBudgeted(f, g, unlimited);
+}
+
+int64_t CountRootedHomomorphismsBruteForce(const Graph& f, int r,
+                                           const Graph& g, int v) {
+  Budget unlimited;
+  return *CountRootedHomomorphismsBruteForceBudgeted(f, r, g, v, unlimited);
+}
+
+double WeightedHomomorphismBruteForce(const Graph& f, const Graph& g) {
+  Budget unlimited;
+  return *WeightedHomomorphismBruteForceBudgeted(f, g, unlimited);
+}
+
+int64_t CountEmbeddingsBruteForce(const Graph& f, const Graph& g) {
+  Budget unlimited;
+  return *CountEmbeddingsBruteForceBudgeted(f, g, unlimited);
+}
+
+int64_t CountEpimorphismsBruteForce(const Graph& f, const Graph& g) {
+  Budget unlimited;
+  return *CountEpimorphismsBruteForceBudgeted(f, g, unlimited);
 }
 
 }  // namespace x2vec::hom

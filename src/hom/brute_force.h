@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "base/budget.h"
+#include "base/status.h"
 #include "graph/graph.h"
 
 namespace x2vec::hom {
@@ -33,6 +35,33 @@ int64_t CountEmbeddingsBruteForce(const graph::Graph& f,
 /// completing the hom = epi/aut * emb decomposition of Theorem 4.2.
 int64_t CountEpimorphismsBruteForce(const graph::Graph& f,
                                     const graph::Graph& g);
+
+/// ---- Budgeted variants (Grohe Section 4: brute-force hom counting is
+/// O(n^|F|) and #W[1]-hard in general, so callers must be able to bound
+/// it). One work unit = one candidate partial-map extension. The search
+/// stops cooperatively and returns kResourceExhausted once the budget is
+/// gone; with an unlimited budget the results are identical to the plain
+/// functions above (which are thin wrappers over these).
+
+StatusOr<int64_t> CountHomomorphismsBruteForceBudgeted(const graph::Graph& f,
+                                                       const graph::Graph& g,
+                                                       Budget& budget);
+
+StatusOr<int64_t> CountRootedHomomorphismsBruteForceBudgeted(
+    const graph::Graph& f, int r, const graph::Graph& g, int v,
+    Budget& budget);
+
+StatusOr<double> WeightedHomomorphismBruteForceBudgeted(const graph::Graph& f,
+                                                        const graph::Graph& g,
+                                                        Budget& budget);
+
+StatusOr<int64_t> CountEmbeddingsBruteForceBudgeted(const graph::Graph& f,
+                                                    const graph::Graph& g,
+                                                    Budget& budget);
+
+StatusOr<int64_t> CountEpimorphismsBruteForceBudgeted(const graph::Graph& f,
+                                                      const graph::Graph& g,
+                                                      Budget& budget);
 
 }  // namespace x2vec::hom
 

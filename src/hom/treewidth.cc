@@ -72,10 +72,12 @@ class FillGraph {
   std::vector<char> adj_;
 };
 
-// Branch-and-bound over elimination orders.
+// Branch-and-bound over elimination orders. Spends one budget unit per
+// node expansion; an exhausted budget aborts the search (`aborted()`).
 class TreewidthSearch {
  public:
-  explicit TreewidthSearch(const Graph& f) : f_(f), n_(f.NumVertices()) {}
+  TreewidthSearch(const Graph& f, Budget& budget)
+      : f_(f), n_(f.NumVertices()), budget_(budget) {}
 
   int Run(std::vector<int>* best_order) {
     best_width_ = n_ == 0 ? 0 : n_ - 1;
@@ -84,14 +86,19 @@ class TreewidthSearch {
     best_width_ = WidthOfEliminationOrder(f_, heuristic);
     best_order_ = heuristic;
 
-    FillGraph fill(f_);
-    std::vector<bool> eliminated(n_, false);
-    std::vector<int> order;
-    order.reserve(n_);
-    Search(fill, eliminated, order, 0);
+    aborted_ = budget_.Exhausted();
+    if (!aborted_) {
+      FillGraph fill(f_);
+      std::vector<bool> eliminated(n_, false);
+      std::vector<int> order;
+      order.reserve(n_);
+      Search(fill, eliminated, order, 0);
+    }
     if (best_order != nullptr) *best_order = best_order_;
     return best_width_;
   }
+
+  bool aborted() const { return aborted_; }
 
  private:
   void Search(const FillGraph& fill, std::vector<bool>& eliminated,
@@ -103,6 +110,11 @@ class TreewidthSearch {
       return;
     }
     for (int v = 0; v < n_; ++v) {
+      if (aborted_) return;
+      if (!budget_.Spend(1)) {
+        aborted_ = true;
+        return;
+      }
       if (eliminated[v]) continue;
       FillGraph next = fill;  // Copy; patterns are tiny.
       eliminated[v] = true;
@@ -116,8 +128,10 @@ class TreewidthSearch {
 
   const Graph& f_;
   const int n_;
+  Budget& budget_;
   int best_width_ = 0;
   std::vector<int> best_order_;
+  bool aborted_ = false;
 };
 
 // A factor over an ordered scope of F-vertices with a dense table indexed
@@ -131,7 +145,7 @@ struct Factor {
 
 template <typename Acc>
 Factor<Acc> Multiply(const Factor<Acc>& a, const Factor<Acc>& b, int ng,
-                     Acc (*mul)(Acc, Acc)) {
+                     Acc (*mul)(Acc, Acc), Budget& budget, bool& aborted) {
   Factor<Acc> out;
   out.scope = a.scope;
   for (int v : b.scope) {
@@ -159,6 +173,10 @@ Factor<Acc> Multiply(const Factor<Acc>& a, const Factor<Acc>& b, int ng,
 
   std::vector<int> assignment(out.scope.size(), 0);
   for (int64_t index = 0; index < size; ++index) {
+    if (!budget.Spend(1)) {
+      aborted = true;
+      return out;
+    }
     // Decode the assignment.
     int64_t rest = index;
     for (int i = static_cast<int>(out.scope.size()) - 1; i >= 0; --i) {
@@ -176,7 +194,7 @@ Factor<Acc> Multiply(const Factor<Acc>& a, const Factor<Acc>& b, int ng,
 
 template <typename Acc>
 Factor<Acc> SumOut(const Factor<Acc>& f, int vertex, int ng,
-                   Acc (*add)(Acc, Acc)) {
+                   Acc (*add)(Acc, Acc), Budget& budget, bool& aborted) {
   const auto it = std::find(f.scope.begin(), f.scope.end(), vertex);
   X2VEC_CHECK(it != f.scope.end());
   const int axis = static_cast<int>(it - f.scope.begin());
@@ -195,6 +213,10 @@ Factor<Acc> SumOut(const Factor<Acc>& f, int vertex, int ng,
 
   std::vector<int> assignment(arity - 1, 0);
   for (int64_t out_index = 0; out_index < out_size; ++out_index) {
+    if (!budget.Spend(1)) {
+      aborted = true;
+      return out;
+    }
     int64_t rest = out_index;
     for (int i = arity - 2; i >= 0; --i) {
       assignment[i] = static_cast<int>(rest % ng);
@@ -219,7 +241,7 @@ Factor<Acc> SumOut(const Factor<Acc>& f, int vertex, int ng,
 template <typename Acc>
 Acc EliminationCount(const Graph& f, const Graph& g,
                      const std::vector<int>& order, Acc (*mul)(Acc, Acc),
-                     Acc (*add)(Acc, Acc)) {
+                     Acc (*add)(Acc, Acc), Budget& budget, bool& aborted) {
   X2VEC_CHECK(!f.directed() && !g.directed());
   const int nf = f.NumVertices();
   const int ng = g.NumVertices();
@@ -263,14 +285,16 @@ Acc EliminationCount(const Graph& f, const Graph& g,
           joint = std::move(factor);
           have = true;
         } else {
-          joint = Multiply(joint, factor, ng, mul);
+          joint = Multiply(joint, factor, ng, mul, budget, aborted);
+          if (aborted) return Acc(0);
         }
       } else {
         rest.push_back(std::move(factor));
       }
     }
     X2VEC_CHECK(have);
-    rest.push_back(SumOut(joint, x, ng, add));
+    rest.push_back(SumOut(joint, x, ng, add, budget, aborted));
+    if (aborted) return Acc(0);
     factors = std::move(rest);
   }
 
@@ -282,6 +306,10 @@ Acc EliminationCount(const Graph& f, const Graph& g,
   }
   return result;
 }
+
+constexpr std::string_view kTreewidthOperation = "exact treewidth search";
+constexpr std::string_view kEliminationOperation =
+    "homomorphism counting via elimination";
 
 }  // namespace
 
@@ -321,27 +349,65 @@ std::vector<int> MinFillEliminationOrder(const Graph& f) {
 }
 
 int ExactTreewidth(const Graph& f, std::vector<int>* best_order) {
-  X2VEC_CHECK_LE(f.NumVertices(), 10)
-      << "exact treewidth search is for small patterns";
-  TreewidthSearch search(f);
-  return search.Run(best_order);
+  Budget unlimited;
+  return *ExactTreewidthBudgeted(f, best_order, unlimited);
 }
 
 __int128 CountHomsViaElimination(const Graph& f, const Graph& g,
                                  const std::vector<int>& order) {
-  return EliminationCount<__int128>(f, g, order, &CheckedMulInt,
-                                    &CheckedAddInt);
+  Budget unlimited;
+  return *CountHomsViaEliminationBudgeted(f, g, order, unlimited);
 }
 
 __int128 CountHoms(const Graph& f, const Graph& g) {
-  return CountHomsViaElimination(f, g, MinFillEliminationOrder(f));
+  Budget unlimited;
+  return *CountHomsBudgeted(f, g, unlimited);
 }
 
 double CountHomsDouble(const Graph& f, const Graph& g) {
+  Budget unlimited;
+  return *CountHomsDoubleBudgeted(f, g, unlimited);
+}
+
+StatusOr<int> ExactTreewidthBudgeted(const Graph& f,
+                                     std::vector<int>* best_order,
+                                     Budget& budget) {
+  X2VEC_CHECK_LE(f.NumVertices(), 10)
+      << "exact treewidth search is for small patterns";
+  if (budget.Exhausted()) return budget.ExhaustedError(kTreewidthOperation);
+  TreewidthSearch search(f, budget);
+  const int width = search.Run(best_order);
+  if (search.aborted()) return budget.ExhaustedError(kTreewidthOperation);
+  return width;
+}
+
+StatusOr<__int128> CountHomsViaEliminationBudgeted(
+    const Graph& f, const Graph& g, const std::vector<int>& order,
+    Budget& budget) {
+  if (budget.Exhausted()) return budget.ExhaustedError(kEliminationOperation);
+  bool aborted = false;
+  const __int128 count = EliminationCount<__int128>(
+      f, g, order, &CheckedMulInt, &CheckedAddInt, budget, aborted);
+  if (aborted) return budget.ExhaustedError(kEliminationOperation);
+  return count;
+}
+
+StatusOr<__int128> CountHomsBudgeted(const Graph& f, const Graph& g,
+                                     Budget& budget) {
+  return CountHomsViaEliminationBudgeted(f, g, MinFillEliminationOrder(f),
+                                         budget);
+}
+
+StatusOr<double> CountHomsDoubleBudgeted(const Graph& f, const Graph& g,
+                                         Budget& budget) {
+  if (budget.Exhausted()) return budget.ExhaustedError(kEliminationOperation);
   static const auto mul = [](double a, double b) { return a * b; };
   static const auto add = [](double a, double b) { return a + b; };
-  return EliminationCount<double>(f, g, MinFillEliminationOrder(f), +mul,
-                                  +add);
+  bool aborted = false;
+  const double count = EliminationCount<double>(
+      f, g, MinFillEliminationOrder(f), +mul, +add, budget, aborted);
+  if (aborted) return budget.ExhaustedError(kEliminationOperation);
+  return count;
 }
 
 }  // namespace x2vec::hom

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/status.h"
 #include "graph/graph.h"
 
 namespace x2vec::hom {
@@ -34,6 +36,30 @@ __int128 CountHoms(const graph::Graph& f, const graph::Graph& g);
 /// Floating-point variant (for feature vectors on larger G, where counts
 /// exceed 128 bits).
 double CountHomsDouble(const graph::Graph& f, const graph::Graph& g);
+
+/// ---- Budgeted variants. Both the exact-treewidth branch-and-bound
+/// (factorially many elimination orders) and bucket elimination (tables of
+/// size n_G^{w+1}) are super-polynomial, so callers can bound them. Work
+/// units: one per branch-and-bound node expansion for ExactTreewidth, one
+/// per factor-table entry written for the elimination counters. Returns
+/// kResourceExhausted when the budget runs out; with an unlimited budget
+/// the results match the plain functions above exactly (those are thin
+/// wrappers over these).
+
+StatusOr<int> ExactTreewidthBudgeted(const graph::Graph& f,
+                                     std::vector<int>* best_order,
+                                     Budget& budget);
+
+StatusOr<__int128> CountHomsViaEliminationBudgeted(
+    const graph::Graph& f, const graph::Graph& g,
+    const std::vector<int>& order, Budget& budget);
+
+StatusOr<__int128> CountHomsBudgeted(const graph::Graph& f,
+                                     const graph::Graph& g, Budget& budget);
+
+StatusOr<double> CountHomsDoubleBudgeted(const graph::Graph& f,
+                                         const graph::Graph& g,
+                                         Budget& budget);
 
 }  // namespace x2vec::hom
 

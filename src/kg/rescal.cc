@@ -2,8 +2,13 @@
 
 #include <cmath>
 
+#include "base/validation.h"
+#include "linalg/health.h"
+
 namespace x2vec::kg {
 namespace {
+
+constexpr std::string_view kOperation = "RESCAL training";
 
 // Dense relation adjacency matrices A_R.
 std::vector<linalg::Matrix> RelationAdjacency(const KnowledgeGraph& kg) {
@@ -39,12 +44,42 @@ double RescalModel::ReconstructionError(const KnowledgeGraph& kg) const {
   return total;
 }
 
+Status ValidateRescalOptions(const RescalOptions& options) {
+  return ValidateOptions({
+      {"dimension", static_cast<double>(options.dimension),
+       OptionCheck::Rule::kPositive},
+      // Zero epochs is a valid "untrained baseline" request.
+      {"epochs", static_cast<double>(options.epochs),
+       OptionCheck::Rule::kNonNegative},
+      {"learning_rate", options.learning_rate,
+       OptionCheck::Rule::kPositiveFinite},
+      {"l2", options.l2, OptionCheck::Rule::kNonNegative},
+  });
+}
+
 RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
                         Rng& rng) {
+  Budget unlimited;
+  return *TrainRescalBudgeted(kg, options, rng, unlimited);
+}
+
+StatusOr<RescalModel> TrainRescalBudgeted(const KnowledgeGraph& kg,
+                                          const RescalOptions& options,
+                                          Rng& rng, Budget& budget) {
+  if (Status status = ValidateRescalOptions(options); !status.ok()) {
+    return status;
+  }
   const int n = kg.NumEntities();
   const int d = options.dimension;
-  X2VEC_CHECK_GT(n, 1);
-  X2VEC_CHECK_GT(kg.NumRelations(), 0);
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "RESCAL training needs at least two entities");
+  }
+  if (kg.NumRelations() < 1) {
+    return Status::InvalidArgument(
+        "RESCAL training needs at least one relation");
+  }
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
 
   RescalModel model;
   model.entities = linalg::Matrix(n, d);
@@ -59,24 +94,54 @@ RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
 
   const std::vector<linalg::Matrix> targets = RelationAdjacency(kg);
 
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Backed off on each numeric recovery.
+  int retries = 0;
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr = options.learning_rate * lr_scale;
+    double epoch_loss = 0.0;
     // Full-batch gradients of sum_R ||X B_R X^T - A_R||^2.
     linalg::Matrix x_gradient(n, d);
     for (int r = 0; r < kg.NumRelations(); ++r) {
+      if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
       const linalg::Matrix& b = model.relations[r];
       const linalg::Matrix xb = model.entities * b;                 // n x d.
       const linalg::Matrix xbt = model.entities * b.Transposed();   // n x d.
       const linalg::Matrix residual =
           xb * model.entities.Transposed() - targets[r];            // n x n.
+      const double residual_norm = residual.FrobeniusNorm();
+      epoch_loss += residual_norm * residual_norm;
       // dX  += 2 (E X B^T + E^T X B),  dB = 2 X^T E X.
       x_gradient += (residual * xbt + residual.Transposed() * xb) * 2.0;
       const linalg::Matrix b_gradient =
           (model.entities.Transposed() * residual * model.entities) * 2.0;
-      model.relations[r] -=
-          (b_gradient + b * (2.0 * options.l2)) * options.learning_rate;
+      model.relations[r] -= (b_gradient + b * (2.0 * options.l2)) * lr;
     }
     x_gradient += model.entities * (2.0 * options.l2);
-    model.entities -= x_gradient * options.learning_rate;
+    model.entities -= x_gradient * lr;
+
+    // Per-epoch numeric health check with bounded self-healing.
+    bool healthy = std::isfinite(epoch_loss) &&
+                   linalg::MatrixHealthy(model.entities, recovery.max_abs);
+    for (const linalg::Matrix& relation : model.relations) {
+      healthy = healthy && linalg::MatrixHealthy(relation, recovery.max_abs);
+    }
+    if (!healthy) {
+      if (++retries > recovery.max_retries) {
+        return Status::Internal(
+            "RESCAL training diverged (non-finite or runaway parameters) and "
+            "exhausted " +
+            std::to_string(recovery.max_retries) + " recovery retries");
+      }
+      lr_scale *= recovery.lr_backoff;
+      linalg::ReseedUnhealthyRows(model.entities, init, recovery.max_abs, rng);
+      for (linalg::Matrix& relation : model.relations) {
+        linalg::ReseedUnhealthyRows(relation, init, recovery.max_abs, rng);
+      }
+      --epoch;  // Retry the failed epoch with the gentler settings.
+      continue;
+    }
   }
   return model;
 }

@@ -3,7 +3,10 @@
 
 #include <vector>
 
+#include "base/budget.h"
+#include "base/recovery.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "kg/knowledge_graph.h"
 #include "linalg/matrix.h"
 
@@ -19,6 +22,9 @@ struct RescalOptions {
   int epochs = 300;
   double learning_rate = 0.05;
   double l2 = 1e-3;
+  /// Numeric-health guardrails: NaN/Inf detection with LR-backoff retries.
+  /// The defaults never engage on a healthy run.
+  RecoveryPolicy recovery;
 };
 
 struct RescalModel {
@@ -32,8 +38,27 @@ struct RescalModel {
   double ReconstructionError(const KnowledgeGraph& kg) const;
 };
 
+/// kInvalidArgument naming the first bad field (non-positive dimension,
+/// negative epochs, non-finite or non-positive learning rate, negative
+/// l2), OK otherwise. Zero epochs requests the untrained baseline.
+Status ValidateRescalOptions(const RescalOptions& options);
+
 RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
                         Rng& rng);
+
+/// Budgeted, self-healing variant. One work unit = one relation processed
+/// in one full-batch epoch. After every epoch the factor matrices and the
+/// accumulated residual Frobenius loss are checked for NaN/Inf and runaway
+/// magnitudes; on failure the trainer backs off the learning rate, reseeds
+/// the offending rows and retries the epoch, giving up with kInternal after
+/// `options.recovery.max_retries` cumulative retries. Returns
+/// kResourceExhausted when the budget runs out and kInvalidArgument for bad
+/// options or a degenerate knowledge graph. With an unlimited budget and a
+/// healthy run the result is bit-identical to TrainRescal (which is a thin
+/// wrapper over this).
+StatusOr<RescalModel> TrainRescalBudgeted(const KnowledgeGraph& kg,
+                                          const RescalOptions& options,
+                                          Rng& rng, Budget& budget);
 
 }  // namespace x2vec::kg
 

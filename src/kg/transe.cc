@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/validation.h"
+#include "linalg/health.h"
+
 namespace x2vec::kg {
+namespace {
+
+constexpr std::string_view kOperation = "TransE training";
+
+}  // namespace
 
 double TransEModel::Score(int head, int relation, int tail) const {
   double total = 0.0;
@@ -28,11 +36,44 @@ int TransEModel::TailRank(const KnowledgeGraph& kg,
   return rank;
 }
 
+Status ValidateTransEOptions(const TransEOptions& options) {
+  return ValidateOptions({
+      {"dimension", static_cast<double>(options.dimension),
+       OptionCheck::Rule::kPositive},
+      // Zero epochs is a valid "untrained baseline" request.
+      {"epochs", static_cast<double>(options.epochs),
+       OptionCheck::Rule::kNonNegative},
+      {"learning_rate", options.learning_rate,
+       OptionCheck::Rule::kPositiveFinite},
+      {"margin", options.margin, OptionCheck::Rule::kNonNegative},
+  });
+}
+
 TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
                         Rng& rng) {
-  X2VEC_CHECK_GT(kg.NumEntities(), 1);
-  X2VEC_CHECK_GT(kg.NumRelations(), 0);
-  X2VEC_CHECK(!kg.Triples().empty());
+  Budget unlimited;
+  return *TrainTransEBudgeted(kg, options, rng, unlimited);
+}
+
+StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
+                                          const TransEOptions& options,
+                                          Rng& rng, Budget& budget) {
+  if (Status status = ValidateTransEOptions(options); !status.ok()) {
+    return status;
+  }
+  if (kg.NumEntities() < 2) {
+    return Status::InvalidArgument(
+        "TransE training needs at least two entities");
+  }
+  if (kg.NumRelations() < 1) {
+    return Status::InvalidArgument(
+        "TransE training needs at least one relation");
+  }
+  if (kg.Triples().empty()) {
+    return Status::InvalidArgument(
+        "TransE training needs at least one triple");
+  }
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
 
   TransEModel model;
   const double init = 6.0 / std::sqrt(options.dimension);
@@ -60,10 +101,23 @@ TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
     }
   };
 
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Backed off on each numeric recovery.
+  double clip = recovery.clip_norm;
+  int retries = 0;
+
   const int dim = options.dimension;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     normalize_entities();
+    double epoch_loss = 0.0;
+    // The translation step direction (h + t - r)/score has unit L2 norm, so
+    // capping the step scale at `clip` clips the per-update step norm. With
+    // the default threshold and a sane learning rate this is the plain
+    // learning rate, bit for bit.
+    const double step_scale =
+        std::min(options.learning_rate * lr_scale, clip);
     for (const Triple& triple : kg.Triples()) {
+      if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
       // Corrupt head or tail uniformly; resample until the corruption is
       // actually false.
       Triple corrupted = triple;
@@ -85,6 +139,10 @@ TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
                                           triple.tail);
       const double negative = model.Score(corrupted.head, corrupted.relation,
                                           corrupted.tail);
+      // Track the positive energy before the violation test: a diverged
+      // model scores Inf/NaN everywhere and would otherwise skip every
+      // update (and so every loss term) while staying silently wedged.
+      epoch_loss += positive;
       if (positive + options.margin <= negative) continue;  // No violation.
 
       // Gradient of ||h + t - r|| w.r.t. each vector (L2 distance), applied
@@ -96,7 +154,7 @@ TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
                                model.relations(t.relation, d) -
                                model.entities(t.tail, d)) /
                               score;
-          const double step = sign * options.learning_rate * diff;
+          const double step = sign * step_scale * diff;
           model.entities(t.head, d) -= step;
           model.relations(t.relation, d) -= step;
           model.entities(t.tail, d) += step;
@@ -104,6 +162,27 @@ TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
       };
       apply(triple, +1.0, positive);
       apply(corrupted, -1.0, negative);
+    }
+
+    // Per-epoch numeric health check with bounded self-healing.
+    const bool healthy =
+        std::isfinite(epoch_loss) &&
+        linalg::MatrixHealthy(model.entities, recovery.max_abs) &&
+        linalg::MatrixHealthy(model.relations, recovery.max_abs);
+    if (!healthy) {
+      if (++retries > recovery.max_retries) {
+        return Status::Internal(
+            "TransE training diverged (non-finite or runaway parameters) and "
+            "exhausted " +
+            std::to_string(recovery.max_retries) + " recovery retries");
+      }
+      lr_scale *= recovery.lr_backoff;
+      clip *= recovery.clip_backoff;
+      linalg::ReseedUnhealthyRows(model.entities, init, recovery.max_abs, rng);
+      linalg::ReseedUnhealthyRows(model.relations, init, recovery.max_abs,
+                                  rng);
+      --epoch;  // Retry the failed epoch with the gentler settings.
+      continue;
     }
   }
   normalize_entities();

@@ -3,7 +3,10 @@
 
 #include <vector>
 
+#include "base/budget.h"
+#include "base/recovery.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "kg/knowledge_graph.h"
 #include "linalg/matrix.h"
 
@@ -18,6 +21,9 @@ struct TransEOptions {
   int epochs = 200;
   double learning_rate = 0.02;
   double margin = 1.0;
+  /// Numeric-health guardrails: step clipping plus NaN/Inf detection with
+  /// LR-backoff retries. The defaults never engage on a healthy run.
+  RecoveryPolicy recovery;
 };
 
 struct TransEModel {
@@ -32,8 +38,27 @@ struct TransEModel {
   int TailRank(const KnowledgeGraph& kg, const Triple& triple) const;
 };
 
+/// kInvalidArgument naming the first bad field (non-positive dimension,
+/// negative epochs, non-finite or non-positive learning rate, negative
+/// margin), OK otherwise. Zero epochs requests the untrained baseline.
+Status ValidateTransEOptions(const TransEOptions& options);
+
 TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
                         Rng& rng);
+
+/// Budgeted, self-healing variant. One work unit = one training triple in
+/// one epoch. After every epoch the embeddings and accumulated positive
+/// energy are checked for NaN/Inf and runaway magnitudes; on failure the
+/// trainer backs off the learning rate, tightens the step clip, reseeds the
+/// offending rows and retries the epoch, giving up with kInternal after
+/// `options.recovery.max_retries` cumulative retries. Returns
+/// kResourceExhausted when the budget runs out and kInvalidArgument for bad
+/// options or a degenerate knowledge graph. With an unlimited budget and a
+/// healthy run the result is bit-identical to TrainTransE (which is a thin
+/// wrapper over this).
+StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
+                                          const TransEOptions& options,
+                                          Rng& rng, Budget& budget);
 
 /// Link-prediction evaluation: filtered tail ranks for every test triple.
 std::vector<int> TailRanks(const TransEModel& model, const KnowledgeGraph& kg,

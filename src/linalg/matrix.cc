@@ -172,6 +172,13 @@ double Matrix::Sum() const {
   return s;
 }
 
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 bool Matrix::AllClose(const Matrix& other, double tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
   for (size_t k = 0; k < data_.size(); ++k) {

@@ -88,6 +88,10 @@ class Matrix {
   /// True if |a_ij - b_ij| <= tol everywhere (shapes must match).
   bool AllClose(const Matrix& other, double tol) const;
 
+  /// True iff every entry is finite (no NaN/Inf) — the trainers' numeric
+  /// health probe.
+  bool AllFinite() const;
+
   /// Human-readable multi-line rendering, for debugging and benches.
   std::string ToString(int precision = 4) const;
 

@@ -80,10 +80,14 @@ std::vector<std::vector<int>> ExtensionMultiset(const TupleColors& state,
   return rows;
 }
 
+constexpr std::string_view kOperation = "k-WL refinement";
+
 }  // namespace
 
-KwlResult KwlCompare(const Graph& g, const Graph& h, int k) {
+StatusOr<KwlResult> KwlCompareBudgeted(const Graph& g, const Graph& h, int k,
+                                       Budget& budget) {
   X2VEC_CHECK_GE(k, 1);
+  if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
   KwlResult result;
   if (g.NumVertices() != h.NumVertices()) {
     // Different orders: trivially distinguished (histogram sizes differ).
@@ -104,6 +108,7 @@ KwlResult KwlCompare(const Graph& g, const Graph& h, int k) {
     std::vector<std::vector<int>> types_h(tuples);
     std::vector<int> tuple(k);
     for (int64_t t = 0; t < tuples; ++t) {
+      if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
       DecodeTuple(t, n, k, tuple);
       types_g[t] = AtomicType(g, tuple);
       types_h[t] = AtomicType(h, tuple);
@@ -141,6 +146,7 @@ KwlResult KwlCompare(const Graph& g, const Graph& h, int k) {
     std::vector<Signature> sigs_g(tuples);
     std::vector<Signature> sigs_h(tuples);
     for (int64_t t = 0; t < tuples; ++t) {
+      if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
       sigs_g[t] = {state_g.colors[t], ExtensionMultiset(state_g, t, n, k)};
       sigs_h[t] = {state_h.colors[t], ExtensionMultiset(state_h, t, n, k)};
       signature_to_color.emplace(sigs_g[t], 0);
@@ -167,6 +173,11 @@ KwlResult KwlCompare(const Graph& g, const Graph& h, int k) {
   }
   result.rounds_to_stable = static_cast<int>(tuples);
   return result;
+}
+
+KwlResult KwlCompare(const Graph& g, const Graph& h, int k) {
+  Budget unlimited;
+  return *KwlCompareBudgeted(g, h, k, unlimited);
 }
 
 bool KwlDistinguishes(const Graph& g, const Graph& h, int k) {

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "base/budget.h"
+#include "base/status.h"
 #include "graph/graph.h"
 
 namespace x2vec::wl {
@@ -28,6 +30,16 @@ KwlResult KwlCompare(const graph::Graph& g, const graph::Graph& h, int k);
 
 /// Convenience: true iff k-WL distinguishes g and h.
 bool KwlDistinguishes(const graph::Graph& g, const graph::Graph& h, int k);
+
+/// Budgeted variant: k-WL touches all n^k tuples per round, so the joint
+/// refinement can be bounded. One work unit = one tuple processed in one
+/// round (colour initialisation or signature recomputation, per graph).
+/// Returns kResourceExhausted if the budget runs out before a verdict;
+/// with an unlimited budget the result matches KwlCompare exactly
+/// (KwlCompare is a thin wrapper over this).
+StatusOr<KwlResult> KwlCompareBudgeted(const graph::Graph& g,
+                                       const graph::Graph& h, int k,
+                                       Budget& budget);
 
 }  // namespace x2vec::wl
 

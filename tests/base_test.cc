@@ -96,5 +96,17 @@ TEST(CheckDeathTest, CheckAborts) {
   EXPECT_DEATH(X2VEC_CHECK(1 == 2) << "context", "check failed");
 }
 
+TEST(StatusTest, ResourceExhaustedRoundTrip) {
+  const Status status = Status::ResourceExhausted("budget blown");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.message(), "budget blown");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  const std::string rendered = status.ToString();
+  EXPECT_NE(rendered.find("RESOURCE_EXHAUSTED"), std::string::npos);
+  EXPECT_NE(rendered.find("budget blown"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace x2vec

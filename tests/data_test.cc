@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/status.h"
 #include "data/datasets.h"
+#include "data/io.h"
 #include "graph/graph.h"
 #include "gtest/gtest.h"
 
@@ -99,6 +101,73 @@ TEST(DatasetsTest, CountriesKgStructure) {
     capital_facts += t.relation == capital_of ? 1 : 0;
   }
   EXPECT_EQ(capital_facts, 8);
+}
+
+TEST(DatasetIoTest, SerializeParseRoundTrip) {
+  GraphDataset dataset;
+  dataset.name = "tiny";
+  dataset.graphs = {graph::Graph::Cycle(5), graph::Graph::Path(4)};
+  dataset.labels = {1, 0};
+  const StatusOr<std::string> text = SerializeDataset(dataset);
+  ASSERT_TRUE(text.ok());
+  const StatusOr<GraphDataset> parsed = ParseDataset(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->graphs.size(), 2u);
+  EXPECT_EQ(parsed->labels, dataset.labels);
+  EXPECT_EQ(parsed->graphs[0].NumEdges(), 5);
+  EXPECT_EQ(parsed->graphs[1].NumEdges(), 3);
+}
+
+// "D??" is the graph6 encoding of the empty graph on 5 vertices; every
+// case below corrupts the stream in one specific way and must surface
+// kInvalidArgument with line (and, for graph6 errors, offset) context —
+// never crash, CHECK-fail or silently truncate.
+TEST(DatasetIoTest, MalformedInputsAreRejectedWithContext) {
+  const struct {
+    const char* name;
+    std::string text;
+    const char* want;  // Required substring of the error message.
+  } kCases[] = {
+      {"empty input", "", "line 1: empty input"},
+      {"wrong magic", "not-a-dataset v1 x 1\n", "line 1: bad dataset header"},
+      {"wrong version", "x2vec-dataset v9 x 1\n",
+       "line 1: bad dataset header"},
+      {"count not a number", "x2vec-dataset v1 x lots\n",
+       "line 1: bad dataset header"},
+      {"negative count", "x2vec-dataset v1 x -3\n", "negative graph count"},
+      {"absurd count", "x2vec-dataset v1 x 999999999999\n",
+       "exceeds the sanity cap"},
+      {"header garbage", "x2vec-dataset v1 x 1 surprise\n",
+       "line 1: trailing garbage 'surprise'"},
+      {"truncated body", "x2vec-dataset v1 x 2\nD?? 0\n",
+       "truncated dataset: header declared 2 graphs"},
+      {"blank graph line", "x2vec-dataset v1 x 1\n\n",
+       "line 2: missing graph6 field"},
+      {"missing label", "x2vec-dataset v1 x 1\nD??\n",
+       "line 2: missing or non-numeric label"},
+      {"non-numeric label", "x2vec-dataset v1 x 1\nD?? one\n",
+       "line 2: missing or non-numeric label"},
+      {"bad graph6 byte", std::string("x2vec-dataset v1 x 1\nD\x01? 0\n"),
+       "invalid graph6 character"},
+      {"partial vertex labels", "x2vec-dataset v1 x 1\nD?? 0 1 2\n",
+       "line 2: partial vertex labels: got 2 of 5"},
+      {"too many vertex labels",
+       "x2vec-dataset v1 x 1\nD?? 0 1 2 3 4 5 6\n",
+       "line 2: too many vertex labels"},
+      {"garbage after labels", "x2vec-dataset v1 x 1\nD?? 0 junk\n",
+       "line 2: trailing garbage 'junk'"},
+      {"extra graphs", "x2vec-dataset v1 x 1\nD?? 0\nD?? 0\n",
+       "line 3: trailing garbage after 1 declared graphs"},
+  };
+  for (const auto& test_case : kCases) {
+    const StatusOr<GraphDataset> parsed = ParseDataset(test_case.text);
+    ASSERT_FALSE(parsed.ok()) << test_case.name;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << test_case.name;
+    EXPECT_NE(parsed.status().message().find(test_case.want),
+              std::string::npos)
+        << test_case.name << ": got '" << parsed.status().message() << "'";
+  }
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 
 #include <cstdint>
 #include <tuple>
+#include <vector>
 
+#include "base/budget.h"
 #include "base/rng.h"
+#include "base/status.h"
+#include "core/registry.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/isomorphism.h"
@@ -231,6 +235,83 @@ TEST_P(WitnessTest, WitnessSatisfiesEquations) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, WitnessTest,
                          ::testing::Range<uint64_t>(0, 8));
+
+// ---- Method-suite robustness: finite outputs, graceful budget blowouts. --
+
+std::vector<Graph> SuiteGraphs() {
+  Rng rng = MakeRng(501);
+  std::vector<Graph> graphs = {Graph::Cycle(8), Graph::Path(8),
+                               Graph::Star(7), Graph::Grid(2, 4)};
+  graphs.push_back(graph::ConnectedGnp(8, 0.35, rng));
+  graphs.push_back(graph::ConnectedGnp(8, 0.5, rng));
+  return graphs;
+}
+
+TEST(MethodSuitePropertyTest, EveryMethodProducesAllFiniteGrams) {
+  const std::vector<Graph> graphs = SuiteGraphs();
+  for (const core::GraphKernelMethod& method : core::DefaultMethodSuite()) {
+    Rng rng = MakeRng(502);
+    const linalg::Matrix gram = method.gram(graphs, rng);
+    EXPECT_EQ(gram.rows(), static_cast<int>(graphs.size())) << method.name;
+    EXPECT_EQ(gram.cols(), static_cast<int>(graphs.size())) << method.name;
+    EXPECT_TRUE(gram.AllFinite()) << method.name;
+  }
+}
+
+TEST(MethodSuitePropertyTest, EveryNodeMethodProducesAllFiniteRows) {
+  const Graph g = Graph::Cycle(12);  // Connected, as Isomap requires.
+  for (const core::NodeEmbeddingMethod& method :
+       core::DefaultNodeMethodSuite()) {
+    Rng rng = MakeRng(503);
+    const linalg::Matrix embedding = method.embed(g, rng);
+    EXPECT_EQ(embedding.rows(), g.NumVertices()) << method.name;
+    EXPECT_TRUE(embedding.AllFinite()) << method.name;
+  }
+}
+
+TEST(MethodSuitePropertyTest, ZeroBudgetSkipsEveryMethodGracefully) {
+  BudgetSpec spec;
+  spec.work_units = 0;
+  const std::vector<core::MethodOutcome> outcomes =
+      core::RunMethodSuite(core::DefaultMethodSuite(), SuiteGraphs(),
+                           /*seed=*/7, spec);
+  ASSERT_EQ(outcomes.size(), core::DefaultMethodSuite().size());
+  for (const core::MethodOutcome& outcome : outcomes) {
+    EXPECT_FALSE(outcome.status.ok()) << outcome.name;
+    EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted)
+        << outcome.name << ": " << outcome.status.ToString();
+    EXPECT_EQ(outcome.matrix.rows(), 0) << outcome.name;
+  }
+}
+
+TEST(MethodSuitePropertyTest, ZeroBudgetSkipsEveryNodeMethodGracefully) {
+  BudgetSpec spec;
+  spec.work_units = 0;
+  const std::vector<core::MethodOutcome> outcomes = core::RunNodeMethodSuite(
+      core::DefaultNodeMethodSuite(), Graph::Cycle(12), /*seed=*/7, spec);
+  ASSERT_EQ(outcomes.size(), core::DefaultNodeMethodSuite().size());
+  for (const core::MethodOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted)
+        << outcome.name << ": " << outcome.status.ToString();
+  }
+}
+
+TEST(MethodSuitePropertyTest, UnlimitedSpecMatchesConvenienceWrappers) {
+  const std::vector<Graph> graphs = SuiteGraphs();
+  const std::vector<core::GraphKernelMethod> suite =
+      core::DefaultMethodSuite();
+  const BudgetSpec unlimited;  // No limits: every method must succeed.
+  const std::vector<core::MethodOutcome> outcomes =
+      core::RunMethodSuite(suite, graphs, /*seed=*/7, unlimited);
+  ASSERT_EQ(outcomes.size(), suite.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].status.ok())
+        << outcomes[i].name << ": " << outcomes[i].status.ToString();
+    Rng rng = MakeRng(7 + i);  // RunMethodSuite seeds with seed + index.
+    const linalg::Matrix direct = suite[i].gram(graphs, rng);
+    EXPECT_EQ(outcomes[i].matrix, direct) << outcomes[i].name;
+  }
+}
 
 }  // namespace
 }  // namespace x2vec
