@@ -31,10 +31,10 @@ int main() {
   for (const auto& dataset : datasets) {
     std::printf("  %-10s", dataset.name.c_str());
   }
-  std::printf("  %-8s\n", "mean");
+  std::printf("  %-8s  %-8s\n", "mean", "sec");
   std::printf("%-16s", "------");
   for (size_t i = 0; i < datasets.size(); ++i) std::printf("  %-10s", "----");
-  std::printf("  ----\n");
+  std::printf("  ----    ----\n");
 
   // Generous per-method wall-clock deadline: a stuck or runaway method is
   // reported as skipped instead of wedging the whole sweep.
@@ -45,11 +45,13 @@ int main() {
   for (const core::GraphKernelMethod& method : methods) {
     std::printf("%-16s", method.name.c_str());
     double total = 0.0;
+    double seconds = 0.0;  // Wall clock across datasets, skipped or not.
     int completed = 0;
     for (const data::GraphDataset& dataset : datasets) {
       const std::vector<core::MethodOutcome> outcomes = core::RunMethodSuite(
           {method}, dataset.graphs, /*seed=*/7, budget_spec);
       const core::MethodOutcome& outcome = outcomes.front();
+      seconds += outcome.seconds;
       if (!outcome.status.ok()) {
         std::printf("  %-10s", "skipped");
         skipped.push_back(method.name + " on " + dataset.name + ": " +
@@ -67,9 +69,9 @@ int main() {
       ++completed;
     }
     if (completed > 0) {
-      std::printf("  %-8.3f\n", total / completed);
+      std::printf("  %-8.3f  %-8.2f\n", total / completed, seconds);
     } else {
-      std::printf("  %-8s\n", "skipped");
+      std::printf("  %-8s  %-8.2f\n", "skipped", seconds);
     }
   }
   for (const std::string& note : skipped) {

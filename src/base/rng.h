@@ -9,6 +9,17 @@
 
 namespace x2vec {
 
+/// SplitMix64 mix of a base seed and a stream id — the seed-derivation
+/// function behind Rng::Fork. Statistically decorrelates sibling streams
+/// even for consecutive stream ids, and is a pure function of its inputs,
+/// so derived streams are stable across platforms, runs and thread counts.
+inline uint64_t MixSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 0x632be59bd9b4e019ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic random source shared across the library. Every randomised
 /// algorithm takes an Rng& (or a seed) explicitly so experiments are
 /// reproducible; there is no global generator.
@@ -31,6 +42,14 @@ class Rng {
 
   /// Raw 64-bit draw; the single override point for fault injection.
   virtual result_type operator()() { return engine_(); }
+
+  /// Derives an independent generator for logical stream `stream` of
+  /// `base_seed` via MixSeed. Parallel algorithms fork one stream per work
+  /// item (a start node, a sequence) — never per thread — so their draws
+  /// are bit-identical at any thread count.
+  static Rng Fork(uint64_t base_seed, uint64_t stream) {
+    return Rng(MixSeed(base_seed, stream));
+  }
 
  protected:
   std::mt19937_64 engine_;

@@ -1,5 +1,7 @@
 #include "core/registry.h"
 
+#include <chrono>
+
 #include "embed/graph2vec.h"
 #include "embed/node_embeddings.h"
 #include "gnn/graphsage.h"
@@ -241,11 +243,16 @@ std::vector<MethodOutcome> RunMethodSuite(
   for (size_t i = 0; i < suite.size(); ++i) {
     Budget budget = spec.MakeBudget();
     Rng rng = MakeRng(seed + i);
+    const auto start = std::chrono::steady_clock::now();
     StatusOr<Matrix> result = suite[i].gram_budgeted(graphs, rng, budget);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     if (result.ok()) {
-      outcomes.push_back({suite[i].name, Status::Ok(), std::move(*result)});
+      outcomes.push_back(
+          {suite[i].name, Status::Ok(), std::move(*result), seconds});
     } else {
-      outcomes.push_back({suite[i].name, result.status(), Matrix()});
+      outcomes.push_back({suite[i].name, result.status(), Matrix(), seconds});
     }
   }
   return outcomes;
@@ -259,11 +266,16 @@ std::vector<MethodOutcome> RunNodeMethodSuite(
   for (size_t i = 0; i < suite.size(); ++i) {
     Budget budget = spec.MakeBudget();
     Rng rng = MakeRng(seed + i);
+    const auto start = std::chrono::steady_clock::now();
     StatusOr<Matrix> result = suite[i].embed_budgeted(g, rng, budget);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     if (result.ok()) {
-      outcomes.push_back({suite[i].name, Status::Ok(), std::move(*result)});
+      outcomes.push_back(
+          {suite[i].name, Status::Ok(), std::move(*result), seconds});
     } else {
-      outcomes.push_back({suite[i].name, result.status(), Matrix()});
+      outcomes.push_back({suite[i].name, result.status(), Matrix(), seconds});
     }
   }
   return outcomes;

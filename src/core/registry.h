@@ -64,6 +64,10 @@ struct MethodOutcome {
   std::string name;
   Status status;
   linalg::Matrix matrix;  ///< Empty (0 x 0) when !status.ok().
+  /// Wall-clock time the method spent (steady clock), recorded whether it
+  /// succeeded or was skipped — blown budgets still report how long the
+  /// method ran before giving up.
+  double seconds = 0.0;
 };
 
 /// Runs every method with a fresh per-method budget from `spec` and a

@@ -8,6 +8,7 @@
 
 #include "base/budget.h"           // IWYU pragma: export
 #include "base/check.h"            // IWYU pragma: export
+#include "base/parallel.h"         // IWYU pragma: export
 #include "base/recovery.h"         // IWYU pragma: export
 #include "base/rng.h"              // IWYU pragma: export
 #include "base/status.h"           // IWYU pragma: export

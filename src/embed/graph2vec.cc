@@ -5,6 +5,51 @@
 #include "wl/color_refinement.h"
 
 namespace x2vec::embed {
+namespace {
+
+struct WlDocuments {
+  std::vector<std::vector<int>> documents;
+  int vocab_size = 0;
+};
+
+// Jointly refines the dataset and turns each graph into its bag of
+// (round, colour) words — the shared front half of every graph2vec path.
+WlDocuments BuildWlDocuments(const std::vector<graph::Graph>& graphs,
+                             int wl_rounds) {
+  // Joint refinement for shared colour ids.
+  graph::Graph joint = graphs[0];
+  std::vector<int> offsets = {0};
+  for (size_t i = 1; i < graphs.size(); ++i) {
+    offsets.push_back(joint.NumVertices());
+    joint = graph::DisjointUnion(joint, graphs[i]);
+  }
+  wl::RefinementOptions wl_options;
+  wl_options.max_rounds = wl_rounds;
+  const wl::RefinementResult refinement =
+      wl::ColorRefinement(joint, wl_options);
+
+  // Word id = (round, colour) flattened with a per-round offset.
+  const int rounds = static_cast<int>(refinement.round_colors.size());
+  std::vector<int> round_offset(rounds, 0);
+  WlDocuments out;
+  for (int r = 0; r < rounds; ++r) {
+    round_offset[r] = out.vocab_size;
+    out.vocab_size += refinement.colors_per_round[r];
+  }
+
+  out.documents.resize(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    for (int v = 0; v < graphs[g].NumVertices(); ++v) {
+      for (int r = 0; r < rounds; ++r) {
+        out.documents[g].push_back(
+            round_offset[r] + refinement.round_colors[r][offsets[g] + v]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
                                   const Graph2VecOptions& options, Rng& rng) {
@@ -22,38 +67,26 @@ StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
   if (budget.Exhausted()) {
     return budget.ExhaustedError("graph2vec embedding");
   }
-  // Joint refinement for shared colour ids.
-  graph::Graph joint = graphs[0];
-  std::vector<int> offsets = {0};
-  for (size_t i = 1; i < graphs.size(); ++i) {
-    offsets.push_back(joint.NumVertices());
-    joint = graph::DisjointUnion(joint, graphs[i]);
-  }
-  wl::RefinementOptions wl_options;
-  wl_options.max_rounds = options.wl_rounds;
-  const wl::RefinementResult refinement =
-      wl::ColorRefinement(joint, wl_options);
+  const WlDocuments wl = BuildWlDocuments(graphs, options.wl_rounds);
+  StatusOr<SgnsModel> model = TrainPvDbowBudgeted(wl.documents, wl.vocab_size,
+                                                  options.sgns, rng, budget);
+  if (!model.ok()) return model.status();
+  return std::move(model->input);
+}
 
-  // Word id = (round, colour) flattened with a per-round offset.
-  const int rounds = static_cast<int>(refinement.round_colors.size());
-  std::vector<int> round_offset(rounds, 0);
-  int vocab_size = 0;
-  for (int r = 0; r < rounds; ++r) {
-    round_offset[r] = vocab_size;
-    vocab_size += refinement.colors_per_round[r];
+StatusOr<linalg::Matrix> Graph2VecEmbeddingParallel(
+    const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
+    uint64_t seed, Budget& budget) {
+  if (graphs.empty()) {
+    return Status::InvalidArgument(
+        "graph2vec needs at least one input graph");
   }
-
-  std::vector<std::vector<int>> documents(graphs.size());
-  for (size_t g = 0; g < graphs.size(); ++g) {
-    for (int v = 0; v < graphs[g].NumVertices(); ++v) {
-      for (int r = 0; r < rounds; ++r) {
-        documents[g].push_back(
-            round_offset[r] + refinement.round_colors[r][offsets[g] + v]);
-      }
-    }
+  if (budget.Exhausted()) {
+    return budget.ExhaustedError("graph2vec embedding");
   }
-  StatusOr<SgnsModel> model =
-      TrainPvDbowBudgeted(documents, vocab_size, options.sgns, rng, budget);
+  const WlDocuments wl = BuildWlDocuments(graphs, options.wl_rounds);
+  StatusOr<SgnsModel> model = TrainPvDbowSharded(wl.documents, wl.vocab_size,
+                                                 options.sgns, seed, budget);
   if (!model.ok()) return model.status();
   return std::move(model->input);
 }

@@ -35,6 +35,16 @@ StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
     const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
     Rng& rng, Budget& budget);
 
+/// Parallel variant built on TrainPvDbowSharded: WL documents are built as
+/// in the sequential path, then trained with the sharded deterministic
+/// mini-batch trainer, so the embedding is bit-identical at any thread
+/// count for a fixed seed (and numerically different from the sequential
+/// trainers' output — see TrainPvDbowSharded). Budget and error semantics
+/// match Graph2VecEmbeddingBudgeted.
+StatusOr<linalg::Matrix> Graph2VecEmbeddingParallel(
+    const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
+    uint64_t seed, Budget& budget);
+
 }  // namespace x2vec::embed
 
 #endif  // X2VEC_EMBED_GRAPH2VEC_H_

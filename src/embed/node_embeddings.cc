@@ -82,19 +82,11 @@ linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d) {
 
 namespace {
 
-StatusOr<linalg::Matrix> WalkSkipGram(const graph::Graph& g,
-                                      const Node2VecOptions& options, Rng& rng,
-                                      Budget& budget) {
-  if (budget.Exhausted()) {
-    return budget.ExhaustedError("walk + skip-gram embedding");
-  }
-  const std::vector<std::vector<int>> walks =
-      GenerateWalks(g, options.walks, rng);
-  if (!budget.Spend(static_cast<int64_t>(walks.size()))) {
-    return budget.ExhaustedError("walk + skip-gram embedding");
-  }
-  // Node ids are already dense; bypass the string vocabulary and count
-  // occurrences for the noise table.
+// Builds the node corpus for a walk set: node ids are already dense, so
+// the string vocabulary is a formality, but occurrence counts feed the
+// noise table.
+Corpus WalkCorpus(const graph::Graph& g,
+                  std::vector<std::vector<int>> walks) {
   Corpus corpus;
   for (int v = 0; v < g.NumVertices(); ++v) {
     corpus.vocab.Add("n" + std::to_string(v));
@@ -104,9 +96,46 @@ StatusOr<linalg::Matrix> WalkSkipGram(const graph::Graph& g,
   for (const auto& walk : walks) {
     for (int v : walk) corpus.vocab.Add("n" + std::to_string(v));
   }
-  corpus.sentences = walks;
+  corpus.sentences = std::move(walks);
+  return corpus;
+}
+
+StatusOr<linalg::Matrix> WalkSkipGram(const graph::Graph& g,
+                                      const Node2VecOptions& options, Rng& rng,
+                                      Budget& budget) {
+  if (budget.Exhausted()) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
+  // Corpus generation runs on the parallel path (bit-identical at any
+  // thread count); the seed is one draw from the caller's generator, which
+  // then drives the sequential trainer as before.
+  std::vector<std::vector<int>> walks =
+      GenerateWalksParallel(g, options.walks, rng());
+  if (!budget.Spend(static_cast<int64_t>(walks.size()))) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
+  const Corpus corpus = WalkCorpus(g, std::move(walks));
   StatusOr<SgnsModel> model = TrainSgnsBudgeted(corpus, options.sgns, rng,
                                                 budget);
+  if (!model.ok()) return model.status();
+  return std::move(model->input);
+}
+
+StatusOr<linalg::Matrix> WalkSkipGramParallel(const graph::Graph& g,
+                                              const Node2VecOptions& options,
+                                              uint64_t seed, Budget& budget) {
+  if (budget.Exhausted()) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
+  // Streams 0 and 1 of the seed are reserved for walks and training.
+  std::vector<std::vector<int>> walks =
+      GenerateWalksParallel(g, options.walks, MixSeed(seed, 0));
+  if (!budget.Spend(static_cast<int64_t>(walks.size()))) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
+  const Corpus corpus = WalkCorpus(g, std::move(walks));
+  StatusOr<SgnsModel> model =
+      TrainSgnsSharded(corpus, options.sgns, MixSeed(seed, 1), budget);
   if (!model.ok()) return model.status();
   return std::move(model->input);
 }
@@ -138,6 +167,21 @@ StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
     const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
     Budget& budget) {
   return WalkSkipGram(g, options, rng, budget);
+}
+
+StatusOr<linalg::Matrix> DeepWalkEmbeddingParallel(
+    const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget) {
+  Node2VecOptions uniform = options;
+  uniform.walks.p = 1.0;
+  uniform.walks.q = 1.0;
+  return WalkSkipGramParallel(g, uniform, seed, budget);
+}
+
+StatusOr<linalg::Matrix> Node2VecEmbeddingParallel(
+    const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget) {
+  return WalkSkipGramParallel(g, options, seed, budget);
 }
 
 double ReconstructionError(const linalg::Matrix& embedding,

@@ -59,6 +59,19 @@ StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
     const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
     Budget& budget);
 
+/// Fully parallel variants: parallel walk corpus (GenerateWalksParallel)
+/// feeding the sharded deterministic trainer (TrainSgnsSharded). For a
+/// fixed seed the embedding is bit-identical at any thread count; it
+/// differs numerically from the Budgeted variants, which keep the
+/// sequential SGD trajectory. Budget and error semantics are unchanged.
+StatusOr<linalg::Matrix> DeepWalkEmbeddingParallel(
+    const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget);
+
+StatusOr<linalg::Matrix> Node2VecEmbeddingParallel(
+    const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget);
+
 /// Encoder-decoder objective value ||X X^T - S||_F of Section 2.1, for
 /// comparing factorisation embeddings against a target similarity.
 double ReconstructionError(const linalg::Matrix& embedding,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
+#include "base/parallel.h"
 #include "base/validation.h"
 #include "linalg/health.h"
 
@@ -155,6 +157,236 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
   return model;
 }
 
+// ---- Sharded deterministic parallel trainer.
+
+constexpr std::string_view kShardOperation = "sharded SGNS training";
+
+// Sequences per synchronous mini-batch: small enough that parameters stay
+// fresh (close to sequential SGD on test-scale corpora), large enough to
+// keep every worker busy within a batch.
+constexpr int64_t kShardBatchSequences = 32;
+
+// Per-sequence gradient shard: sparse row deltas against the batch-start
+// parameters, plus the sequence's loss contribution. Applied serially in
+// sequence order after the batch's parallel compute.
+struct ShardDelta {
+  std::map<int, std::vector<double>> input_rows;
+  std::map<int, std::vector<double>> output_rows;
+  double loss = 0.0;
+};
+
+std::vector<double>& DeltaRow(std::map<int, std::vector<double>>& rows,
+                              int row, int dim) {
+  std::vector<double>& v = rows[row];
+  if (v.empty()) v.assign(dim, 0.0);
+  return v;
+}
+
+// Frozen-parameter analogue of UpdatePair: the score is read from the
+// batch-start matrices and both updates land in the shard instead of the
+// live parameters. Returns the pair's negative log-likelihood.
+double ShardPair(const linalg::Matrix& input, const linalg::Matrix& output,
+                 int center, int context, double label, double lr,
+                 std::vector<double>& center_gradient, ShardDelta& delta) {
+  const int dim = input.cols();
+  double score = 0.0;
+  for (int d = 0; d < dim; ++d) score += input(center, d) * output(context, d);
+  const double sig = Sigmoid(score);
+  const double gradient = (label - sig) * lr;
+  std::vector<double>& out_row = DeltaRow(delta.output_rows, context, dim);
+  for (int d = 0; d < dim; ++d) {
+    center_gradient[d] += gradient * output(context, d);
+    out_row[d] += gradient * input(center, d);
+  }
+  return label > 0.5 ? -std::log(std::max(sig, 1e-12))
+                     : -std::log(std::max(1.0 - sig, 1e-12));
+}
+
+StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
+                                 const std::vector<double>& noise_weights,
+                                 int rows_in, int rows_out,
+                                 bool skipgram_window,
+                                 const SgnsOptions& options, uint64_t seed,
+                                 Budget& budget) {
+  if (Status status = ValidateSgnsOptions(options); !status.ok()) {
+    return status;
+  }
+  if (budget.Exhausted()) return budget.ExhaustedError(kShardOperation);
+  X2VEC_CHECK_GT(rows_in, 0);
+  X2VEC_CHECK_GT(rows_out, 0);
+  const int dim = options.dimension;
+  SgnsModel model;
+  const double init = 0.5 / dim;
+  model.input = linalg::Matrix(rows_in, dim);
+  // Stream 0 of the seed initialises; streams of MixSeed(seed, 1 + attempt)
+  // drive the per-sequence noise draws of each epoch attempt; the ~0
+  // stream reseeds rows during numeric recovery.
+  Rng init_rng = Rng::Fork(seed, 0);
+  for (double& v : model.input.mutable_data()) {
+    v = UniformReal(init_rng, -init, init);
+  }
+  model.output = linalg::Matrix(rows_out, dim);  // Zeros.
+
+  const AliasTable noise(noise_weights);
+  const int64_t num_sequences = static_cast<int64_t>(sequences.size());
+
+  // Exact positive-pair counts per sequence and their prefix sums: every
+  // pair's slot in the global learning-rate schedule is known up front, so
+  // shards agree on the schedule without a shared counter.
+  std::vector<int64_t> pair_prefix(num_sequences + 1, 0);
+  for (int64_t s = 0; s < num_sequences; ++s) {
+    const std::vector<int>& seq = sequences[s];
+    int64_t pairs = 0;
+    if (skipgram_window) {
+      const int len = static_cast<int>(seq.size());
+      for (int pos = 0; pos < len; ++pos) {
+        const int lo = std::max(0, pos - options.window);
+        const int hi = std::min(len - 1, pos + options.window);
+        pairs += hi - lo;  // Excludes the centre itself.
+      }
+    } else {
+      pairs = static_cast<int64_t>(seq.size());
+    }
+    pair_prefix[s + 1] = pair_prefix[s] + pairs;
+  }
+  const int64_t pairs_per_epoch = pair_prefix[num_sequences];
+  const int64_t total_pairs =
+      std::max<int64_t>(1, pairs_per_epoch * options.epochs);
+
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Halved on each numeric recovery.
+  double clip = recovery.clip_norm;
+  int retries = 0;
+  Rng recovery_rng = Rng::Fork(seed, ~uint64_t{0});
+
+  BudgetGate gate(budget);
+  // Epoch attempts (retries included) drive both the noise streams and the
+  // schedule offset, mirroring the sequential trainer's ever-advancing
+  // generator and pair counter across retried epochs.
+  int64_t attempt = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch, ++attempt) {
+    const uint64_t epoch_base = MixSeed(seed, 1 + static_cast<uint64_t>(attempt));
+    const int64_t seen_base = attempt * pairs_per_epoch;
+    double epoch_loss = 0.0;
+    Status epoch_status = Status::Ok();
+    for (int64_t batch_lo = 0; batch_lo < num_sequences && epoch_status.ok();
+         batch_lo += kShardBatchSequences) {
+      const int64_t batch_hi =
+          std::min(num_sequences, batch_lo + kShardBatchSequences);
+      std::vector<ShardDelta> deltas(batch_hi - batch_lo);
+      epoch_status = ParallelFor(
+          batch_hi - batch_lo, 0, [&](int64_t lo, int64_t hi) {
+            std::vector<double> center_gradient(dim);
+            for (int64_t b = lo; b < hi; ++b) {
+              const int64_t s = batch_lo + b;
+              const std::vector<int>& seq = sequences[s];
+              const int64_t seq_pairs = pair_prefix[s + 1] - pair_prefix[s];
+              if (seq_pairs > 0 && !gate.Spend(seq_pairs)) {
+                return gate.ExhaustedError(kShardOperation);
+              }
+              ShardDelta& delta = deltas[b];
+              Rng rng = Rng::Fork(epoch_base, static_cast<uint64_t>(s));
+              int64_t seen = seen_base + pair_prefix[s];
+              const int len = static_cast<int>(seq.size());
+              for (int pos = 0; pos < len; ++pos) {
+                if (skipgram_window) {
+                  const int center = seq[pos];
+                  const int wlo = std::max(0, pos - options.window);
+                  const int whi = std::min(len - 1, pos + options.window);
+                  for (int other = wlo; other <= whi; ++other) {
+                    if (other == pos) continue;
+                    const double progress =
+                        static_cast<double>(seen) / total_pairs;
+                    const double lr = options.learning_rate * lr_scale *
+                                      std::max(1e-4, 1.0 - progress);
+                    std::fill(center_gradient.begin(), center_gradient.end(),
+                              0.0);
+                    delta.loss +=
+                        ShardPair(model.input, model.output, center,
+                                  seq[other], 1.0, lr, center_gradient, delta);
+                    for (int k = 0; k < options.negatives; ++k) {
+                      const int negative = noise.Sample(rng);
+                      if (negative == seq[other]) continue;
+                      delta.loss +=
+                          ShardPair(model.input, model.output, center,
+                                    negative, 0.0, lr, center_gradient, delta);
+                    }
+                    linalg::ClipGradient(center_gradient, clip);
+                    std::vector<double>& in_row =
+                        DeltaRow(delta.input_rows, center, dim);
+                    for (int d = 0; d < dim; ++d) {
+                      in_row[d] += center_gradient[d];
+                    }
+                    ++seen;
+                  }
+                } else {
+                  const int doc = static_cast<int>(s);
+                  const double progress =
+                      static_cast<double>(seen) / total_pairs;
+                  const double lr = options.learning_rate * lr_scale *
+                                    std::max(1e-4, 1.0 - progress);
+                  std::fill(center_gradient.begin(), center_gradient.end(),
+                            0.0);
+                  delta.loss +=
+                      ShardPair(model.input, model.output, doc, seq[pos], 1.0,
+                                lr, center_gradient, delta);
+                  for (int k = 0; k < options.negatives; ++k) {
+                    const int negative = noise.Sample(rng);
+                    if (negative == seq[pos]) continue;
+                    delta.loss +=
+                        ShardPair(model.input, model.output, doc, negative,
+                                  0.0, lr, center_gradient, delta);
+                  }
+                  linalg::ClipGradient(center_gradient, clip);
+                  std::vector<double>& in_row =
+                      DeltaRow(delta.input_rows, doc, dim);
+                  for (int d = 0; d < dim; ++d) in_row[d] += center_gradient[d];
+                  ++seen;
+                }
+              }
+            }
+            return Status::Ok();
+          });
+      if (!epoch_status.ok()) break;
+      // Serial apply in sequence order: the fold order is fixed by the
+      // data, not by which worker produced which shard.
+      for (ShardDelta& d : deltas) {
+        epoch_loss += d.loss;
+        for (auto& [row, delta_row] : d.input_rows) {
+          for (int c = 0; c < dim; ++c) model.input(row, c) += delta_row[c];
+        }
+        for (auto& [row, delta_row] : d.output_rows) {
+          for (int c = 0; c < dim; ++c) model.output(row, c) += delta_row[c];
+        }
+      }
+    }
+    if (!epoch_status.ok()) return epoch_status;
+
+    // Per-epoch numeric health check with bounded self-healing, as in the
+    // sequential trainer.
+    const bool healthy = std::isfinite(epoch_loss) &&
+                         linalg::MatrixHealthy(model.input, recovery.max_abs) &&
+                         linalg::MatrixHealthy(model.output, recovery.max_abs);
+    if (!healthy) {
+      if (++retries > recovery.max_retries) {
+        return Status::Internal(
+            "sharded SGNS training diverged (non-finite or runaway "
+            "parameters) and exhausted " +
+            std::to_string(recovery.max_retries) + " recovery retries");
+      }
+      lr_scale *= recovery.lr_backoff;
+      clip *= recovery.clip_backoff;
+      linalg::ReseedUnhealthyRows(model.input, init, recovery.max_abs,
+                                  recovery_rng);
+      linalg::ReseedUnhealthyRows(model.output, init, recovery.max_abs,
+                                  recovery_rng);
+      --epoch;  // Retry the failed epoch with the gentler settings.
+      continue;
+    }
+  }
+  return model;
+}
+
 }  // namespace
 
 Status ValidateSgnsOptions(const SgnsOptions& options) {
@@ -198,9 +430,12 @@ StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
                /*skipgram_window=*/true, options, rng, budget);
 }
 
-StatusOr<SgnsModel> TrainPvDbowBudgeted(
+namespace {
+
+// Shared PV-DBOW input validation + unigram^power noise table.
+StatusOr<std::vector<double>> PvDbowNoiseCounts(
     const std::vector<std::vector<int>>& documents, int vocab_size,
-    const SgnsOptions& options, Rng& rng, Budget& budget) {
+    double noise_power) {
   if (vocab_size <= 0) {
     return Status::InvalidArgument(
         "PV-DBOW training needs a positive vocab_size");
@@ -217,9 +452,43 @@ StatusOr<SgnsModel> TrainPvDbowBudgeted(
     }
   }
   // Noise power applied to raw counts.
-  for (double& c : counts) c = std::pow(std::max(c, 1e-9), options.noise_power);
-  return Train(documents, counts, static_cast<int>(documents.size()),
+  for (double& c : counts) c = std::pow(std::max(c, 1e-9), noise_power);
+  return counts;
+}
+
+}  // namespace
+
+StatusOr<SgnsModel> TrainPvDbowBudgeted(
+    const std::vector<std::vector<int>>& documents, int vocab_size,
+    const SgnsOptions& options, Rng& rng, Budget& budget) {
+  StatusOr<std::vector<double>> counts =
+      PvDbowNoiseCounts(documents, vocab_size, options.noise_power);
+  if (!counts.ok()) return counts.status();
+  return Train(documents, *counts, static_cast<int>(documents.size()),
                vocab_size, /*skipgram_window=*/false, options, rng, budget);
+}
+
+StatusOr<SgnsModel> TrainSgnsSharded(const Corpus& corpus,
+                                     const SgnsOptions& options, uint64_t seed,
+                                     Budget& budget) {
+  if (corpus.vocab.size() == 0) {
+    return Status::InvalidArgument("SGNS training needs a non-empty vocabulary");
+  }
+  return TrainSharded(corpus.sentences,
+                      corpus.vocab.NoiseDistribution(options.noise_power),
+                      corpus.vocab.size(), corpus.vocab.size(),
+                      /*skipgram_window=*/true, options, seed, budget);
+}
+
+StatusOr<SgnsModel> TrainPvDbowSharded(
+    const std::vector<std::vector<int>>& documents, int vocab_size,
+    const SgnsOptions& options, uint64_t seed, Budget& budget) {
+  StatusOr<std::vector<double>> counts =
+      PvDbowNoiseCounts(documents, vocab_size, options.noise_power);
+  if (!counts.ok()) return counts.status();
+  return TrainSharded(documents, *counts, static_cast<int>(documents.size()),
+                      vocab_size, /*skipgram_window=*/false, options, seed,
+                      budget);
 }
 
 }  // namespace x2vec::embed

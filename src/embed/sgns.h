@@ -72,6 +72,32 @@ StatusOr<SgnsModel> TrainPvDbowBudgeted(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     const SgnsOptions& options, Rng& rng, Budget& budget);
 
+/// ---- Sharded deterministic parallel trainers. Each epoch is split into
+/// fixed mini-batches of sequences. Within a batch, gradients are computed
+/// in parallel against the batch-start parameters — one Rng stream per
+/// (epoch, sequence) via Rng::Fork, never per thread — and accumulated
+/// into per-sequence delta shards, which are then applied serially in
+/// sequence order. Batch boundaries, streams, the learning-rate schedule
+/// (exact per-pair prefix sums) and the apply order depend only on the
+/// data and the seed, so the trained model is bit-identical at any thread
+/// count; running with SetThreadCount(1) is the serial reference.
+///
+/// This is a different algorithm from TrainSgns/TrainPvDbow (mini-batch
+/// synchronous rather than fully sequential SGD; Hogwild-style lock-free
+/// sharing would be faster but irreproducible), so models differ
+/// numerically from the sequential trainers while sharing the objective,
+/// schedule shape, budget semantics (one unit per positive pair, spent per
+/// sequence) and the per-epoch numeric-health check with LR-backoff
+/// recovery.
+
+StatusOr<SgnsModel> TrainSgnsSharded(const Corpus& corpus,
+                                     const SgnsOptions& options, uint64_t seed,
+                                     Budget& budget);
+
+StatusOr<SgnsModel> TrainPvDbowSharded(
+    const std::vector<std::vector<int>>& documents, int vocab_size,
+    const SgnsOptions& options, uint64_t seed, Budget& budget);
+
 }  // namespace x2vec::embed
 
 #endif  // X2VEC_EMBED_SGNS_H_

@@ -1,5 +1,7 @@
 #include "embed/walks.h"
 
+#include "base/parallel.h"
+
 namespace x2vec::embed {
 namespace {
 
@@ -33,32 +35,72 @@ int BiasedStep(const Graph& g, int previous, int current,
   return neighbors[table.Sample(rng)].to;
 }
 
+// One truncated walk from `start`, drawing every step from `rng`.
+std::vector<int> WalkFrom(const Graph& g, int start,
+                          const WalkOptions& options, Rng& rng) {
+  std::vector<int> walk = {start};
+  int previous = -1;
+  while (static_cast<int>(walk.size()) < options.walk_length) {
+    const int current = walk.back();
+    const int next = BiasedStep(g, previous, current, options, rng);
+    if (next < 0) break;
+    previous = current;
+    walk.push_back(next);
+  }
+  return walk;
+}
+
+void CheckWalkOptions(const WalkOptions& options) {
+  X2VEC_CHECK_GE(options.walk_length, 1);
+  X2VEC_CHECK_GT(options.p, 0.0);
+  X2VEC_CHECK_GT(options.q, 0.0);
+}
+
 }  // namespace
 
 std::vector<std::vector<int>> GenerateWalks(const Graph& g,
                                             const WalkOptions& options,
                                             Rng& rng) {
-  X2VEC_CHECK_GE(options.walk_length, 1);
-  X2VEC_CHECK_GT(options.p, 0.0);
-  X2VEC_CHECK_GT(options.q, 0.0);
+  CheckWalkOptions(options);
   std::vector<std::vector<int>> walks;
   walks.reserve(static_cast<size_t>(g.NumVertices()) *
                 options.walks_per_node);
   // Shuffled start order per pass, as in the reference implementations.
   for (int pass = 0; pass < options.walks_per_node; ++pass) {
     for (int start : RandomPermutation(g.NumVertices(), rng)) {
-      std::vector<int> walk = {start};
-      int previous = -1;
-      while (static_cast<int>(walk.size()) < options.walk_length) {
-        const int current = walk.back();
-        const int next = BiasedStep(g, previous, current, options, rng);
-        if (next < 0) break;
-        previous = current;
-        walk.push_back(next);
-      }
-      walks.push_back(std::move(walk));
+      walks.push_back(WalkFrom(g, start, options, rng));
     }
   }
+  return walks;
+}
+
+std::vector<std::vector<int>> GenerateWalksParallel(const Graph& g,
+                                                    const WalkOptions& options,
+                                                    uint64_t seed) {
+  CheckWalkOptions(options);
+  const int64_t n = g.NumVertices();
+  const int64_t passes = options.walks_per_node;
+  // Streams [0, passes * n) are walks keyed by (pass, start vertex);
+  // streams [passes * n, passes * n + passes) drive the per-pass shuffles
+  // of the start order. Both depend only on the seed and the walk's
+  // logical identity, never on the thread executing it.
+  std::vector<std::vector<int>> starts(passes);
+  for (int64_t pass = 0; pass < passes; ++pass) {
+    Rng shuffle = Rng::Fork(seed, passes * n + pass);
+    starts[pass] = RandomPermutation(static_cast<int>(n), shuffle);
+  }
+  std::vector<std::vector<int>> walks(static_cast<size_t>(passes * n));
+  const Status status =
+      ParallelFor(passes * n, 0, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+          const int64_t pass = t / n;
+          const int start = starts[pass][t % n];
+          Rng rng = Rng::Fork(seed, pass * n + start);
+          walks[t] = WalkFrom(g, start, options, rng);
+        }
+        return Status::Ok();
+      });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return walks;
 }
 
@@ -67,22 +109,32 @@ linalg::Matrix EmpiricalWalkSimilarity(const Graph& g, int k,
   X2VEC_CHECK_GE(k, 1);
   X2VEC_CHECK_GE(samples_per_node, 1);
   const int n = g.NumVertices();
+  // One base draw from the caller's generator; each start vertex then owns
+  // its own forked stream, so row v is filled independently of the others
+  // and the matrix does not depend on the thread count.
+  const uint64_t base = rng();
   linalg::Matrix similarity(n, n);
-  for (int v = 0; v < n; ++v) {
-    for (int sample = 0; sample < samples_per_node; ++sample) {
-      int current = v;
-      bool alive = true;
-      for (int step = 0; step < k; ++step) {
-        const auto& neighbors = g.Neighbors(current);
-        if (neighbors.empty()) {
-          alive = false;
-          break;
+  const Status status = ParallelFor(n, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      Rng row_rng = Rng::Fork(base, static_cast<uint64_t>(v));
+      for (int sample = 0; sample < samples_per_node; ++sample) {
+        int current = static_cast<int>(v);
+        bool alive = true;
+        for (int step = 0; step < k; ++step) {
+          const auto& neighbors = g.Neighbors(current);
+          if (neighbors.empty()) {
+            alive = false;
+            break;
+          }
+          current =
+              neighbors[UniformInt(row_rng, 0, neighbors.size() - 1)].to;
         }
-        current = neighbors[UniformInt(rng, 0, neighbors.size() - 1)].to;
+        if (alive) similarity(v, current) += 1.0 / samples_per_node;
       }
-      if (alive) similarity(v, current) += 1.0 / samples_per_node;
     }
-  }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return similarity;
 }
 

@@ -24,10 +24,22 @@ struct WalkOptions {
 /// Generates `walks_per_node` truncated random walks from every vertex.
 /// With p = q = 1 the walks are uniform first-order (DeepWalk); otherwise
 /// second-order biased node2vec walks. Walks stop early at isolated
-/// vertices.
+/// vertices. Single-threaded reference path: all draws come from the one
+/// shared generator, in walk order.
 std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
                                             const WalkOptions& options,
                                             Rng& rng);
+
+/// Parallel corpus generation with determinism by construction: the walk
+/// started at vertex v in pass p draws from its own stream
+/// Rng::Fork(seed, p * n + v), and the shuffled start order of pass p from
+/// stream Rng::Fork(seed, n * walks_per_node + p), so the corpus — content
+/// and order — is bit-identical at any thread count (including the serial
+/// 1-thread run). Walk distribution matches GenerateWalks; the exact
+/// sample differs because the draws are partitioned differently.
+std::vector<std::vector<int>> GenerateWalksParallel(const graph::Graph& g,
+                                                    const WalkOptions& options,
+                                                    uint64_t seed);
 
 /// Empirical k-step transition frequency matrix: entry (v, w) estimates the
 /// probability that a length-k uniform walk from v ends at w — the

@@ -5,6 +5,7 @@
 #include <map>
 #include <tuple>
 
+#include "base/parallel.h"
 #include "graph/algorithms.h"
 #include "linalg/eigen.h"
 
@@ -13,55 +14,89 @@ namespace {
 
 using graph::Graph;
 
+// Symmetric Gram fill, parallel over the upper triangle. Each entry is an
+// independent dot product, so the result is bit-identical at any thread
+// count.
 linalg::Matrix GramFromDense(const std::vector<std::vector<double>>& features) {
   const int n = static_cast<int>(features.size());
   linalg::Matrix k(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = i; j < n; ++j) {
+  const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
+  const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const auto [i, j] = UpperTriangleIndex(t, n);
       k(i, j) = linalg::Dot(features[i], features[j]);
       k(j, i) = k(i, j);
     }
-  }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return k;
+}
+
+// Sparse dot of two sorted (key -> count) maps.
+template <typename Key>
+double MapDot(const std::map<Key, double>& a, const std::map<Key, double>& b) {
+  double total = 0.0;
+  auto i = a.begin();
+  auto j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (i->first < j->first) {
+      ++i;
+    } else if (j->first < i->first) {
+      ++j;
+    } else {
+      total += i->second * j->second;
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+// Gram fill over sparse per-graph count maps, parallel over the upper
+// triangle. Counts are integral, so the sums of products are exact and the
+// matrix is independent of key numbering and summation grouping.
+template <typename Key>
+linalg::Matrix GramFromCountMaps(
+    const std::vector<std::map<Key, double>>& counts) {
+  const int n = static_cast<int>(counts.size());
+  linalg::Matrix gram(n, n);
+  const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
+  const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const auto [i, j] = UpperTriangleIndex(t, n);
+      gram(i, j) = MapDot(counts[i], counts[j]);
+      gram(j, i) = gram(i, j);
+    }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
+  return gram;
 }
 
 }  // namespace
 
 linalg::Matrix ShortestPathKernelMatrix(const std::vector<Graph>& graphs) {
-  // Shared sparse feature ids over (label_u, label_v, dist) triples.
-  std::map<std::tuple<int, int, int>, int> feature_ids;
-  std::vector<std::map<int, double>> counts(graphs.size());
-  for (size_t g = 0; g < graphs.size(); ++g) {
-    const auto dist = graph::AllPairsShortestPaths(graphs[g]);
-    const int n = graphs[g].NumVertices();
-    for (int u = 0; u < n; ++u) {
-      for (int v = u + 1; v < n; ++v) {
-        if (dist[u][v] <= 0) continue;
-        const int a = std::min(graphs[g].VertexLabel(u),
-                               graphs[g].VertexLabel(v));
-        const int b = std::max(graphs[g].VertexLabel(u),
-                               graphs[g].VertexLabel(v));
-        const auto [it, inserted] = feature_ids.emplace(
-            std::make_tuple(a, b, dist[u][v]),
-            static_cast<int>(feature_ids.size()));
-        counts[g][it->second] += 1.0;
-      }
-    }
-  }
-  const int k = static_cast<int>(graphs.size());
-  linalg::Matrix gram(k, k);
-  for (int i = 0; i < k; ++i) {
-    for (int j = i; j < k; ++j) {
-      double total = 0.0;
-      for (const auto& [id, value] : counts[i]) {
-        const auto it = counts[j].find(id);
-        if (it != counts[j].end()) total += value * it->second;
-      }
-      gram(i, j) = total;
-      gram(j, i) = total;
-    }
-  }
-  return gram;
+  // Per-graph feature maps over (label_u, label_v, dist) triples, one
+  // independent APSP per graph.
+  const auto counts =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        const auto dist = graph::AllPairsShortestPaths(graphs[g]);
+        const int n = graphs[g].NumVertices();
+        std::map<std::tuple<int, int, int>, double> local;
+        for (int u = 0; u < n; ++u) {
+          for (int v = u + 1; v < n; ++v) {
+            if (dist[u][v] <= 0) continue;
+            const int a = std::min(graphs[g].VertexLabel(u),
+                                   graphs[g].VertexLabel(v));
+            const int b = std::max(graphs[g].VertexLabel(u),
+                                   graphs[g].VertexLabel(v));
+            local[std::make_tuple(a, b, dist[u][v])] += 1.0;
+          }
+        }
+        return local;
+      });
+  return GramFromCountMaps(counts);
 }
 
 linalg::Matrix RandomWalkKernelMatrix(const std::vector<Graph>& graphs,
@@ -70,8 +105,12 @@ linalg::Matrix RandomWalkKernelMatrix(const std::vector<Graph>& graphs,
   X2VEC_CHECK_GE(max_length, 0);
   const int n = static_cast<int>(graphs.size());
   linalg::Matrix gram(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = i; j < n; ++j) {
+  // Each (i, j) entry builds its own product graph; the upper triangle is
+  // the natural parallel decomposition.
+  const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
+  const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const auto [i, j] = UpperTriangleIndex(t, n);
       const Graph product = graph::DirectProduct(graphs[i], graphs[j]);
       // sum_k lambda^k 1^T A^k 1 on the product graph.
       const int np = product.NumVertices();
@@ -90,7 +129,9 @@ linalg::Matrix RandomWalkKernelMatrix(const std::vector<Graph>& graphs,
       gram(i, j) = total;
       gram(j, i) = total;
     }
-  }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return gram;
 }
 
@@ -114,31 +155,31 @@ std::vector<double> ThreeGraphletCounts(const Graph& g) {
 }
 
 linalg::Matrix GraphletKernelMatrix(const std::vector<Graph>& graphs) {
-  std::vector<std::vector<double>> features;
-  features.reserve(graphs.size());
-  for (const Graph& g : graphs) {
-    const std::vector<double> counts = ThreeGraphletCounts(g);
-    // Use the non-empty graphlets (edge+isolated, wedge, triangle),
-    // normalised to a distribution so graph size does not dominate; the
-    // empty triple would otherwise swamp the histogram on sparse graphs.
-    std::vector<double> connected(counts.begin() + 1, counts.end());
-    double total = 0.0;
-    for (double c : connected) total += c;
-    if (total > 0.0) {
-      for (double& c : connected) c /= total;
-    }
-    features.push_back(std::move(connected));
-  }
+  // O(n^3) triple enumeration per graph — parallel over the dataset.
+  const std::vector<std::vector<double>> features =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        const std::vector<double> counts = ThreeGraphletCounts(graphs[g]);
+        // Use the non-empty graphlets (edge+isolated, wedge, triangle),
+        // normalised to a distribution so graph size does not dominate; the
+        // empty triple would otherwise swamp the histogram on sparse graphs.
+        std::vector<double> connected(counts.begin() + 1, counts.end());
+        double total = 0.0;
+        for (double c : connected) total += c;
+        if (total > 0.0) {
+          for (double& c : connected) c /= total;
+        }
+        return connected;
+      });
   return GramFromDense(features);
 }
 
 linalg::Matrix HomVectorKernelMatrix(const std::vector<Graph>& graphs,
                                      const std::vector<hom::Pattern>& patterns) {
-  std::vector<std::vector<double>> features;
-  features.reserve(graphs.size());
-  for (const Graph& g : graphs) {
-    features.push_back(hom::LogScaledHomVector(g, patterns));
-  }
+  // One independent homomorphism-vector computation per graph.
+  std::vector<std::vector<double>> features =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        return hom::LogScaledHomVector(graphs[g], patterns);
+      });
   // Standardise each pattern coordinate over the dataset (zero mean, unit
   // variance): a single highly discriminative pattern (say C3) should not
   // be drowned by large shared walk counts.
@@ -167,20 +208,19 @@ linalg::Matrix ScaledHomKernelMatrix(const std::vector<Graph>& graphs,
   std::map<int, int> order_counts;
   for (const hom::Pattern& p : patterns) ++order_counts[p.graph.NumVertices()];
 
-  std::vector<std::vector<double>> features;
-  features.reserve(graphs.size());
-  for (const Graph& g : graphs) {
-    const std::vector<double> raw = hom::HomVector(g, patterns);
-    std::vector<double> scaled(raw.size());
-    for (size_t i = 0; i < raw.size(); ++i) {
-      const int k = patterns[i].graph.NumVertices();
-      const double class_scale = 1.0 / std::sqrt(
-          static_cast<double>(order_counts.at(k)));
-      scaled[i] = raw[i] * std::pow(static_cast<double>(k), -k / 2.0) *
-                  class_scale;
-    }
-    features.push_back(std::move(scaled));
-  }
+  const std::vector<std::vector<double>> features =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        const std::vector<double> raw = hom::HomVector(graphs[g], patterns);
+        std::vector<double> scaled(raw.size());
+        for (size_t i = 0; i < raw.size(); ++i) {
+          const int k = patterns[i].graph.NumVertices();
+          const double class_scale = 1.0 / std::sqrt(
+              static_cast<double>(order_counts.at(k)));
+          scaled[i] = raw[i] * std::pow(static_cast<double>(k), -k / 2.0) *
+                      class_scale;
+        }
+        return scaled;
+      });
   return GramFromDense(features);
 }
 

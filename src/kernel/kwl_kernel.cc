@@ -4,6 +4,7 @@
 #include <map>
 
 #include "base/check.h"
+#include "base/parallel.h"
 
 namespace x2vec::kernel {
 namespace {
@@ -45,33 +46,45 @@ DatasetState InitialColors(const std::vector<Graph>& graphs) {
   return state;
 }
 
-// One folklore refinement round across the whole dataset.
+// One folklore refinement round across the whole dataset. The expensive
+// part — building and sorting the n^2 neighbourhood signatures of every
+// graph — runs in parallel per graph; colour ids are then assigned from
+// the lexicographically sorted signature dictionary, so the numbering
+// (and hence the result) is independent of the thread count.
 DatasetState Refine(const std::vector<Graph>& graphs,
                     const DatasetState& state) {
   using Row = std::pair<int, int>;            // (c(w,v), c(u,w)).
   using Signature = std::pair<int, std::vector<Row>>;
-  std::map<Signature, int> dictionary;
   std::vector<std::vector<Signature>> signatures(graphs.size());
 
-  for (size_t i = 0; i < graphs.size(); ++i) {
-    const int n = graphs[i].NumVertices();
-    const std::vector<int>& colors = state.colors[i];
-    signatures[i].resize(static_cast<size_t>(n) * n);
-    for (int u = 0; u < n; ++u) {
-      for (int v = 0; v < n; ++v) {
-        std::vector<Row> rows;
-        rows.reserve(n);
-        for (int w = 0; w < n; ++w) {
-          rows.emplace_back(colors[static_cast<size_t>(w) * n + v],
-                            colors[static_cast<size_t>(u) * n + w]);
+  Status status = ParallelFor(
+      static_cast<int64_t>(graphs.size()), 0, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int n = graphs[i].NumVertices();
+          const std::vector<int>& colors = state.colors[i];
+          signatures[i].resize(static_cast<size_t>(n) * n);
+          for (int u = 0; u < n; ++u) {
+            for (int v = 0; v < n; ++v) {
+              std::vector<Row> rows;
+              rows.reserve(n);
+              for (int w = 0; w < n; ++w) {
+                rows.emplace_back(colors[static_cast<size_t>(w) * n + v],
+                                  colors[static_cast<size_t>(u) * n + w]);
+              }
+              std::sort(rows.begin(), rows.end());
+              signatures[i][static_cast<size_t>(u) * n + v] =
+                  Signature{colors[static_cast<size_t>(u) * n + v],
+                            std::move(rows)};
+            }
+          }
         }
-        std::sort(rows.begin(), rows.end());
-        Signature sig{colors[static_cast<size_t>(u) * n + v],
-                      std::move(rows)};
-        dictionary.emplace(sig, 0);
-        signatures[i][static_cast<size_t>(u) * n + v] = std::move(sig);
-      }
-    }
+        return Status::Ok();
+      });
+  X2VEC_CHECK(status.ok()) << status.ToString();
+
+  std::map<Signature, int> dictionary;
+  for (const auto& graph_signatures : signatures) {
+    for (const Signature& sig : graph_signatures) dictionary.emplace(sig, 0);
   }
   int next = 0;
   for (auto& [sig, id] : dictionary) id = next++;
@@ -79,12 +92,17 @@ DatasetState Refine(const std::vector<Graph>& graphs,
   DatasetState refined;
   refined.num_colors = next;
   refined.colors.resize(graphs.size());
-  for (size_t i = 0; i < graphs.size(); ++i) {
-    refined.colors[i].resize(signatures[i].size());
-    for (size_t t = 0; t < signatures[i].size(); ++t) {
-      refined.colors[i][t] = dictionary.at(signatures[i][t]);
-    }
-  }
+  status = ParallelFor(
+      static_cast<int64_t>(graphs.size()), 0, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          refined.colors[i].resize(signatures[i].size());
+          for (size_t t = 0; t < signatures[i].size(); ++t) {
+            refined.colors[i][t] = dictionary.at(signatures[i][t]);
+          }
+        }
+        return Status::Ok();
+      });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return refined;
 }
 
@@ -119,8 +137,10 @@ linalg::Matrix TwoWlKernelMatrix(const std::vector<Graph>& graphs,
 
   const int count = static_cast<int>(graphs.size());
   linalg::Matrix gram(count, count);
-  for (int a = 0; a < count; ++a) {
-    for (int b = a; b < count; ++b) {
+  const int64_t pairs = static_cast<int64_t>(count) * (count + 1) / 2;
+  const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const auto [a, b] = UpperTriangleIndex(t, count);
       double total = 0.0;
       for (const auto& [key, value] : features[a]) {
         const auto it = features[b].find(key);
@@ -129,7 +149,9 @@ linalg::Matrix TwoWlKernelMatrix(const std::vector<Graph>& graphs,
       gram(a, b) = total;
       gram(b, a) = total;
     }
-  }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return gram;
 }
 

@@ -2,23 +2,42 @@
 
 #include <cmath>
 
+#include "base/parallel.h"
 #include "linalg/eigen.h"
 
 namespace x2vec::kernel {
 namespace {
 
-// Applies f to the Laplacian spectrum: K = V f(Lambda) V^T.
+// Applies f to the Laplacian spectrum: K = V f(Lambda) V^T. The kernel
+// matrix is a node-pair similarity, so the triple product is materialised
+// entry by entry over the upper triangle in parallel; each entry is an
+// independent weighted dot of two eigenvector rows.
 linalg::Matrix SpectralFunction(const graph::Graph& g,
                                 double (*f)(double, double, int),
                                 double parameter, int extra) {
   const linalg::EigenDecomposition eig =
       linalg::SymmetricEigen(Laplacian(g));
+  const int n = static_cast<int>(eig.values.size());
   std::vector<double> mapped(eig.values.size());
   for (size_t i = 0; i < eig.values.size(); ++i) {
     mapped[i] = f(eig.values[i], parameter, extra);
   }
-  return eig.vectors * linalg::Matrix::Diagonal(mapped) *
-         eig.vectors.Transposed();
+  linalg::Matrix k(n, n);
+  const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
+  const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const auto [i, j] = UpperTriangleIndex(t, n);
+      double total = 0.0;
+      for (int e = 0; e < n; ++e) {
+        total += eig.vectors(i, e) * mapped[e] * eig.vectors(j, e);
+      }
+      k(i, j) = total;
+      k(j, i) = total;
+    }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
+  return k;
 }
 
 }  // namespace

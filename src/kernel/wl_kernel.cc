@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/parallel.h"
 #include "graph/algorithms.h"
 #include "wl/color_refinement.h"
 
@@ -35,15 +36,21 @@ JointColors RefineDataset(const std::vector<Graph>& graphs, int rounds) {
   JointColors out;
   out.colors_per_round = refinement.colors_per_round;
   out.colors.resize(graphs.size());
-  for (size_t g = 0; g < graphs.size(); ++g) {
-    out.colors[g].resize(refinement.round_colors.size());
-    for (size_t r = 0; r < refinement.round_colors.size(); ++r) {
-      const std::vector<int>& round = refinement.round_colors[r];
-      out.colors[g][r].assign(
-          round.begin() + offsets[g],
-          round.begin() + offsets[g] + graphs[g].NumVertices());
-    }
-  }
+  // Restricting the joint colouring to each graph is independent per graph.
+  const Status status = ParallelFor(
+      static_cast<int64_t>(graphs.size()), 0, [&](int64_t lo, int64_t hi) {
+        for (int64_t g = lo; g < hi; ++g) {
+          out.colors[g].resize(refinement.round_colors.size());
+          for (size_t r = 0; r < refinement.round_colors.size(); ++r) {
+            const std::vector<int>& round = refinement.round_colors[r];
+            out.colors[g][r].assign(
+                round.begin() + offsets[g],
+                round.begin() + offsets[g] + graphs[g].NumVertices());
+          }
+        }
+        return Status::Ok();
+      });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return out;
 }
 
@@ -53,15 +60,21 @@ SparseVector FromCounts(const std::map<int64_t, double>& counts) {
   return v;
 }
 
+// Symmetric Gram fill over sparse features, parallel over the upper
+// triangle; every entry is an independent merge-dot.
 linalg::Matrix GramFromSparse(const std::vector<SparseVector>& features) {
   const int n = static_cast<int>(features.size());
   linalg::Matrix k(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = i; j < n; ++j) {
+  const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
+  const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const auto [i, j] = UpperTriangleIndex(t, n);
       k(i, j) = features[i].Dot(features[j]);
       k(j, i) = k(i, j);
     }
-  }
+    return Status::Ok();
+  });
+  X2VEC_CHECK(status.ok()) << status.ToString();
   return k;
 }
 
@@ -97,15 +110,17 @@ WlFeatureSet WlSubtreeFeatures(const std::vector<Graph>& graphs, int rounds) {
     stride = std::max<int64_t>(stride, count + 1);
   }
   const int usable_rounds = static_cast<int>(joint.colors_per_round.size());
-  for (size_t g = 0; g < graphs.size(); ++g) {
-    std::map<int64_t, double> counts;
-    for (int r = 0; r < std::min(rounds + 1, usable_rounds); ++r) {
-      for (int color : joint.colors[g][r]) {
-        counts[static_cast<int64_t>(r) * stride + color] += 1.0;
-      }
-    }
-    out.features.push_back(FromCounts(counts));
-  }
+  // Per-graph colour histograms are independent across the dataset.
+  out.features =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        std::map<int64_t, double> counts;
+        for (int r = 0; r < std::min(rounds + 1, usable_rounds); ++r) {
+          for (int color : joint.colors[g][r]) {
+            counts[static_cast<int64_t>(r) * stride + color] += 1.0;
+          }
+        }
+        return FromCounts(counts);
+      });
   out.dimension = stride * usable_rounds;
   return out;
 }
@@ -123,20 +138,26 @@ linalg::Matrix DiscountedWlKernelMatrix(const std::vector<Graph>& graphs,
   for (int count : joint.colors_per_round) {
     stride = std::max<int64_t>(stride, count + 1);
   }
-  std::vector<SparseVector> features;
-  std::vector<std::map<int64_t, double>> counts(graphs.size());
+  // Per-round sqrt(2^-r) weights (split across the two Gram factors),
+  // precomputed once so every graph applies identical values.
+  const int counted_rounds = std::min(max_rounds + 1, usable_rounds);
+  std::vector<double> round_weight(counted_rounds);
   double weight = 1.0;
-  for (int r = 0; r < std::min(max_rounds + 1, usable_rounds); ++r) {
-    const double round_weight = std::sqrt(weight);  // Split across factors.
-    for (size_t g = 0; g < graphs.size(); ++g) {
-      for (int color : joint.colors[g][r]) {
-        counts[g][static_cast<int64_t>(r) * stride + color] += round_weight;
-      }
-    }
+  for (int r = 0; r < counted_rounds; ++r) {
+    round_weight[r] = std::sqrt(weight);
     weight /= 2.0;
   }
-  features.reserve(graphs.size());
-  for (const auto& c : counts) features.push_back(FromCounts(c));
+  const std::vector<SparseVector> features =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        std::map<int64_t, double> counts;
+        for (int r = 0; r < counted_rounds; ++r) {
+          for (int color : joint.colors[g][r]) {
+            counts[static_cast<int64_t>(r) * stride + color] +=
+                round_weight[r];
+          }
+        }
+        return FromCounts(counts);
+      });
   return GramFromSparse(features);
 }
 
@@ -153,26 +174,27 @@ linalg::Matrix WlShortestPathKernelMatrix(const std::vector<Graph>& graphs,
   for (const Graph& g : graphs) {
     dist_stride = std::max<int64_t>(dist_stride, g.NumVertices() + 1);
   }
-  std::vector<SparseVector> features;
-  features.reserve(graphs.size());
-  for (size_t g = 0; g < graphs.size(); ++g) {
-    const std::vector<std::vector<int>> dist =
-        graph::AllPairsShortestPaths(graphs[g]);
-    const std::vector<int>& color = joint.colors[g][last];
-    std::map<int64_t, double> counts;
-    const int n = graphs[g].NumVertices();
-    for (int u = 0; u < n; ++u) {
-      for (int v = u + 1; v < n; ++v) {
-        if (dist[u][v] < 0) continue;
-        const int a = std::min(color[u], color[v]);
-        const int b = std::max(color[u], color[v]);
-        const int64_t id =
-            (static_cast<int64_t>(a) * colors + b) * dist_stride + dist[u][v];
-        counts[id] += 1.0;
-      }
-    }
-    features.push_back(FromCounts(counts));
-  }
+  // One independent APSP + pair histogram per graph.
+  const std::vector<SparseVector> features =
+      ParallelMap(static_cast<int64_t>(graphs.size()), [&](int64_t g) {
+        const std::vector<std::vector<int>> dist =
+            graph::AllPairsShortestPaths(graphs[g]);
+        const std::vector<int>& color = joint.colors[g][last];
+        std::map<int64_t, double> counts;
+        const int n = graphs[g].NumVertices();
+        for (int u = 0; u < n; ++u) {
+          for (int v = u + 1; v < n; ++v) {
+            if (dist[u][v] < 0) continue;
+            const int a = std::min(color[u], color[v]);
+            const int b = std::max(color[u], color[v]);
+            const int64_t id =
+                (static_cast<int64_t>(a) * colors + b) * dist_stride +
+                dist[u][v];
+            counts[id] += 1.0;
+          }
+        }
+        return FromCounts(counts);
+      });
   return GramFromSparse(features);
 }
 

@@ -1,0 +1,296 @@
+// Parallel-vs-serial equivalence sweep (ctest label: parallel).
+//
+// The determinism contract of base/parallel: every parallelized path must
+// produce bit-identical results at any thread count, with the 1-thread run
+// as the serial reference. Each test below computes the same artifact at
+// thread counts {1, 2, 4, hardware} and requires exact equality — matrices
+// via AllClose with tolerance 0.0, integer structures via operator== —
+// across Gram matrices, WL feature vectors, walk corpora, the empirical
+// walk-similarity estimator, the sharded SGNS / PV-DBOW trainers and the
+// end-to-end parallel embedding pipelines built on them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/budget.h"
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "embed/corpus.h"
+#include "embed/graph2vec.h"
+#include "embed/node_embeddings.h"
+#include "embed/sgns.h"
+#include "embed/walks.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "kernel/graph_kernels.h"
+#include "kernel/kwl_kernel.h"
+#include "kernel/node_kernels.h"
+#include "kernel/wl_kernel.h"
+#include "linalg/matrix.h"
+
+namespace x2vec {
+namespace {
+
+using graph::Graph;
+using linalg::Matrix;
+
+std::vector<int> SweepThreadCounts() {
+  return {1, 2, 4, HardwareThreads()};
+}
+
+// Runs `compute` at every sweep thread count and checks each result is
+// bit-identical to the 1-thread reference via `equal`.
+template <typename Compute, typename Equal>
+void ExpectThreadCountInvariant(Compute&& compute, Equal&& equal) {
+  SetThreadCount(1);
+  const auto reference = compute();
+  for (int threads : SweepThreadCounts()) {
+    SetThreadCount(threads);
+    const auto result = compute();
+    EXPECT_TRUE(equal(reference, result)) << "diverged at " << threads
+                                          << " threads";
+  }
+  SetThreadCount(0);
+}
+
+template <typename Compute>
+void ExpectMatrixInvariant(Compute&& compute) {
+  ExpectThreadCountInvariant(std::forward<Compute>(compute),
+                             [](const Matrix& a, const Matrix& b) {
+                               return a.rows() == b.rows() &&
+                                      a.cols() == b.cols() &&
+                                      a.AllClose(b, 0.0);
+                             });
+}
+
+std::vector<Graph> SmallDataset() {
+  Rng rng = MakeRng(1234);
+  std::vector<Graph> graphs = {Graph::Complete(4), Graph::Path(6),
+                               Graph::Cycle(5),    Graph::Star(4),
+                               Graph::CompleteBipartite(2, 3)};
+  for (int i = 0; i < 5; ++i) {
+    graphs.push_back(graph::ConnectedGnp(7, 0.4, rng));
+  }
+  return graphs;
+}
+
+TEST(GramDeterminismTest, WlSubtreeKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant([&] { return kernel::WlSubtreeKernelMatrix(graphs, 3); });
+}
+
+TEST(GramDeterminismTest, DiscountedWlKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant(
+      [&] { return kernel::DiscountedWlKernelMatrix(graphs, 3); });
+}
+
+TEST(GramDeterminismTest, WlShortestPathKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant(
+      [&] { return kernel::WlShortestPathKernelMatrix(graphs, 2); });
+}
+
+TEST(GramDeterminismTest, TwoWlKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant([&] { return kernel::TwoWlKernelMatrix(graphs, 2); });
+}
+
+TEST(GramDeterminismTest, ShortestPathKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant([&] { return kernel::ShortestPathKernelMatrix(graphs); });
+}
+
+TEST(GramDeterminismTest, RandomWalkKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant(
+      [&] { return kernel::RandomWalkKernelMatrix(graphs, 0.1, 4); });
+}
+
+TEST(GramDeterminismTest, GraphletKernel) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectMatrixInvariant([&] { return kernel::GraphletKernelMatrix(graphs); });
+}
+
+TEST(GramDeterminismTest, DiffusionNodeKernel) {
+  const Graph g = Graph::Cycle(9);
+  ExpectMatrixInvariant([&] { return kernel::DiffusionKernel(g, 0.5); });
+}
+
+TEST(WlFeatureDeterminismTest, SubtreeFeatureVectors) {
+  const std::vector<Graph> graphs = SmallDataset();
+  ExpectThreadCountInvariant(
+      [&] { return kernel::WlSubtreeFeatures(graphs, 3); },
+      [](const kernel::WlFeatureSet& a, const kernel::WlFeatureSet& b) {
+        if (a.features.size() != b.features.size()) return false;
+        for (size_t i = 0; i < a.features.size(); ++i) {
+          if (a.features[i].entries != b.features[i].entries) return false;
+        }
+        return a.dimension == b.dimension;
+      });
+}
+
+TEST(WalkDeterminismTest, ParallelCorpusBitIdentical) {
+  Rng rng = MakeRng(77);
+  const Graph g = graph::ConnectedGnp(20, 0.25, rng);
+  embed::WalkOptions options;
+  options.walks_per_node = 4;
+  options.walk_length = 12;
+  ExpectThreadCountInvariant(
+      [&] { return embed::GenerateWalksParallel(g, options, 99); },
+      [](const std::vector<std::vector<int>>& a,
+         const std::vector<std::vector<int>>& b) { return a == b; });
+}
+
+TEST(WalkDeterminismTest, BiasedParallelCorpusBitIdentical) {
+  Rng rng = MakeRng(78);
+  const Graph g = graph::ConnectedGnp(15, 0.3, rng);
+  embed::WalkOptions options;
+  options.walks_per_node = 3;
+  options.walk_length = 8;
+  options.p = 0.5;
+  options.q = 2.0;
+  ExpectThreadCountInvariant(
+      [&] { return embed::GenerateWalksParallel(g, options, 1); },
+      [](const std::vector<std::vector<int>>& a,
+         const std::vector<std::vector<int>>& b) { return a == b; });
+}
+
+TEST(WalkDeterminismTest, EmpiricalSimilarityBitIdentical) {
+  Rng dataset_rng = MakeRng(79);
+  const Graph g = graph::ConnectedGnp(12, 0.3, dataset_rng);
+  ExpectMatrixInvariant([&] {
+    Rng rng = MakeRng(5);  // Fresh generator per run: same base draw.
+    return embed::EmpiricalWalkSimilarity(g, 2, 200, rng);
+  });
+}
+
+embed::Corpus ToyCorpus() {
+  // A deterministic token corpus with a skewed unigram distribution.
+  std::vector<std::vector<std::string>> sentences;
+  for (int s = 0; s < 40; ++s) {
+    std::vector<std::string> sentence;
+    for (int t = 0; t < 12; ++t) {
+      sentence.push_back("w" + std::to_string((s * 7 + t * t) % 20));
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  return embed::Corpus::FromSentences(sentences);
+}
+
+TEST(TrainerDeterminismTest, ShardedSgnsBitIdentical) {
+  const embed::Corpus corpus = ToyCorpus();
+  embed::SgnsOptions options;
+  options.dimension = 8;
+  options.epochs = 3;
+  ExpectThreadCountInvariant(
+      [&] {
+        Budget unlimited;
+        return *embed::TrainSgnsSharded(corpus, options, 321, unlimited);
+      },
+      [](const embed::SgnsModel& a, const embed::SgnsModel& b) {
+        return a.input.AllClose(b.input, 0.0) &&
+               a.output.AllClose(b.output, 0.0);
+      });
+}
+
+TEST(TrainerDeterminismTest, ShardedPvDbowBitIdentical) {
+  std::vector<std::vector<int>> documents;
+  for (int d = 0; d < 50; ++d) {
+    std::vector<int> doc;
+    for (int t = 0; t < 15; ++t) doc.push_back((d * 5 + t * 3) % 30);
+    documents.push_back(std::move(doc));
+  }
+  embed::SgnsOptions options;
+  options.dimension = 8;
+  options.epochs = 3;
+  ExpectThreadCountInvariant(
+      [&] {
+        Budget unlimited;
+        return *embed::TrainPvDbowSharded(documents, 30, options, 7, unlimited);
+      },
+      [](const embed::SgnsModel& a, const embed::SgnsModel& b) {
+        return a.input.AllClose(b.input, 0.0) &&
+               a.output.AllClose(b.output, 0.0);
+      });
+}
+
+TEST(TrainerDeterminismTest, ShardedSgnsRespectsBudget) {
+  const embed::Corpus corpus = ToyCorpus();
+  embed::SgnsOptions options;
+  options.dimension = 8;
+  options.epochs = 2;
+  for (int threads : SweepThreadCounts()) {
+    SetThreadCount(threads);
+    Budget tiny = Budget::WorkUnits(25);
+    const StatusOr<embed::SgnsModel> model =
+        embed::TrainSgnsSharded(corpus, options, 321, tiny);
+    ASSERT_FALSE(model.ok()) << threads << " threads";
+    EXPECT_EQ(model.status().code(), StatusCode::kResourceExhausted);
+  }
+  SetThreadCount(0);
+}
+
+TEST(PipelineDeterminismTest, DeepWalkParallelBitIdentical) {
+  Rng rng = MakeRng(80);
+  const Graph g = graph::ConnectedGnp(14, 0.3, rng);
+  embed::Node2VecOptions options;
+  options.walks.walks_per_node = 3;
+  options.walks.walk_length = 8;
+  options.sgns.dimension = 8;
+  options.sgns.epochs = 2;
+  ExpectMatrixInvariant([&] {
+    Budget unlimited;
+    return *embed::DeepWalkEmbeddingParallel(g, options, 55, unlimited);
+  });
+}
+
+TEST(PipelineDeterminismTest, Node2VecParallelBitIdentical) {
+  Rng rng = MakeRng(81);
+  const Graph g = graph::ConnectedGnp(14, 0.3, rng);
+  embed::Node2VecOptions options;
+  options.walks.walks_per_node = 3;
+  options.walks.walk_length = 8;
+  options.walks.p = 0.5;
+  options.walks.q = 2.0;
+  options.sgns.dimension = 8;
+  options.sgns.epochs = 2;
+  ExpectMatrixInvariant([&] {
+    Budget unlimited;
+    return *embed::Node2VecEmbeddingParallel(g, options, 56, unlimited);
+  });
+}
+
+TEST(PipelineDeterminismTest, Graph2VecParallelBitIdentical) {
+  const std::vector<Graph> graphs = SmallDataset();
+  embed::Graph2VecOptions options;
+  options.wl_rounds = 2;
+  options.sgns.dimension = 8;
+  options.sgns.epochs = 2;
+  ExpectMatrixInvariant([&] {
+    Budget unlimited;
+    return *embed::Graph2VecEmbeddingParallel(graphs, options, 91, unlimited);
+  });
+}
+
+TEST(PipelineDeterminismTest, SequentialEmbeddersThreadCountInvariant) {
+  // The Budgeted paths now generate their corpora on the parallel walk
+  // path; the embedding must still not depend on the thread count.
+  Rng dataset_rng = MakeRng(82);
+  const Graph g = graph::ConnectedGnp(12, 0.35, dataset_rng);
+  embed::Node2VecOptions options;
+  options.walks.walks_per_node = 2;
+  options.walks.walk_length = 6;
+  options.sgns.dimension = 8;
+  options.sgns.epochs = 2;
+  ExpectMatrixInvariant([&] {
+    Rng rng = MakeRng(9);
+    return embed::DeepWalkEmbedding(g, options, rng);
+  });
+}
+
+}  // namespace
+}  // namespace x2vec
