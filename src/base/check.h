@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_CHECK_H_
-#define X2VEC_BASE_CHECK_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -75,5 +74,3 @@ struct Voidify {
 #else
 #define X2VEC_DCHECK(condition) X2VEC_CHECK(condition)
 #endif
-
-#endif  // X2VEC_BASE_CHECK_H_

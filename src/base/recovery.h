@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_RECOVERY_H_
-#define X2VEC_BASE_RECOVERY_H_
+#pragma once
 
 namespace x2vec {
 
@@ -30,5 +29,3 @@ struct RecoveryPolicy {
 };
 
 }  // namespace x2vec
-
-#endif  // X2VEC_BASE_RECOVERY_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_RNG_H_
-#define X2VEC_BASE_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -103,5 +102,3 @@ class AliasTable {
 };
 
 }  // namespace x2vec
-
-#endif  // X2VEC_BASE_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_CORE_COMPARE_H_
-#define X2VEC_CORE_COMPARE_H_
+#pragma once
 
 #include <string>
 
@@ -34,5 +33,3 @@ ComparisonReport CompareGraphs(const graph::Graph& g, const graph::Graph& h,
                                int max_kwl = 2);
 
 }  // namespace x2vec::core
-
-#endif  // X2VEC_CORE_COMPARE_H_

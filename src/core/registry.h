@@ -1,5 +1,4 @@
-#ifndef X2VEC_CORE_REGISTRY_H_
-#define X2VEC_CORE_REGISTRY_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -85,5 +84,3 @@ std::vector<MethodOutcome> RunNodeMethodSuite(
     uint64_t seed, const BudgetSpec& spec);
 
 }  // namespace x2vec::core
-
-#endif  // X2VEC_CORE_REGISTRY_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_CORE_X2VEC_H_
-#define X2VEC_CORE_X2VEC_H_
+#pragma once
 
 /// Umbrella header for the x2vec library: structural vector embeddings of
 /// graphs and relational structures, after Grohe's PODS 2020 keynote
@@ -69,5 +68,3 @@
 #include "wl/unfolding_tree.h"     // IWYU pragma: export
 #include "wl/weighted_wl.h"        // IWYU pragma: export
 #include "wl/wl_hash.h"            // IWYU pragma: export
-
-#endif  // X2VEC_CORE_X2VEC_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_DATA_DATASETS_H_
-#define X2VEC_DATA_DATASETS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -70,5 +69,3 @@ std::vector<std::vector<std::string>> TopicCorpus(int topics,
 kg::KnowledgeGraph CountriesKnowledgeGraph(int num_countries, Rng& rng);
 
 }  // namespace x2vec::data
-
-#endif  // X2VEC_DATA_DATASETS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_EMBED_CORPUS_H_
-#define X2VEC_EMBED_CORPUS_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -49,5 +48,3 @@ struct Corpus {
 };
 
 }  // namespace x2vec::embed
-
-#endif  // X2VEC_EMBED_CORPUS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_EMBED_FACTORIZATION_H_
-#define X2VEC_EMBED_FACTORIZATION_H_
+#pragma once
 
 #include "base/rng.h"
 #include "linalg/matrix.h"
@@ -33,5 +32,3 @@ FactorizationResult FactorizeSimilarity(const linalg::Matrix& similarity,
                                         Rng& rng);
 
 }  // namespace x2vec::embed
-
-#endif  // X2VEC_EMBED_FACTORIZATION_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_EMBED_WALKS_H_
-#define X2VEC_EMBED_WALKS_H_
+#pragma once
 
 #include <vector>
 
@@ -48,5 +47,3 @@ linalg::Matrix EmpiricalWalkSimilarity(const graph::Graph& g, int k,
                                        int samples_per_node, Rng& rng);
 
 }  // namespace x2vec::embed
-
-#endif  // X2VEC_EMBED_WALKS_H_

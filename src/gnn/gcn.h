@@ -1,5 +1,4 @@
-#ifndef X2VEC_GNN_GCN_H_
-#define X2VEC_GNN_GCN_H_
+#pragma once
 
 #include <vector>
 
@@ -64,5 +63,3 @@ class GcnClassifier {
 };
 
 }  // namespace x2vec::gnn
-
-#endif  // X2VEC_GNN_GCN_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_GNN_GRAPHSAGE_H_
-#define X2VEC_GNN_GRAPHSAGE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -36,5 +35,3 @@ class GraphSage {
 };
 
 }  // namespace x2vec::gnn
-
-#endif  // X2VEC_GNN_GRAPHSAGE_H_

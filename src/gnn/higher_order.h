@@ -1,5 +1,4 @@
-#ifndef X2VEC_GNN_HIGHER_ORDER_H_
-#define X2VEC_GNN_HIGHER_ORDER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -44,5 +43,3 @@ bool TwoGnnDistinguishes(const graph::Graph& g, const graph::Graph& h,
                          const TwoGnn& model, double tol = 1e-6);
 
 }  // namespace x2vec::gnn
-
-#endif  // X2VEC_GNN_HIGHER_ORDER_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_GNN_LAYERS_H_
-#define X2VEC_GNN_LAYERS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -88,5 +87,3 @@ bool GnnDistinguishes(const graph::Graph& g, const graph::Graph& h,
                       const GinStack& stack, double tol = 1e-6);
 
 }  // namespace x2vec::gnn
-
-#endif  // X2VEC_GNN_LAYERS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_GRAPH_ALGORITHMS_H_
-#define X2VEC_GRAPH_ALGORITHMS_H_
+#pragma once
 
 #include <vector>
 
@@ -34,5 +33,3 @@ int Girth(const Graph& g);
 Graph DirectProduct(const Graph& g, const Graph& h);
 
 }  // namespace x2vec::graph
-
-#endif  // X2VEC_GRAPH_ALGORITHMS_H_

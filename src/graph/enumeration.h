@@ -1,5 +1,4 @@
-#ifndef X2VEC_GRAPH_ENUMERATION_H_
-#define X2VEC_GRAPH_ENUMERATION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -42,5 +41,3 @@ std::vector<Graph> CyclesUpTo(int n);
 std::vector<Graph> PathsUpTo(int n);
 
 }  // namespace x2vec::graph
-
-#endif  // X2VEC_GRAPH_ENUMERATION_H_

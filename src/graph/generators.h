@@ -1,5 +1,4 @@
-#ifndef X2VEC_GRAPH_GENERATORS_H_
-#define X2VEC_GRAPH_GENERATORS_H_
+#pragma once
 
 #include <vector>
 
@@ -44,5 +43,3 @@ Graph ConnectedGnp(int n, double p, Rng& rng, int max_attempts = 1000);
 Graph PerturbEdges(const Graph& g, int flips, Rng& rng);
 
 }  // namespace x2vec::graph
-
-#endif  // X2VEC_GRAPH_GENERATORS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_DENSITIES_H_
-#define X2VEC_HOM_DENSITIES_H_
+#pragma once
 
 #include "base/rng.h"
 #include "graph/graph.h"
@@ -25,5 +24,3 @@ double SampledHomDensity(const graph::Graph& f, const graph::Graph& g,
 double ErdosRenyiLimitDensity(const graph::Graph& f, double p);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_DENSITIES_H_

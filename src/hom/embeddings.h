@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_EMBEDDINGS_H_
-#define X2VEC_HOM_EMBEDDINGS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -59,5 +58,3 @@ linalg::Matrix RootedHomNodeKernel(const graph::Graph& g,
                                    const std::vector<RootedPattern>& patterns);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_EMBEDDINGS_H_

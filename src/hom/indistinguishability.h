@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_INDISTINGUISHABILITY_H_
-#define X2VEC_HOM_INDISTINGUISHABILITY_H_
+#pragma once
 
 #include <vector>
 
@@ -58,5 +57,3 @@ bool WeightedTreeHomVectorsEqual(const graph::Graph& g, const graph::Graph& h,
                                  int max_pattern_size, double tol = 1e-6);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_INDISTINGUISHABILITY_H_

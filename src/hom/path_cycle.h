@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_PATH_CYCLE_H_
-#define X2VEC_HOM_PATH_CYCLE_H_
+#pragma once
 
 #include <vector>
 
@@ -25,5 +24,3 @@ std::vector<__int128> PathHomVector(const graph::Graph& g, int max_k);
 std::vector<__int128> CycleHomVector(const graph::Graph& g, int max_k);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_PATH_CYCLE_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_SUBGRAPH_COUNTS_H_
-#define X2VEC_HOM_SUBGRAPH_COUNTS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -22,5 +21,3 @@ __int128 CountEmbeddingsViaHoms(const graph::Graph& f, const graph::Graph& g);
 __int128 CountSubgraphCopies(const graph::Graph& f, const graph::Graph& g);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_SUBGRAPH_COUNTS_H_

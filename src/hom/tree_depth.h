@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_TREE_DEPTH_H_
-#define X2VEC_HOM_TREE_DEPTH_H_
+#pragma once
 
 #include "graph/graph.h"
 
@@ -18,5 +17,3 @@ int TreeDepth(const graph::Graph& g);
 bool HasTreeDepthAtMost(const graph::Graph& f, int k);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_TREE_DEPTH_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_TREE_HOM_H_
-#define X2VEC_HOM_TREE_HOM_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -31,5 +30,3 @@ double WeightedTreeHom(const graph::Graph& tree, const graph::Graph& g);
 __int128 CountForestHoms(const graph::Graph& forest, const graph::Graph& g);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_TREE_HOM_H_

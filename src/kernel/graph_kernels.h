@@ -1,5 +1,4 @@
-#ifndef X2VEC_KERNEL_GRAPH_KERNELS_H_
-#define X2VEC_KERNEL_GRAPH_KERNELS_H_
+#pragma once
 
 #include <vector>
 
@@ -53,5 +52,3 @@ linalg::Matrix CenterKernel(const linalg::Matrix& k);
 bool IsPositiveSemidefinite(const linalg::Matrix& k, double tol = 1e-8);
 
 }  // namespace x2vec::kernel
-
-#endif  // X2VEC_KERNEL_GRAPH_KERNELS_H_

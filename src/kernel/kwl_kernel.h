@@ -1,5 +1,4 @@
-#ifndef X2VEC_KERNEL_KWL_KERNEL_H_
-#define X2VEC_KERNEL_KWL_KERNEL_H_
+#pragma once
 
 #include <vector>
 
@@ -18,5 +17,3 @@ linalg::Matrix TwoWlKernelMatrix(const std::vector<graph::Graph>& graphs,
                                  int rounds);
 
 }  // namespace x2vec::kernel
-
-#endif  // X2VEC_KERNEL_KWL_KERNEL_H_

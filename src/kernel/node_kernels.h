@@ -1,5 +1,4 @@
-#ifndef X2VEC_KERNEL_NODE_KERNELS_H_
-#define X2VEC_KERNEL_NODE_KERNELS_H_
+#pragma once
 
 #include "graph/graph.h"
 #include "linalg/matrix.h"
@@ -25,5 +24,3 @@ linalg::Matrix RegularizedLaplacianKernel(const graph::Graph& g,
 linalg::Matrix PStepRandomWalkKernel(const graph::Graph& g, double a, int p);
 
 }  // namespace x2vec::kernel
-
-#endif  // X2VEC_KERNEL_NODE_KERNELS_H_

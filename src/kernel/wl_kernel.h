@@ -1,5 +1,4 @@
-#ifndef X2VEC_KERNEL_WL_KERNEL_H_
-#define X2VEC_KERNEL_WL_KERNEL_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -50,5 +49,3 @@ linalg::Matrix WlShortestPathKernelMatrix(
     const std::vector<graph::Graph>& graphs, int rounds);
 
 }  // namespace x2vec::kernel
-
-#endif  // X2VEC_KERNEL_WL_KERNEL_H_

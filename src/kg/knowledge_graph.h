@@ -1,5 +1,4 @@
-#ifndef X2VEC_KG_KNOWLEDGE_GRAPH_H_
-#define X2VEC_KG_KNOWLEDGE_GRAPH_H_
+#pragma once
 
 #include <set>
 #include <string>
@@ -59,5 +58,3 @@ class KnowledgeGraph {
 };
 
 }  // namespace x2vec::kg
-
-#endif  // X2VEC_KG_KNOWLEDGE_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_CHARPOLY_H_
-#define X2VEC_LINALG_CHARPOLY_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -52,5 +51,3 @@ std::vector<__int128> CharacteristicPolynomial(const IntMatrix& a);
 std::string Int128ToString(__int128 value);
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_CHARPOLY_H_

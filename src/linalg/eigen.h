@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_EIGEN_H_
-#define X2VEC_LINALG_EIGEN_H_
+#pragma once
 
 #include <vector>
 
@@ -45,5 +44,3 @@ SvdDecomposition Svd(const Matrix& a);
 Matrix SvdEmbedding(const Matrix& similarity, int d);
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_EIGEN_H_

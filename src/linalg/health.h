@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_HEALTH_H_
-#define X2VEC_LINALG_HEALTH_H_
+#pragma once
 
 #include <cmath>
 #include <vector>
@@ -53,5 +52,3 @@ inline void ClipGradient(std::vector<double>& gradient, double clip) {
 }
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_HEALTH_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_HUNGARIAN_H_
-#define X2VEC_LINALG_HUNGARIAN_H_
+#pragma once
 
 #include <vector>
 
@@ -24,5 +23,3 @@ AssignmentResult SolveAssignment(const Matrix& cost);
 AssignmentResult SolveMaxAssignment(const Matrix& weight);
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_HUNGARIAN_H_

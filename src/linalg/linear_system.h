@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_LINEAR_SYSTEM_H_
-#define X2VEC_LINALG_LINEAR_SYSTEM_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -55,5 +54,3 @@ std::optional<std::vector<double>> SolveDense(const Matrix& a,
                                               double pivot_tol = 1e-12);
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_LINEAR_SYSTEM_H_

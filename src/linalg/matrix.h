@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_MATRIX_H_
-#define X2VEC_LINALG_MATRIX_H_
+#pragma once
 
 #include <cstdint>
 #include <initializer_list>
@@ -116,5 +115,3 @@ void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
 void Scale(std::vector<double>& x, double alpha);
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_MATRIX_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_LINALG_RATIONAL_H_
-#define X2VEC_LINALG_RATIONAL_H_
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -67,5 +66,3 @@ class Rational {
 std::ostream& operator<<(std::ostream& os, const Rational& r);
 
 }  // namespace x2vec::linalg
-
-#endif  // X2VEC_LINALG_RATIONAL_H_

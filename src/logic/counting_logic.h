@@ -1,5 +1,4 @@
-#ifndef X2VEC_LOGIC_COUNTING_LOGIC_H_
-#define X2VEC_LOGIC_COUNTING_LOGIC_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -61,5 +60,3 @@ class Formula {
 Formula RandomC2Sentence(int depth, Rng& rng);
 
 }  // namespace x2vec::logic
-
-#endif  // X2VEC_LOGIC_COUNTING_LOGIC_H_

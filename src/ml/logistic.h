@@ -1,5 +1,4 @@
-#ifndef X2VEC_ML_LOGISTIC_H_
-#define X2VEC_ML_LOGISTIC_H_
+#pragma once
 
 #include <vector>
 
@@ -32,5 +31,3 @@ class LogisticRegression {
 };
 
 }  // namespace x2vec::ml
-
-#endif  // X2VEC_ML_LOGISTIC_H_

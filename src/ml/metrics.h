@@ -1,5 +1,4 @@
-#ifndef X2VEC_ML_METRICS_H_
-#define X2VEC_ML_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -22,5 +21,3 @@ double MeanReciprocalRank(const std::vector<int>& ranks);
 double HitsAtK(const std::vector<int>& ranks, int k);
 
 }  // namespace x2vec::ml
-
-#endif  // X2VEC_ML_METRICS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_ML_NEIGHBORS_H_
-#define X2VEC_ML_NEIGHBORS_H_
+#pragma once
 
 #include <vector>
 
@@ -37,5 +36,3 @@ KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
                     int max_iterations = 100);
 
 }  // namespace x2vec::ml
-
-#endif  // X2VEC_ML_NEIGHBORS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_ML_PCA_H_
-#define X2VEC_ML_PCA_H_
+#pragma once
 
 #include <vector>
 
@@ -23,5 +22,3 @@ PcaResult Pca(const linalg::Matrix& features, int d);
 linalg::Matrix KernelPca(const linalg::Matrix& gram, int d);
 
 }  // namespace x2vec::ml
-
-#endif  // X2VEC_ML_PCA_H_

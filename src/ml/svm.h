@@ -1,5 +1,4 @@
-#ifndef X2VEC_ML_SVM_H_
-#define X2VEC_ML_SVM_H_
+#pragma once
 
 #include <vector>
 
@@ -64,5 +63,3 @@ double CrossValidatedSvmAccuracy(const linalg::Matrix& gram,
                                  const SvmOptions& options, Rng& rng);
 
 }  // namespace x2vec::ml
-
-#endif  // X2VEC_ML_SVM_H_

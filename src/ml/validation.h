@@ -1,5 +1,4 @@
-#ifndef X2VEC_ML_VALIDATION_H_
-#define X2VEC_ML_VALIDATION_H_
+#pragma once
 
 #include <vector>
 
@@ -22,5 +21,3 @@ std::vector<Split> StratifiedKFold(const std::vector<int>& labels, int folds,
                                    Rng& rng);
 
 }  // namespace x2vec::ml
-
-#endif  // X2VEC_ML_VALIDATION_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_RELATIONAL_STRUCTURE_H_
-#define X2VEC_RELATIONAL_STRUCTURE_H_
+#pragma once
 
 #include <cstdint>
 #include <set>
@@ -72,5 +71,3 @@ Structure RandomStructure(const Vocabulary& vocabulary, int universe_size,
                           double p, Rng& rng);
 
 }  // namespace x2vec::relational
-
-#endif  // X2VEC_RELATIONAL_STRUCTURE_H_

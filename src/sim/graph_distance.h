@@ -1,5 +1,4 @@
-#ifndef X2VEC_SIM_GRAPH_DISTANCE_H_
-#define X2VEC_SIM_GRAPH_DISTANCE_H_
+#pragma once
 
 #include <vector>
 
@@ -53,5 +52,3 @@ std::pair<graph::Graph, graph::Graph> BlowUpAlign(const graph::Graph& g,
                                                   const graph::Graph& h);
 
 }  // namespace x2vec::sim
-
-#endif  // X2VEC_SIM_GRAPH_DISTANCE_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_SIM_MATRIX_NORMS_H_
-#define X2VEC_SIM_MATRIX_NORMS_H_
+#pragma once
 
 #include "linalg/matrix.h"
 
@@ -24,5 +23,3 @@ double NormValue(const linalg::Matrix& m, MatrixNorm norm);
 double CutNorm(const linalg::Matrix& m);
 
 }  // namespace x2vec::sim
-
-#endif  // X2VEC_SIM_MATRIX_NORMS_H_

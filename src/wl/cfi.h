@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_CFI_H_
-#define X2VEC_WL_CFI_H_
+#pragma once
 
 #include "graph/graph.h"
 
@@ -25,5 +24,3 @@ struct CfiPair {
 CfiPair BuildCfiPair(const graph::Graph& base);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_CFI_H_

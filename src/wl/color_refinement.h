@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_COLOR_REFINEMENT_H_
-#define X2VEC_WL_COLOR_REFINEMENT_H_
+#pragma once
 
 #include <vector>
 
@@ -81,5 +80,3 @@ std::vector<std::vector<int>> ColorClasses(const std::vector<int>& colors);
 std::vector<int> ColorHistogram(const std::vector<int>& colors);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_COLOR_REFINEMENT_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_FRACTIONAL_H_
-#define X2VEC_WL_FRACTIONAL_H_
+#pragma once
 
 #include <optional>
 
@@ -28,5 +27,3 @@ double FractionalResidual(const graph::Graph& g, const graph::Graph& h,
                           const linalg::Matrix& x);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_FRACTIONAL_H_

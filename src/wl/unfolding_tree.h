@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_UNFOLDING_TREE_H_
-#define X2VEC_WL_UNFOLDING_TREE_H_
+#pragma once
 
 #include <string>
 
@@ -30,5 +29,3 @@ std::string UnfoldingTreeString(const graph::Graph& g, int v, int depth);
 std::string RenderUnfoldingTree(const graph::Graph& g, int v, int depth);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_UNFOLDING_TREE_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_WEIGHTED_WL_H_
-#define X2VEC_WL_WEIGHTED_WL_H_
+#pragma once
 
 #include <vector>
 
@@ -52,5 +51,3 @@ linalg::Matrix ReduceMatrixByWl(const linalg::Matrix& a,
                                 const MatrixWlResult& partition);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_WEIGHTED_WL_H_

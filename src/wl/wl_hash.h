@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_WL_HASH_H_
-#define X2VEC_WL_WL_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -23,5 +22,3 @@ uint64_t WlHash(const graph::Graph& g, int rounds = -1);
 std::string WlCertificate(const graph::Graph& g, int rounds = -1);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_WL_HASH_H_
