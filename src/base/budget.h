@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_BUDGET_H_
-#define X2VEC_BASE_BUDGET_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -45,26 +44,26 @@ class Budget {
   static Budget DeadlineAndWorkUnits(double seconds, int64_t units);
 
   /// True iff this budget carries any limit at all.
-  bool limited() const { return work_limit_.has_value() || deadline_.has_value(); }
+  [[nodiscard]] bool limited() const { return work_limit_.has_value() || deadline_.has_value(); }
 
   /// Records `units` of cooperative work. Returns true while headroom
   /// remains; false once either limit is crossed. Exhaustion latches: all
   /// later calls return false.
-  bool Spend(int64_t units = 1) {
+  [[nodiscard]] bool Spend(int64_t units = 1) {
     if (!limited()) return true;
     return SpendSlow(units);
   }
 
   /// Probe without spending: true iff the budget is already gone. A zero
   /// work quota or an expired deadline reports exhausted before any work.
-  bool Exhausted() { return limited() && !SpendSlow(0); }
+  [[nodiscard]] bool Exhausted() { return limited() && !SpendSlow(0); }
 
   /// Work units recorded so far.
-  int64_t work_spent() const { return work_spent_; }
+  [[nodiscard]] int64_t work_spent() const { return work_spent_; }
 
   /// kResourceExhausted status naming the operation and the limit that
   /// tripped. Call only after Spend()/Exhausted() reported exhaustion.
-  Status ExhaustedError(std::string_view operation) const;
+  [[nodiscard]] Status ExhaustedError(std::string_view operation) const;
 
  private:
   bool SpendSlow(int64_t units);
@@ -85,9 +84,7 @@ struct BudgetSpec {
   std::optional<int64_t> work_units;      ///< Absent = unlimited work.
   std::optional<double> deadline_seconds; ///< Absent = no deadline.
 
-  Budget MakeBudget() const;
+  [[nodiscard]] Budget MakeBudget() const;
 };
 
 }  // namespace x2vec
-
-#endif  // X2VEC_BASE_BUDGET_H_

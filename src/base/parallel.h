@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_PARALLEL_H_
-#define X2VEC_BASE_PARALLEL_H_
+#pragma once
 
 #include <atomic>
 #include <cmath>
@@ -111,7 +110,7 @@ class ThreadPool {
 /// by a chunk cancel the same way and are rethrown in the caller. Either
 /// way partial effects of completed chunks remain; error paths carry no
 /// bit-identical guarantee (success paths do).
-Status ParallelFor(int64_t n, int64_t grain,
+[[nodiscard]] Status ParallelFor(int64_t n, int64_t grain,
                    const std::function<Status(int64_t, int64_t)>& body);
 
 /// Maps i -> fn(i) over [0, n) in parallel and returns the results in
@@ -152,7 +151,7 @@ class BudgetGate {
   }
 
   /// Thread-safe Budget::ExhaustedError.
-  Status ExhaustedError(std::string_view operation) {
+  [[nodiscard]] Status ExhaustedError(std::string_view operation) {
     std::lock_guard<std::mutex> lock(mu_);
     return budget_.ExhaustedError(operation);
   }
@@ -179,5 +178,3 @@ inline std::pair<int, int> UpperTriangleIndex(int64_t t, int64_t n) {
 }
 
 }  // namespace x2vec
-
-#endif  // X2VEC_BASE_PARALLEL_H_

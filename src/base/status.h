@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_STATUS_H_
-#define X2VEC_BASE_STATUS_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -26,7 +25,9 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// Lightweight success-or-error result, modelled on absl::Status.
-class Status {
+/// [[nodiscard]] on the class makes discarding any returned Status a
+/// compiler warning (an error under X2VEC_WERROR) at every call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -53,12 +54,12 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CODE>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -68,7 +69,7 @@ class Status {
 /// Either a value of type T or an error Status. Access to the value when the
 /// status is not OK is a checked fatal error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value, mirroring absl::StatusOr ergonomics.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -77,26 +78,26 @@ class StatusOr {
     X2VEC_CHECK(!status_.ok()) << "StatusOr built from OK status without value";
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     X2VEC_CHECK(ok()) << status_.ToString();
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     X2VEC_CHECK(ok()) << status_.ToString();
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     X2VEC_CHECK(ok()) << status_.ToString();
     return *std::move(value_);
   }
 
-  const T& operator*() const& { return value(); }
-  T& operator*() & { return value(); }
-  const T* operator->() const { return &value(); }
-  T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
 
  private:
   Status status_;
@@ -104,5 +105,3 @@ class StatusOr {
 };
 
 }  // namespace x2vec
-
-#endif  // X2VEC_BASE_STATUS_H_

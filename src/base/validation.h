@@ -1,5 +1,4 @@
-#ifndef X2VEC_BASE_VALIDATION_H_
-#define X2VEC_BASE_VALIDATION_H_
+#pragma once
 
 #include <cmath>
 #include <initializer_list>
@@ -28,7 +27,7 @@ struct OptionCheck {
 /// kInvalidArgument naming the first offending option, or OK. Keeps every
 /// trainer from silently accepting non-positive epochs/dimensions and
 /// producing empty or degenerate models.
-inline Status ValidateOptions(std::initializer_list<OptionCheck> checks) {
+[[nodiscard]] inline Status ValidateOptions(std::initializer_list<OptionCheck> checks) {
   for (const OptionCheck& check : checks) {
     std::string_view constraint;
     switch (check.rule) {
@@ -57,5 +56,3 @@ inline Status ValidateOptions(std::initializer_list<OptionCheck> checks) {
 }
 
 }  // namespace x2vec
-
-#endif  // X2VEC_BASE_VALIDATION_H_

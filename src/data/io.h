@@ -1,5 +1,4 @@
-#ifndef X2VEC_DATA_IO_H_
-#define X2VEC_DATA_IO_H_
+#pragma once
 
 #include <string>
 
@@ -14,15 +13,13 @@ namespace x2vec::data {
 /// Vertex labels are emitted only when any are non-zero. Weighted/directed
 /// graphs are rejected (the interchange format is for classification
 /// suites).
-StatusOr<std::string> SerializeDataset(const GraphDataset& dataset);
+[[nodiscard]] StatusOr<std::string> SerializeDataset(const GraphDataset& dataset);
 
 /// Parses the format above.
-StatusOr<GraphDataset> ParseDataset(const std::string& text);
+[[nodiscard]] StatusOr<GraphDataset> ParseDataset(const std::string& text);
 
 /// Convenience file wrappers.
-Status SaveDataset(const GraphDataset& dataset, const std::string& path);
-StatusOr<GraphDataset> LoadDataset(const std::string& path);
+[[nodiscard]] Status SaveDataset(const GraphDataset& dataset, const std::string& path);
+[[nodiscard]] StatusOr<GraphDataset> LoadDataset(const std::string& path);
 
 }  // namespace x2vec::data
-
-#endif  // X2VEC_DATA_IO_H_

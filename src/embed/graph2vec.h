@@ -1,5 +1,4 @@
-#ifndef X2VEC_EMBED_GRAPH2VEC_H_
-#define X2VEC_EMBED_GRAPH2VEC_H_
+#pragma once
 
 #include <vector>
 
@@ -31,7 +30,7 @@ linalg::Matrix Graph2VecEmbedding(const std::vector<graph::Graph>& graphs,
 /// cost. Returns kResourceExhausted / kInvalidArgument / kInternal as the
 /// underlying trainer does; with an unlimited budget the result is
 /// bit-identical to Graph2VecEmbedding (a thin wrapper over this).
-StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
+[[nodiscard]] StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
     const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
     Rng& rng, Budget& budget);
 
@@ -41,10 +40,8 @@ StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
 /// count for a fixed seed (and numerically different from the sequential
 /// trainers' output — see TrainPvDbowSharded). Budget and error semantics
 /// match Graph2VecEmbeddingBudgeted.
-StatusOr<linalg::Matrix> Graph2VecEmbeddingParallel(
+[[nodiscard]] StatusOr<linalg::Matrix> Graph2VecEmbeddingParallel(
     const std::vector<graph::Graph>& graphs, const Graph2VecOptions& options,
     uint64_t seed, Budget& budget);
 
 }  // namespace x2vec::embed
-
-#endif  // X2VEC_EMBED_GRAPH2VEC_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_EMBED_NODE_EMBEDDINGS_H_
-#define X2VEC_EMBED_NODE_EMBEDDINGS_H_
+#pragma once
 
 #include "base/rng.h"
 #include "embed/sgns.h"
@@ -51,11 +50,11 @@ linalg::Matrix Node2VecEmbedding(const graph::Graph& g,
 /// kInternal as the underlying trainer does; with an unlimited budget the
 /// results are bit-identical to the plain functions above (which are thin
 /// wrappers over these).
-StatusOr<linalg::Matrix> DeepWalkEmbeddingBudgeted(
+[[nodiscard]] StatusOr<linalg::Matrix> DeepWalkEmbeddingBudgeted(
     const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
     Budget& budget);
 
-StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
+[[nodiscard]] StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
     const graph::Graph& g, const Node2VecOptions& options, Rng& rng,
     Budget& budget);
 
@@ -64,11 +63,11 @@ StatusOr<linalg::Matrix> Node2VecEmbeddingBudgeted(
 /// fixed seed the embedding is bit-identical at any thread count; it
 /// differs numerically from the Budgeted variants, which keep the
 /// sequential SGD trajectory. Budget and error semantics are unchanged.
-StatusOr<linalg::Matrix> DeepWalkEmbeddingParallel(
+[[nodiscard]] StatusOr<linalg::Matrix> DeepWalkEmbeddingParallel(
     const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
     Budget& budget);
 
-StatusOr<linalg::Matrix> Node2VecEmbeddingParallel(
+[[nodiscard]] StatusOr<linalg::Matrix> Node2VecEmbeddingParallel(
     const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
     Budget& budget);
 
@@ -78,5 +77,3 @@ double ReconstructionError(const linalg::Matrix& embedding,
                            const linalg::Matrix& similarity);
 
 }  // namespace x2vec::embed
-
-#endif  // X2VEC_EMBED_NODE_EMBEDDINGS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_EMBED_SGNS_H_
-#define X2VEC_EMBED_SGNS_H_
+#pragma once
 
 #include <vector>
 
@@ -38,7 +37,7 @@ struct SgnsModel {
 /// window / negatives, negative epochs, non-finite or non-positive
 /// learning rate), OK otherwise. Zero epochs is valid: it requests the
 /// untrained (randomly initialised) baseline.
-Status ValidateSgnsOptions(const SgnsOptions& options);
+[[nodiscard]] Status ValidateSgnsOptions(const SgnsOptions& options);
 
 /// Trains skip-gram with negative sampling on a corpus: for each token
 /// occurrence, each context token within the window is a positive pair and
@@ -64,11 +63,11 @@ SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
 /// result is bit-identical to the plain functions above (which are thin
 /// wrappers over these).
 
-StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
+[[nodiscard]] StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
                                       const SgnsOptions& options, Rng& rng,
                                       Budget& budget);
 
-StatusOr<SgnsModel> TrainPvDbowBudgeted(
+[[nodiscard]] StatusOr<SgnsModel> TrainPvDbowBudgeted(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     const SgnsOptions& options, Rng& rng, Budget& budget);
 
@@ -90,14 +89,12 @@ StatusOr<SgnsModel> TrainPvDbowBudgeted(
 /// sequence) and the per-epoch numeric-health check with LR-backoff
 /// recovery.
 
-StatusOr<SgnsModel> TrainSgnsSharded(const Corpus& corpus,
+[[nodiscard]] StatusOr<SgnsModel> TrainSgnsSharded(const Corpus& corpus,
                                      const SgnsOptions& options, uint64_t seed,
                                      Budget& budget);
 
-StatusOr<SgnsModel> TrainPvDbowSharded(
+[[nodiscard]] StatusOr<SgnsModel> TrainPvDbowSharded(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     const SgnsOptions& options, uint64_t seed, Budget& budget);
 
 }  // namespace x2vec::embed
-
-#endif  // X2VEC_EMBED_SGNS_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_GRAPH_GRAPH_H_
-#define X2VEC_GRAPH_GRAPH_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -56,35 +55,35 @@ class Graph {
   /// From an explicit undirected edge list on n vertices.
   static Graph FromEdges(int n, const std::vector<std::pair<int, int>>& edges);
 
-  int NumVertices() const { return static_cast<int>(adjacency_.size()); }
-  int NumEdges() const { return static_cast<int>(edges_.size()); }
-  bool directed() const { return directed_; }
+  [[nodiscard]] int NumVertices() const { return static_cast<int>(adjacency_.size()); }
+  [[nodiscard]] int NumEdges() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] bool directed() const { return directed_; }
 
   /// Adds a vertex with the given label; returns its id.
   int AddVertex(int label = 0);
   /// Adds edge u-v (or u->v if directed). Fatal on loops and duplicates.
   void AddEdge(int u, int v, double weight = 1.0, int label = 0);
   /// True if the edge u-v (u->v if directed) exists.
-  bool HasEdge(int u, int v) const;
+  [[nodiscard]] bool HasEdge(int u, int v) const;
   /// Weight of edge u-v, or 0.0 if absent (the alpha(u,v) of Section 3.2).
-  double EdgeWeight(int u, int v) const;
+  [[nodiscard]] double EdgeWeight(int u, int v) const;
 
   /// Out-neighbourhood (the full neighbourhood for undirected graphs).
-  const std::vector<Neighbor>& Neighbors(int v) const {
+  [[nodiscard]] const std::vector<Neighbor>& Neighbors(int v) const {
     X2VEC_DCHECK(v >= 0 && v < NumVertices());
     return adjacency_[v];
   }
   /// In-neighbourhood; equals Neighbors(v) for undirected graphs.
-  const std::vector<Neighbor>& InNeighbors(int v) const {
+  [[nodiscard]] const std::vector<Neighbor>& InNeighbors(int v) const {
     X2VEC_DCHECK(v >= 0 && v < NumVertices());
     return directed_ ? in_adjacency_[v] : adjacency_[v];
   }
-  int Degree(int v) const { return static_cast<int>(Neighbors(v).size()); }
-  int InDegree(int v) const { return static_cast<int>(InNeighbors(v).size()); }
+  [[nodiscard]] int Degree(int v) const { return static_cast<int>(Neighbors(v).size()); }
+  [[nodiscard]] int InDegree(int v) const { return static_cast<int>(InNeighbors(v).size()); }
 
-  const std::vector<Edge>& Edges() const { return edges_; }
+  [[nodiscard]] const std::vector<Edge>& Edges() const { return edges_; }
 
-  int VertexLabel(int v) const {
+  [[nodiscard]] int VertexLabel(int v) const {
     X2VEC_DCHECK(v >= 0 && v < NumVertices());
     return vertex_labels_[v];
   }
@@ -92,25 +91,25 @@ class Graph {
     X2VEC_DCHECK(v >= 0 && v < NumVertices());
     vertex_labels_[v] = label;
   }
-  const std::vector<int>& VertexLabels() const { return vertex_labels_; }
+  [[nodiscard]] const std::vector<int>& VertexLabels() const { return vertex_labels_; }
 
   /// True if any vertex label differs from 0.
-  bool HasVertexLabels() const;
+  [[nodiscard]] bool HasVertexLabels() const;
   /// True if any edge label differs from 0.
-  bool HasEdgeLabels() const;
+  [[nodiscard]] bool HasEdgeLabels() const;
   /// True if any edge weight differs from 1.0.
-  bool IsWeighted() const;
+  [[nodiscard]] bool IsWeighted() const;
 
   /// Dense weighted adjacency matrix.
-  linalg::Matrix AdjacencyMatrix() const;
+  [[nodiscard]] linalg::Matrix AdjacencyMatrix() const;
   /// Exact 0/1 adjacency matrix (fatal if the graph is weighted).
-  linalg::IntMatrix IntAdjacencyMatrix() const;
+  [[nodiscard]] linalg::IntMatrix IntAdjacencyMatrix() const;
 
   /// Degree sequence sorted descending.
-  std::vector<int> DegreeSequence() const;
+  [[nodiscard]] std::vector<int> DegreeSequence() const;
 
   /// Compact description for logs: "Graph(n=5, m=4, undirected)".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Graph& other) const = default;
 
@@ -152,5 +151,3 @@ bool IsConnected(const Graph& g);
 bool IsTree(const Graph& g);
 
 }  // namespace x2vec::graph
-
-#endif  // X2VEC_GRAPH_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_GRAPH_GRAPH6_H_
-#define X2VEC_GRAPH_GRAPH6_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -14,11 +13,9 @@ namespace x2vec::graph {
 std::string ToGraph6(const Graph& g);
 
 /// Decodes a graph6 string; rejects malformed input via Status.
-StatusOr<Graph> FromGraph6(const std::string& encoded);
+[[nodiscard]] StatusOr<Graph> FromGraph6(const std::string& encoded);
 
 /// Parses a whitespace/newline-separated list of graph6 strings.
-StatusOr<std::vector<Graph>> FromGraph6List(const std::string& text);
+[[nodiscard]] StatusOr<std::vector<Graph>> FromGraph6List(const std::string& text);
 
 }  // namespace x2vec::graph
-
-#endif  // X2VEC_GRAPH_GRAPH6_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_GRAPH_ISOMORPHISM_H_
-#define X2VEC_GRAPH_ISOMORPHISM_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -36,14 +35,12 @@ int64_t CountAutomorphisms(const Graph& g);
 /// the answers match the plain functions above exactly (those are thin
 /// wrappers over these).
 
-StatusOr<bool> AreIsomorphicBudgeted(const Graph& g, const Graph& h,
+[[nodiscard]] StatusOr<bool> AreIsomorphicBudgeted(const Graph& g, const Graph& h,
                                      Budget& budget);
 
-StatusOr<int64_t> CountIsomorphismsBudgeted(const Graph& g, const Graph& h,
+[[nodiscard]] StatusOr<int64_t> CountIsomorphismsBudgeted(const Graph& g, const Graph& h,
                                             Budget& budget);
 
-StatusOr<int64_t> CountAutomorphismsBudgeted(const Graph& g, Budget& budget);
+[[nodiscard]] StatusOr<int64_t> CountAutomorphismsBudgeted(const Graph& g, Budget& budget);
 
 }  // namespace x2vec::graph
-
-#endif  // X2VEC_GRAPH_ISOMORPHISM_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_BRUTE_FORCE_H_
-#define X2VEC_HOM_BRUTE_FORCE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -43,26 +42,24 @@ int64_t CountEpimorphismsBruteForce(const graph::Graph& f,
 /// gone; with an unlimited budget the results are identical to the plain
 /// functions above (which are thin wrappers over these).
 
-StatusOr<int64_t> CountHomomorphismsBruteForceBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<int64_t> CountHomomorphismsBruteForceBudgeted(const graph::Graph& f,
                                                        const graph::Graph& g,
                                                        Budget& budget);
 
-StatusOr<int64_t> CountRootedHomomorphismsBruteForceBudgeted(
+[[nodiscard]] StatusOr<int64_t> CountRootedHomomorphismsBruteForceBudgeted(
     const graph::Graph& f, int r, const graph::Graph& g, int v,
     Budget& budget);
 
-StatusOr<double> WeightedHomomorphismBruteForceBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<double> WeightedHomomorphismBruteForceBudgeted(const graph::Graph& f,
                                                         const graph::Graph& g,
                                                         Budget& budget);
 
-StatusOr<int64_t> CountEmbeddingsBruteForceBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<int64_t> CountEmbeddingsBruteForceBudgeted(const graph::Graph& f,
                                                     const graph::Graph& g,
                                                     Budget& budget);
 
-StatusOr<int64_t> CountEpimorphismsBruteForceBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<int64_t> CountEpimorphismsBruteForceBudgeted(const graph::Graph& f,
                                                       const graph::Graph& g,
                                                       Budget& budget);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_BRUTE_FORCE_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_HOM_TREEWIDTH_H_
-#define X2VEC_HOM_TREEWIDTH_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,21 +45,19 @@ double CountHomsDouble(const graph::Graph& f, const graph::Graph& g);
 /// the results match the plain functions above exactly (those are thin
 /// wrappers over these).
 
-StatusOr<int> ExactTreewidthBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<int> ExactTreewidthBudgeted(const graph::Graph& f,
                                      std::vector<int>* best_order,
                                      Budget& budget);
 
-StatusOr<__int128> CountHomsViaEliminationBudgeted(
+[[nodiscard]] StatusOr<__int128> CountHomsViaEliminationBudgeted(
     const graph::Graph& f, const graph::Graph& g,
     const std::vector<int>& order, Budget& budget);
 
-StatusOr<__int128> CountHomsBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<__int128> CountHomsBudgeted(const graph::Graph& f,
                                      const graph::Graph& g, Budget& budget);
 
-StatusOr<double> CountHomsDoubleBudgeted(const graph::Graph& f,
+[[nodiscard]] StatusOr<double> CountHomsDoubleBudgeted(const graph::Graph& f,
                                          const graph::Graph& g,
                                          Budget& budget);
 
 }  // namespace x2vec::hom
-
-#endif  // X2VEC_HOM_TREEWIDTH_H_

@@ -1,5 +1,4 @@
-#ifndef X2VEC_KG_RESCAL_H_
-#define X2VEC_KG_RESCAL_H_
+#pragma once
 
 #include <vector>
 
@@ -41,7 +40,7 @@ struct RescalModel {
 /// kInvalidArgument naming the first bad field (non-positive dimension,
 /// negative epochs, non-finite or non-positive learning rate, negative
 /// l2), OK otherwise. Zero epochs requests the untrained baseline.
-Status ValidateRescalOptions(const RescalOptions& options);
+[[nodiscard]] Status ValidateRescalOptions(const RescalOptions& options);
 
 RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
                         Rng& rng);
@@ -56,10 +55,8 @@ RescalModel TrainRescal(const KnowledgeGraph& kg, const RescalOptions& options,
 /// options or a degenerate knowledge graph. With an unlimited budget and a
 /// healthy run the result is bit-identical to TrainRescal (which is a thin
 /// wrapper over this).
-StatusOr<RescalModel> TrainRescalBudgeted(const KnowledgeGraph& kg,
+[[nodiscard]] StatusOr<RescalModel> TrainRescalBudgeted(const KnowledgeGraph& kg,
                                           const RescalOptions& options,
                                           Rng& rng, Budget& budget);
 
 }  // namespace x2vec::kg
-
-#endif  // X2VEC_KG_RESCAL_H_

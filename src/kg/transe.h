@@ -1,5 +1,4 @@
-#ifndef X2VEC_KG_TRANSE_H_
-#define X2VEC_KG_TRANSE_H_
+#pragma once
 
 #include <vector>
 
@@ -41,7 +40,7 @@ struct TransEModel {
 /// kInvalidArgument naming the first bad field (non-positive dimension,
 /// negative epochs, non-finite or non-positive learning rate, negative
 /// margin), OK otherwise. Zero epochs requests the untrained baseline.
-Status ValidateTransEOptions(const TransEOptions& options);
+[[nodiscard]] Status ValidateTransEOptions(const TransEOptions& options);
 
 TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
                         Rng& rng);
@@ -56,7 +55,7 @@ TransEModel TrainTransE(const KnowledgeGraph& kg, const TransEOptions& options,
 /// options or a degenerate knowledge graph. With an unlimited budget and a
 /// healthy run the result is bit-identical to TrainTransE (which is a thin
 /// wrapper over this).
-StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
+[[nodiscard]] StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
                                           const TransEOptions& options,
                                           Rng& rng, Budget& budget);
 
@@ -65,5 +64,3 @@ std::vector<int> TailRanks(const TransEModel& model, const KnowledgeGraph& kg,
                            const std::vector<Triple>& test);
 
 }  // namespace x2vec::kg
-
-#endif  // X2VEC_KG_TRANSE_H_

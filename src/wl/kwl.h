@@ -1,5 +1,4 @@
-#ifndef X2VEC_WL_KWL_H_
-#define X2VEC_WL_KWL_H_
+#pragma once
 
 #include <vector>
 
@@ -37,10 +36,8 @@ bool KwlDistinguishes(const graph::Graph& g, const graph::Graph& h, int k);
 /// Returns kResourceExhausted if the budget runs out before a verdict;
 /// with an unlimited budget the result matches KwlCompare exactly
 /// (KwlCompare is a thin wrapper over this).
-StatusOr<KwlResult> KwlCompareBudgeted(const graph::Graph& g,
+[[nodiscard]] StatusOr<KwlResult> KwlCompareBudgeted(const graph::Graph& g,
                                        const graph::Graph& h, int k,
                                        Budget& budget);
 
 }  // namespace x2vec::wl
-
-#endif  // X2VEC_WL_KWL_H_
