@@ -9,10 +9,6 @@ namespace {
 using graph::Graph;
 using graph::Neighbor;
 
-void ReluInPlace(linalg::Matrix& m) {
-  for (double& v : m.mutable_data()) v = std::max(0.0, v);
-}
-
 }  // namespace
 
 GnnLayer GnnLayer::Random(int in_dim, int agg_dim, int out_dim, double scale,

@@ -126,7 +126,9 @@ TEST(WalksTest, IsolatedVertexStops) {
   options.walk_length = 5;
   const auto walks = GenerateWalks(g, options, rng);
   for (const auto& walk : walks) {
-    if (walk.front() == 2) EXPECT_EQ(walk.size(), 1u);
+    if (walk.front() == 2) {
+      EXPECT_EQ(walk.size(), 1u);
+    }
   }
 }
 

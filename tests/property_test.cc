@@ -179,7 +179,9 @@ TEST_P(LadderTest, ImplicationsHold) {
     EXPECT_TRUE(trees);
     EXPECT_TRUE(cycles);
   }
-  if (trees) EXPECT_TRUE(paths);
+  if (trees) {
+    EXPECT_TRUE(paths);
+  }
   // Hom_T coincides with fractional isomorphism (Thm 3.2 + Cor 4.5).
   EXPECT_EQ(trees, wl::AreFractionallyIsomorphic(g, h));
 }
