@@ -243,10 +243,10 @@ std::vector<MethodOutcome> RunMethodSuite(
   for (size_t i = 0; i < suite.size(); ++i) {
     Budget budget = spec.MakeBudget();
     Rng rng = MakeRng(seed + i);
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();  // x2vec-lint: allow(chrono)
     StatusOr<Matrix> result = suite[i].gram_budgeted(graphs, rng, budget);
     const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // x2vec-lint: allow(chrono)
             .count();
     if (result.ok()) {
       outcomes.push_back(
@@ -266,10 +266,10 @@ std::vector<MethodOutcome> RunNodeMethodSuite(
   for (size_t i = 0; i < suite.size(); ++i) {
     Budget budget = spec.MakeBudget();
     Rng rng = MakeRng(seed + i);
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();  // x2vec-lint: allow(chrono)
     StatusOr<Matrix> result = suite[i].embed_budgeted(g, rng, budget);
     const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // x2vec-lint: allow(chrono)
             .count();
     if (result.ok()) {
       outcomes.push_back(

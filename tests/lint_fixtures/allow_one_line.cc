@@ -1,0 +1,9 @@
+// A suppression silences exactly its own line: the first rand() below is
+// allowed, the second must still be reported.
+#include <cstdlib>
+
+int SuppressedDraw() {
+  const int a = rand() % 10;  // x2vec-lint: allow(nondeterminism)
+  const int b = rand() % 10;
+  return a + b;
+}

@@ -1,0 +1,12 @@
+#ifndef X2VEC_TESTS_LINT_FIXTURES_BAD_HEADER_H_
+#define X2VEC_TESTS_LINT_FIXTURES_BAD_HEADER_H_
+
+// Planted violations: include-guard instead of #pragma once, and a
+// using-namespace directive that would leak into every includer.
+#include <vector>
+
+using namespace std;
+
+inline vector<int> Empty() { return {}; }
+
+#endif  // X2VEC_TESTS_LINT_FIXTURES_BAD_HEADER_H_

@@ -1,0 +1,9 @@
+// Planted violations: libc randomness and wall-clock seeding. Every line
+// below must trip the `nondeterminism` rule.
+#include <cstdlib>
+#include <ctime>
+
+int NoisyDraw() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() % 100;
+}

@@ -1,0 +1,9 @@
+// Planted violations: a nondeterministic seed source and a raw engine
+// declared outside base/rng.
+#include <random>
+
+int HardwareDraw() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<int>(engine());
+}

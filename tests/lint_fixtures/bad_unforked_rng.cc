@@ -1,0 +1,21 @@
+// Planted violation: an Rng captured by reference into a ParallelFor body
+// without a per-work-item Rng::Fork/MixSeed stream — draws would depend on
+// thread interleaving.
+#include "base/parallel.h"
+#include "base/rng.h"
+
+namespace x2vec {
+
+void ShuffleShared(std::vector<double>& values, Rng& rng) {
+  const Status status =
+      ParallelFor(static_cast<int64_t>(values.size()), 0,
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                      values[static_cast<size_t>(i)] = UniformReal(rng, 0, 1);
+                    }
+                    return Status::Ok();
+                  });
+  X2VEC_CHECK(status.ok());
+}
+
+}  // namespace x2vec

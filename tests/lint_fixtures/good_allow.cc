@@ -1,0 +1,12 @@
+// Every violation in this file carries a suppression, so the linter must
+// report it clean.
+#include <chrono>
+#include <cstdlib>
+
+double SuppressedClock() {
+  const auto t0 = std::chrono::steady_clock::now();  // x2vec-lint: allow(chrono)
+  const int jitter = rand() % 3;  // x2vec-lint: allow(nondeterminism)
+  const auto t1 = std::chrono::steady_clock::now();  // x2vec-lint: allow(chrono)
+  return std::chrono::duration<double>(t1 - t0).count() +  // x2vec-lint: allow(chrono)
+         jitter;
+}

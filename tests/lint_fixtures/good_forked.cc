@@ -1,0 +1,21 @@
+// Clean parallel randomness: the body forks one stream per work item, so
+// the rng-fork rule must stay quiet.
+#include "base/parallel.h"
+#include "base/rng.h"
+
+namespace x2vec {
+
+void FillForked(std::vector<double>& values, uint64_t seed) {
+  const Status status =
+      ParallelFor(static_cast<int64_t>(values.size()), 0,
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                      Rng rng = Rng::Fork(seed, static_cast<uint64_t>(i));
+                      values[static_cast<size_t>(i)] = UniformReal(rng, 0, 1);
+                    }
+                    return Status::Ok();
+                  });
+  X2VEC_CHECK(status.ok());
+}
+
+}  // namespace x2vec

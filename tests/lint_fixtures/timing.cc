@@ -1,0 +1,14 @@
+// Wall-clock timing in the style of the bench harnesses. The unit tests
+// lint this content under a bench/ path (whitelisted — must pass) and under
+// a src/ path (must trip the chrono rule).
+#include <chrono>
+#include <cstdio>
+
+void ReportElapsed() {
+  const auto start = std::chrono::steady_clock::now();
+  // ... workload under measurement ...
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("elapsed: %.3fs\n", seconds);
+}

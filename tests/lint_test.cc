@@ -1,0 +1,199 @@
+// Unit tests for x2vec_lint (tools/lint), driven by the planted-violation
+// fixtures in tests/lint_fixtures/. Each fixture either trips exactly the
+// rules it plants or proves a whitelist/suppression keeps a legitimate
+// pattern quiet. `ctest -L lint` runs this suite plus the full-tree scan.
+
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace x2vec::lint {
+namespace {
+
+#ifndef X2VEC_SOURCE_DIR
+#error "X2VEC_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string SourcePath(const std::string& relative) {
+  return std::string(X2VEC_SOURCE_DIR) + "/" + relative;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints a fixture under its real repo-relative path.
+std::vector<Diagnostic> LintFixture(const std::string& name) {
+  const std::string rel = "tests/lint_fixtures/" + name;
+  return LintFile(rel, ReadFileOrDie(SourcePath(rel)));
+}
+
+std::vector<std::string> Rules(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> rules;
+  rules.reserve(diags.size());
+  for (const auto& d : diags) rules.push_back(d.rule);
+  return rules;
+}
+
+TEST(LintStripTest, BlanksCommentsAndStringsButKeepsLines) {
+  const std::string code =
+      "int x = 1;  // rand() in a comment\n"
+      "const char* s = \"rand()\";\n"
+      "/* rand()\n   srand(1) */ int y = 2;\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(code.begin(), code.end(), '\n'));
+  EXPECT_NE(stripped.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("int y = 2;"), std::string::npos);
+}
+
+TEST(LintStripTest, RawStringsAreBlanked) {
+  const std::string code = "auto s = R\"(srand(42))\"; int z = 3;\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(stripped.find("srand"), std::string::npos);
+  EXPECT_NE(stripped.find("int z = 3;"), std::string::npos);
+}
+
+TEST(LintRuleTest, PlantedLibcRandomnessIsReported) {
+  const auto diags = LintFixture("bad_rand.cc");
+  // srand(...), time(nullptr) (same line as srand) and rand().
+  ASSERT_GE(diags.size(), 3u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "nondeterminism") << FormatDiagnostic(d);
+  }
+}
+
+TEST(LintRuleTest, RandomDeviceAndRawEngineAreReported) {
+  const auto diags = LintFixture("bad_random_device.cc");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "nondeterminism");
+  EXPECT_NE(diags[0].message.find("random_device"), std::string::npos);
+  EXPECT_EQ(diags[1].rule, "nondeterminism");
+  EXPECT_NE(diags[1].message.find("mt19937"), std::string::npos);
+}
+
+TEST(LintRuleTest, RawEngineIsAllowedInBaseRngOnly) {
+  const std::string engine = "#pragma once\nstd::mt19937_64 engine_;\n";
+  EXPECT_TRUE(LintFile("src/base/rng.h", engine).empty());
+  const auto diags = LintFile("src/embed/sgns.cc", engine);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "nondeterminism");
+}
+
+TEST(LintRuleTest, UnforkedRngInParallelBodyIsReported) {
+  const auto diags = LintFixture("bad_unforked_rng.cc");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "rng-fork");
+  EXPECT_NE(diags[0].message.find("rng"), std::string::npos);
+}
+
+TEST(LintRuleTest, ForkedRngInParallelBodyIsClean) {
+  EXPECT_TRUE(LintFixture("good_forked.cc").empty());
+}
+
+TEST(LintRuleTest, HeaderHygieneIsReported) {
+  const auto diags = LintFixture("bad_header.h");
+  const auto rules = Rules(diags);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "pragma-once"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "using-namespace"),
+            rules.end());
+}
+
+TEST(LintRuleTest, PragmaOnceHeaderIsClean) {
+  EXPECT_TRUE(LintFile("src/x.h", "#pragma once\n\nint F();\n").empty());
+  // Leading comments do not count as code before the pragma.
+  EXPECT_TRUE(
+      LintFile("src/x.h", "// Title.\n#pragma once\nint F();\n").empty());
+}
+
+TEST(LintWhitelistTest, BudgetAndParallelMayUseChrono) {
+  // The real files, from disk: their std::chrono use is the sanctioned
+  // implementation of deadlines and the pool, and must lint clean.
+  for (const std::string rel :
+       {"src/base/budget.cc", "src/base/budget.h", "src/base/parallel.cc"}) {
+    const auto diags = LintFile(rel, ReadFileOrDie(SourcePath(rel)));
+    EXPECT_TRUE(diags.empty())
+        << rel << ": " << FormatDiagnostic(diags.front());
+  }
+}
+
+TEST(LintWhitelistTest, BenchTimingPassesSrcTimingFails) {
+  const std::string timing = ReadFileOrDie(SourcePath(
+      "tests/lint_fixtures/timing.cc"));
+  EXPECT_TRUE(LintFile("bench/perf_timing.cc", timing).empty());
+  const auto diags = LintFile("src/core/perf_timing.cc", timing);
+  ASSERT_FALSE(diags.empty());
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "chrono");
+}
+
+TEST(LintSuppressionTest, AllowSilencesExactlyOneLine) {
+  const auto diags = LintFixture("allow_one_line.cc");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "nondeterminism");
+  EXPECT_EQ(diags[0].line, 7);  // the rand() without the allow marker
+}
+
+TEST(LintSuppressionTest, FullySuppressedFileIsClean) {
+  EXPECT_TRUE(LintFixture("good_allow.cc").empty());
+}
+
+TEST(LintSuppressionTest, AllowOnlySilencesTheNamedRule) {
+  const std::string code =
+      "#include <cstdlib>\n"
+      "int x = rand();  // x2vec-lint: allow(chrono)\n";
+  const auto diags = LintFile("src/x.cc", code);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "nondeterminism");
+}
+
+TEST(LintSuppressionTest, UnknownRuleInAllowIsItselfReported) {
+  const auto diags =
+      LintFile("src/x.cc", "int x = 0;  // x2vec-lint: allow(no-such-rule)\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lint-usage");
+}
+
+TEST(LintCollectTest, FixturesAreExcludedByDefault) {
+  const auto files =
+      CollectFiles({SourcePath("tests")}, /*include_fixtures=*/false);
+  for (const auto& f : files) {
+    EXPECT_EQ(f.find("lint_fixtures"), std::string::npos) << f;
+  }
+  const auto with = CollectFiles({SourcePath("tests/lint_fixtures")},
+                                 /*include_fixtures=*/true);
+  EXPECT_GE(with.size(), 6u);
+}
+
+TEST(LintFormatTest, DiagnosticFormatIsFileLineRule) {
+  const Diagnostic d{"src/a.cc", 12, "chrono", "raw clock"};
+  EXPECT_EQ(FormatDiagnostic(d), "src/a.cc:12: chrono: raw clock");
+}
+
+TEST(LintTreeTest, WholeTreeIsClean) {
+  // The in-tree mirror of the `x2vec_lint_tree` ctest: src/, tests/ and
+  // bench/ must lint clean with fixtures excluded.
+  const auto files = CollectFiles(
+      {SourcePath("src"), SourcePath("tests"), SourcePath("bench")},
+      /*include_fixtures=*/false);
+  EXPECT_GT(files.size(), 100u);
+  std::vector<Diagnostic> all;
+  for (const auto& f : files) {
+    const auto diags = LintFile(f, ReadFileOrDie(f));
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  for (const auto& d : all) ADD_FAILURE() << FormatDiagnostic(d);
+}
+
+}  // namespace
+}  // namespace x2vec::lint

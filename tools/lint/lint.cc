@@ -1,0 +1,450 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace x2vec::lint {
+namespace {
+
+constexpr std::string_view kRules[] = {
+    "nondeterminism", "chrono", "rng-fork", "pragma-once", "using-namespace",
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Normalises Windows separators so whitelist substring checks are uniform.
+std::string Normalise(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool IsHeaderPath(std::string_view path) { return EndsWith(path, ".h"); }
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// 1-based line number of offset `pos` in `text`.
+int LineOf(std::string_view text, size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+/// Splits text into lines (without terminators); blanked views keep the
+/// same line structure as the raw file, so indices line up.
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+/// Per-line suppressions parsed from "// x2vec-lint: allow(rule[, rule])".
+/// A suppression silences its own physical line only.
+struct Suppressions {
+  std::vector<std::set<std::string>> allowed_by_line;  // index = line - 1
+  std::vector<Diagnostic> errors;  // malformed / unknown-rule markers
+
+  bool Allows(int line, const std::string& rule) const {
+    const size_t idx = static_cast<size_t>(line - 1);
+    return idx < allowed_by_line.size() &&
+           allowed_by_line[idx].count(rule) > 0;
+  }
+};
+
+Suppressions ParseSuppressions(const std::string& path,
+                               const std::vector<std::string>& raw_lines) {
+  static const std::regex kMarker(R"(x2vec-lint:\s*allow\(([^)]*)\))");
+  Suppressions sup;
+  sup.allowed_by_line.resize(raw_lines.size());
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, kMarker)) continue;
+    std::stringstream list(m[1].str());
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      // Trim surrounding whitespace.
+      const auto first = rule.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const auto last = rule.find_last_not_of(" \t");
+      rule = rule.substr(first, last - first + 1);
+      const bool known =
+          std::any_of(std::begin(kRules), std::end(kRules),
+                      [&](std::string_view r) { return r == rule; });
+      if (known) {
+        sup.allowed_by_line[i].insert(rule);
+      } else {
+        sup.errors.push_back({path, static_cast<int>(i + 1), "lint-usage",
+                              "allow() names unknown rule '" + rule + "'"});
+      }
+    }
+  }
+  return sup;
+}
+
+// -- Rule: nondeterminism -----------------------------------------------------
+
+void CheckNondeterminism(const std::string& path,
+                         const std::vector<std::string>& code_lines,
+                         bool raw_engine_ok, std::vector<Diagnostic>* out) {
+  struct Banned {
+    std::regex pattern;
+    std::string message;
+  };
+  static const std::vector<Banned> kBanned = {
+      {std::regex(R"(std\s*::\s*random_device)"),
+       "std::random_device is nondeterministic; seed an x2vec::Rng instead"},
+      {std::regex(R"((^|[^\w])srand\s*\()"),
+       "srand() mutates hidden global state; pass an x2vec::Rng"},
+      {std::regex(R"((^|[^\w:])rand\s*\(\s*\))"),
+       "rand() draws from hidden global state; pass an x2vec::Rng"},
+      {std::regex(R"((^|[^\w])std\s*::\s*rand\s*\(\s*\))"),
+       "std::rand() draws from hidden global state; pass an x2vec::Rng"},
+      {std::regex(R"((^|[^\w])time\s*\(\s*(nullptr|NULL|0)\s*\))"),
+       "time(nullptr) seeds are irreproducible; use an explicit seed"},
+  };
+  static const std::regex kRawEngine(R"(std\s*::\s*mt19937(_64)?\b)");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    for (const Banned& b : kBanned) {
+      if (std::regex_search(line, b.pattern)) {
+        out->push_back(
+            {path, static_cast<int>(i + 1), "nondeterminism", b.message});
+      }
+    }
+    if (!raw_engine_ok && std::regex_search(line, kRawEngine)) {
+      out->push_back({path, static_cast<int>(i + 1), "nondeterminism",
+                      "raw std::mt19937 engines live in base/rng only; use "
+                      "x2vec::Rng / Rng::Fork"});
+    }
+  }
+}
+
+// -- Rule: chrono -------------------------------------------------------------
+
+void CheckChrono(const std::string& path,
+                 const std::vector<std::string>& code_lines,
+                 std::vector<Diagnostic>* out) {
+  static const std::regex kClock(R"(std\s*::\s*(chrono|this_thread)\b)");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kClock)) {
+      out->push_back({path, static_cast<int>(i + 1), "chrono",
+                      "raw std::chrono/std::this_thread outside base/budget, "
+                      "base/parallel and bench timing code; route timing "
+                      "through Budget or suppress with allow(chrono)"});
+    }
+  }
+}
+
+// -- Rule: rng-fork -----------------------------------------------------------
+
+/// Returns the offset just past the matching closer for the opener at
+/// `open`, or npos when unbalanced. `text` must be the blanked code view so
+/// braces in strings/comments do not confuse the match.
+size_t MatchFrom(std::string_view text, size_t open, char open_c, char close_c) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_c) ++depth;
+    if (text[i] == close_c && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+void CheckRngFork(const std::string& path, std::string_view code,
+                  std::vector<Diagnostic>* out) {
+  static const std::regex kCall(R"(\b(ParallelFor|ParallelMap)\b)");
+  static const std::regex kRngUse(R"([A-Za-z_][A-Za-z0-9_]*)");
+  static const std::regex kFork(R"(\b(Fork|MixSeed)\s*\()");
+  const std::string code_str(code);
+  for (auto it = std::sregex_iterator(code_str.begin(), code_str.end(), kCall);
+       it != std::sregex_iterator(); ++it) {
+    size_t pos = static_cast<size_t>(it->position()) + it->length();
+    while (pos < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[pos]))) {
+      ++pos;
+    }
+    if (pos >= code.size() || code[pos] != '(') continue;  // not a call
+    const size_t args_end = MatchFrom(code, pos, '(', ')');
+    if (args_end == std::string_view::npos) continue;
+    // First '[' at argument depth is the lambda introducer (loop bodies are
+    // always written inline as lambdas in this codebase).
+    size_t intro = std::string_view::npos;
+    int depth = 0;
+    for (size_t i = pos; i < args_end; ++i) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')') --depth;
+      if (code[i] == '[' && depth == 1) {
+        intro = i;
+        break;
+      }
+    }
+    if (intro == std::string_view::npos) continue;  // no lambda argument
+    const size_t body_open = code.find('{', intro);
+    if (body_open == std::string_view::npos || body_open > args_end) continue;
+    const size_t body_end = MatchFrom(code, body_open, '{', '}');
+    if (body_end == std::string_view::npos) continue;
+    const std::string body(
+        code.substr(body_open, body_end - body_open));
+    if (std::regex_search(body, kFork)) continue;  // forks per work item
+    // Any identifier mentioning an rng inside the body now means a shared
+    // stream captured into parallel work — draws would depend on thread
+    // interleaving.
+    for (auto id = std::sregex_iterator(body.begin(), body.end(), kRngUse);
+         id != std::sregex_iterator(); ++id) {
+      std::string name = id->str();
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name.find("rng") == std::string::npos) continue;
+      const size_t off = body_open + static_cast<size_t>(id->position());
+      out->push_back({path, LineOf(code, off), "rng-fork",
+                      "'" + id->str() +
+                          "' used inside a ParallelFor/ParallelMap body "
+                          "without a per-work-item Rng::Fork/MixSeed stream"});
+      break;  // one diagnostic per lambda body
+    }
+  }
+}
+
+// -- Rules: pragma-once / using-namespace (headers) ---------------------------
+
+void CheckHeaderHygiene(const std::string& path,
+                        const std::vector<std::string>& code_lines,
+                        std::vector<Diagnostic>* out) {
+  static const std::regex kUsingNamespace(R"((^|[^\w])using\s+namespace\b)");
+  static const std::regex kBlank(R"(^\s*$)");
+  int first_code_line = -1;
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (!std::regex_match(code_lines[i], kBlank)) {
+      first_code_line = static_cast<int>(i + 1);
+      break;
+    }
+  }
+  if (first_code_line == -1) return;  // empty header: nothing to protect
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\s*$)");
+  if (!std::regex_match(code_lines[first_code_line - 1], kPragmaOnce)) {
+    out->push_back({path, first_code_line, "pragma-once",
+                    "header must open with #pragma once (before any code)"});
+  }
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kUsingNamespace)) {
+      out->push_back({path, static_cast<int>(i + 1), "using-namespace",
+                      "using-namespace directives leak into every includer; "
+                      "qualify names or alias instead"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  return {std::begin(kRules), std::end(kRules)};
+}
+
+bool IsLintableFile(std::string_view path) {
+  return EndsWith(path, ".h") || EndsWith(path, ".cc") ||
+         EndsWith(path, ".cpp");
+}
+
+bool IsTimingWhitelisted(std::string_view path) {
+  const std::string p = Normalise(path);
+  return p.find("base/budget") != std::string::npos ||
+         p.find("base/parallel") != std::string::npos ||
+         p.find("bench/") != std::string::npos;
+}
+
+bool IsRawEngineWhitelisted(std::string_view path) {
+  const std::string p = Normalise(path);
+  return p.find("base/rng") != std::string::npos;
+}
+
+namespace {
+
+/// Shared blanking pass. Strings/char literals are always blanked;
+/// comments only when `strip_comments` is set — suppression markers live
+/// in comments, so the suppression parser keeps them while still ignoring
+/// markers quoted inside string literals.
+std::string StripImpl(std::string_view content, bool strip_comments) {
+  std::string out(content);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          if (strip_comments) out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          if (strip_comments) out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(content[i - 1]))) {
+          // Raw string literal: R"delim( ... )delim"
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < content.size() && content[j] != '(') {
+            raw_delim.push_back(content[j]);
+            ++j;
+          }
+          state = State::kRawString;
+          // Keep the R" prefix blanked from the opening quote onwards.
+          for (size_t k = i + 1; k <= j && k < content.size(); ++k) {
+            if (content[k] != '\n') out[k] = ' ';
+          }
+          i = j;  // resume after '('
+        } else if (c == '"') {
+          state = State::kString;
+          // Leave the quote; blank the contents.
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (strip_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (strip_comments) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n' && strip_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (content.compare(i, closer.size(), closer) == 0) {
+          for (size_t k = i; k < i + closer.size(); ++k) out[k] = ' ';
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  return StripImpl(content, /*strip_comments=*/true);
+}
+
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 std::string_view content) {
+  const std::string code = StripCommentsAndStrings(content);
+  // Suppression markers live in comments; blanking only the string
+  // literals means a marker quoted in code (e.g. in the linter's own
+  // tests) is not mistaken for a real suppression.
+  const std::vector<std::string> raw_lines =
+      SplitLines(StripImpl(content, /*strip_comments=*/false));
+  const std::vector<std::string> code_lines = SplitLines(code);
+
+  std::vector<Diagnostic> found;
+  CheckNondeterminism(path, code_lines, IsRawEngineWhitelisted(path), &found);
+  if (!IsTimingWhitelisted(path)) CheckChrono(path, code_lines, &found);
+  CheckRngFork(path, code, &found);
+  if (IsHeaderPath(path)) CheckHeaderHygiene(path, code_lines, &found);
+
+  const Suppressions sup = ParseSuppressions(path, raw_lines);
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : found) {
+    if (!sup.Allows(d.line, d.rule)) out.push_back(std::move(d));
+  }
+  out.insert(out.end(), sup.errors.begin(), sup.errors.end());
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    return std::tie(a.line, a.rule, a.message) <
+           std::tie(b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& roots,
+                                      bool include_fixtures) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const auto excluded = [&](const std::string& p) {
+    return !include_fixtures && p.find("lint_fixtures") != std::string::npos;
+  };
+  for (const std::string& root : roots) {
+    if (fs::is_regular_file(root)) {
+      if (IsLintableFile(root) && !excluded(Normalise(root))) {
+        files.push_back(root);
+      }
+      continue;
+    }
+    if (!fs::is_directory(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string p = entry.path().generic_string();
+      if (IsLintableFile(p) && !excluded(p)) files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
+         d.message;
+}
+
+}  // namespace x2vec::lint

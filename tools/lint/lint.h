@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace x2vec::lint {
+
+/// One lint finding, printed as "file:line: rule: message".
+struct Diagnostic {
+  std::string file;
+  int line = 0;          ///< 1-based physical line of the offending token.
+  std::string rule;      ///< Stable rule name, usable in allow(<rule>).
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// Stable names of every rule the linter knows, for --list-rules and for
+/// validating allow(...) suppressions.
+///
+///   nondeterminism   banned randomness/time APIs (std::random_device,
+///                    rand/srand, time(nullptr), raw std::mt19937 engines
+///                    outside base/rng)
+///   chrono           raw std::chrono / std::this_thread outside the
+///                    timing whitelist (base/budget, base/parallel, bench/)
+///   rng-fork         an rng used inside a ParallelFor/ParallelMap lambda
+///                    body that never forks a per-work-item stream via
+///                    Rng::Fork / MixSeed
+///   pragma-once      header whose first non-comment line is not
+///                    #pragma once
+///   using-namespace  using-namespace directive in a header
+std::vector<std::string> RuleNames();
+
+/// True for the file extensions the linter scans (.h, .cc, .cpp).
+bool IsLintableFile(std::string_view path);
+
+/// True when `path` may use raw std::chrono / std::this_thread: the budget
+/// and parallel runtimes (they implement deadlines and the pool) and bench
+/// timing code.
+bool IsTimingWhitelisted(std::string_view path);
+
+/// True when `path` may declare raw std::mt19937 engines: base/rng, the
+/// single sanctioned wrapper around the engine.
+bool IsRawEngineWhitelisted(std::string_view path);
+
+/// Returns `content` with comments and string/char literals blanked out
+/// (newlines preserved), so token rules never fire on prose or literals.
+/// Exposed for tests.
+std::string StripCommentsAndStrings(std::string_view content);
+
+/// Lints one file's contents. `path` decides header-only rules (by
+/// extension) and whitelist membership (by substring), so callers may pass
+/// hypothetical paths to probe whitelist behaviour. Lines carrying
+/// "// x2vec-lint: allow(<rule>)" are exempt from exactly that rule on
+/// exactly that line.
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 std::string_view content);
+
+/// Recursively collects lintable files under each root (a root that is a
+/// file is taken as-is). Paths containing "lint_fixtures" are skipped
+/// unless `include_fixtures` is set — fixtures hold planted violations.
+/// Results are sorted for deterministic output.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& roots,
+                                      bool include_fixtures);
+
+/// "file:line: rule: message".
+std::string FormatDiagnostic(const Diagnostic& d);
+
+}  // namespace x2vec::lint

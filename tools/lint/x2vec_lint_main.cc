@@ -1,0 +1,84 @@
+// x2vec_lint — project invariant linter.
+//
+// Scans C++ sources for violations of the library's determinism and status
+// contracts (see DESIGN.md section 7 for the rule table):
+//
+//   usage: x2vec_lint [--list-rules] [--include-fixtures] [path...]
+//
+// Paths may be files or directories (recursed for .h/.cc/.cpp); with no
+// paths it scans src/, tests/ and bench/ relative to the working directory.
+// Diagnostics go to stdout as "file:line: rule: message"; the exit code is
+// 0 when clean, 1 when violations were found, 2 on usage or I/O errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool include_fixtures = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : x2vec::lint::RuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--include-fixtures") {
+      include_fixtures = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: x2vec_lint [--list-rules] [--include-fixtures] "
+                   "[path...]\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "x2vec_lint: unknown flag " << arg << "\n";
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "tests", "bench"};
+
+  const std::vector<std::string> files =
+      x2vec::lint::CollectFiles(roots, include_fixtures);
+  if (files.empty()) {
+    std::cerr << "x2vec_lint: no lintable files under given paths\n";
+    return 2;
+  }
+
+  int issues = 0;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "x2vec_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    for (const auto& d : x2vec::lint::LintFile(file, content)) {
+      std::cout << x2vec::lint::FormatDiagnostic(d) << "\n";
+      ++issues;
+    }
+  }
+  std::cerr << "x2vec_lint: " << issues << " issue(s) in " << files.size()
+            << " file(s) scanned\n";
+  return issues == 0 ? 0 : 1;
+}
