@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# One-shot pre-PR gate for x2vec. Runs, in order:
+#
+#   1. CMake configure (Release, warnings-as-errors, compile-commands export)
+#   2. full build (library, tests, benches, examples, x2vec_lint)
+#   3. ctest (the whole suite, which includes `-L lint`)
+#   4. x2vec_lint over src/ tests/ bench/
+#   5. clang-tidy over src/ — skipped with a notice when not installed
+#
+# Usage:
+#   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
+#
+# --sanitize forwards the X2VEC_SANITIZE shorthand to CMake and switches to
+# a per-sanitizer build directory (build-asan/, build-tsan/, ...), so a
+# sanitized gate never clobbers the plain one. Exits nonzero on the first
+# failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=""
+BUILD_DIR=""
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize=*) SANITIZE="${1#--sanitize=}" ;;
+    --build-dir=*) BUILD_DIR="${1#--build-dir=}" ;;
+    -j) JOBS="$2"; shift ;;
+    -j*) JOBS="${1#-j}" ;;
+    -h|--help)
+      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "check.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+case "$SANITIZE" in
+  ""|asan|tsan|ubsan) ;;
+  *) echo "check.sh: --sanitize must be asan, tsan or ubsan" >&2; exit 2 ;;
+esac
+
+if [[ -z "$BUILD_DIR" ]]; then
+  BUILD_DIR="build"
+  [[ -n "$SANITIZE" ]] && BUILD_DIR="build-$SANITIZE"
+fi
+
+step() { echo; echo "== check.sh: $* =="; }
+
+CMAKE_ARGS=(
+  -DCMAKE_BUILD_TYPE=Release
+  -DX2VEC_WERROR=ON
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+)
+[[ -n "$SANITIZE" ]] && CMAKE_ARGS+=("-DX2VEC_SANITIZE=$SANITIZE")
+
+step "configure ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+
+step "build (-j$JOBS)"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step "ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+step "x2vec_lint src/ tests/ bench/"
+"$BUILD_DIR/tools/lint/x2vec_lint" src tests bench
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy"
+  cmake --build "$BUILD_DIR" --target tidy
+else
+  step "clang-tidy not installed; skipping (install LLVM tools to enable)"
+fi
+
+step "all gates passed"
