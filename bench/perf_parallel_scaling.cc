@@ -62,6 +62,32 @@ BENCHMARK(BM_WalkCorpusThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Second-order node2vec walks (p, q != 1) exercise the biased step, which
+// draws by cumulative-weight roulette — no per-step allocation or alias
+// table. Compare against BM_WalkCorpusThreads (uniform fast path) to see
+// the cost of the bias itself rather than of the sampling machinery.
+void BM_BiasedWalkCorpusThreads(benchmark::State& state) {
+  x2vec::Rng rng = x2vec::MakeRng(36);
+  const Graph g = x2vec::graph::ConnectedGnp(300, 0.05, rng);
+  x2vec::embed::WalkOptions options;
+  options.walks_per_node = 10;
+  options.walk_length = 40;
+  options.p = 0.25;
+  options.q = 4.0;
+  x2vec::SetThreadCount(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        x2vec::embed::GenerateWalksParallel(g, options, 99));
+  }
+  x2vec::SetThreadCount(0);
+}
+BENCHMARK(BM_BiasedWalkCorpusThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ShardedPvDbowThreads(benchmark::State& state) {
   std::vector<std::vector<int>> documents;
   for (int d = 0; d < 200; ++d) {

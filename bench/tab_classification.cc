@@ -12,10 +12,14 @@
 
 #include <cstdio>
 
+#include "base/trace.h"
 #include "core/x2vec.h"
 
 int main() {
   using namespace x2vec;
+  // Collect spans alongside the deterministic metric counters; both are
+  // dumped as run_report.json next to the table at the end of the run.
+  trace::SetEnabled(true);
   Rng data_rng = MakeRng(2024);
   const int kPerClass = 15;
   const int kGraphSize = 16;
@@ -90,5 +94,12 @@ int main() {
       " - graph2vec (transductive) and the untrained GIN trail the fixed\n"
       "   feature spaces, matching the Section 2.4 quote that neural\n"
       "   representations do not yet dominate graph kernels.\n");
+
+  const Status report = trace::WriteRunReport("run_report.json");
+  if (report.ok()) {
+    std::printf("\nwrote run_report.json (metrics + spans)\n");
+  } else {
+    std::printf("\nrun report not written: %s\n", report.ToString().c_str());
+  }
   return 0;
 }

@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <string>
 
+#include "base/trace.h"
 #include "core/x2vec.h"
 
 int main() {
   using namespace x2vec;
+  trace::SetEnabled(true);
   std::printf("=== Section 2.1: word2vec (SGNS) on a topic corpus ===\n\n");
 
   Rng corpus_rng = MakeRng(21);
@@ -84,5 +86,12 @@ int main() {
       "\npaper-shape check: positive margin at every dimension — words that\n"
       "co-occur embed nearby, the property node2vec transfers to graphs by\n"
       "treating random walks as sentences (Section 2.1).\n");
+
+  const Status report = trace::WriteRunReport("run_report.json");
+  if (report.ok()) {
+    std::printf("\nwrote run_report.json (metrics + spans)\n");
+  } else {
+    std::printf("\nrun report not written: %s\n", report.ToString().c_str());
+  }
   return 0;
 }

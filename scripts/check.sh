@@ -4,8 +4,10 @@
 #   1. CMake configure (Release, warnings-as-errors, compile-commands export)
 #   2. full build (library, tests, benches, examples, x2vec_lint)
 #   3. ctest (the whole suite, which includes `-L lint`)
-#   4. x2vec_lint over src/ tests/ bench/
-#   5. clang-tidy over src/ — skipped with a notice when not installed
+#   4. ctest -L metrics (observability + sampling-fidelity suite, re-run
+#      on its own so a regression there is called out by name)
+#   5. x2vec_lint over src/ tests/ bench/
+#   6. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
 #   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
@@ -63,6 +65,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 step "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+step "ctest -L metrics (observability + sampling fidelity)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L metrics
 
 step "x2vec_lint src/ tests/ bench/"
 "$BUILD_DIR/tools/lint/x2vec_lint" src tests bench

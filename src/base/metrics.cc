@@ -1,0 +1,221 @@
+#include "base/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "base/check.h"
+
+namespace x2vec::metrics {
+namespace {
+
+/// Registry state behind GetCounter/GetGauge/GetHistogram. Registered
+/// metrics live for the process (references handed out are never
+/// invalidated), hence the deque-of-nodes via std::map with stable
+/// addresses.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // Leaked: process lifetime.
+  return *registry;
+}
+
+std::atomic<bool> g_enabled{true};
+
+/// Escapes a metric name for JSON output. Names are dotted identifiers by
+/// convention, but the writer stays correct for arbitrary strings.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDouble(std::ostringstream& out, double v) {
+  // Round-trippable doubles; JSON has no Inf/NaN, so clamp to null.
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    out << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+int Counter::ShardIndex() {
+  // Threads are assigned cells round-robin on first touch; the assignment
+  // only affects which cell absorbs an increment, never the folded total.
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kCounterShards - 1);
+  return slot;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), cells_(bounds_.size() + 1) {
+  X2VEC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be sorted";
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  cells_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::counts() const {
+  std::vector<int64_t> out(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    out[i] = cells_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& GetCounter(std::string_view name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.counters[std::string(name)];
+}
+
+Gauge& GetGauge(std::string_view name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.gauges[std::string(name)];
+}
+
+Histogram& GetHistogram(std::string_view name, std::vector<double> bounds) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.histograms.find(std::string(name));
+  if (it == registry.histograms.end()) {
+    it = registry.histograms
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(name),
+                      std::forward_as_tuple(std::move(bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+int64_t Snapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double Snapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+std::string Snapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":";
+    AppendDouble(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"bounds\":[";
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendDouble(out, hist.bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << hist.counts[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+Snapshot GlobalSnapshot() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Snapshot snapshot;
+  for (const auto& [name, counter] : registry.counters) {
+    snapshot.counters[name] = counter.Value();
+  }
+  for (const auto& [name, gauge] : registry.gauges) {
+    snapshot.gauges[name] = gauge.Value();
+  }
+  for (const auto& [name, hist] : registry.histograms) {
+    snapshot.histograms[name] = {hist.bounds(), hist.counts()};
+  }
+  return snapshot;
+}
+
+Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const int64_t prior = it == before.counters.end() ? 0 : it->second;
+    if (value != prior) delta.counters[name] = value - prior;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, hist] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    HistogramSnapshot d = hist;
+    if (it != before.histograms.end() &&
+        it->second.counts.size() == d.counts.size()) {
+      for (size_t i = 0; i < d.counts.size(); ++i) {
+        d.counts[i] -= it->second.counts[i];
+      }
+    }
+    const bool any = std::any_of(d.counts.begin(), d.counts.end(),
+                                 [](int64_t c) { return c != 0; });
+    if (any) delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+}  // namespace x2vec::metrics

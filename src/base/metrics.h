@@ -1,0 +1,187 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace x2vec::metrics {
+
+/// Deterministic process-wide metrics: named counters, gauges and
+/// fixed-bucket histograms, registered on first use and folded into
+/// snapshots on demand.
+///
+/// Determinism contract: counter and histogram cells are integers and the
+/// fold over shards is integer addition, so a snapshot's *values* are
+/// bit-identical at any thread count whenever the instrumented work itself
+/// is (the base/parallel contract). Gauges are last-write-wins doubles and
+/// must only be written from deterministic serial points (an epoch
+/// boundary, a method end), never from racing workers.
+///
+/// Instrumentation points go through the X2VEC_METRIC* macros below, which
+/// compile to nothing under -DX2VEC_METRICS_DISABLED and respect the
+/// runtime SetEnabled() switch otherwise. Metrics never feed back into
+/// algorithm state (no RNG draws, no control flow), so enabling or
+/// disabling them cannot change any computed result.
+
+/// Number of independent cells a Counter distributes increments over.
+/// Power of two; large enough that concurrent workers rarely share a cell.
+inline constexpr int kCounterShards = 32;
+
+/// Monotonic counter with thread-sharded cells. Add() picks the calling
+/// thread's cell (cache-line padded, relaxed atomic); Value() folds all
+/// cells with integer addition, so the total is independent of which
+/// thread performed which increment.
+class Counter {
+ public:
+  void Add(int64_t n) {
+    cells_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+
+  static int ShardIndex();
+
+  std::array<Cell, kCounterShards> cells_;
+};
+
+/// Last-write-wins scalar (e.g. the learning rate at an epoch boundary).
+/// Write only from serial code; see the determinism contract above.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  [[nodiscard]] double Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed, registration-time bucket upper bounds. A sample x
+/// lands in the first bucket with x <= bound; samples above every bound
+/// land in the implicit overflow bucket, so counts() has bounds().size()+1
+/// entries. Cells are plain atomics (histograms record per-epoch or
+/// per-call summaries, not per-pair hot-loop traffic).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<int64_t> counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> cells_;
+};
+
+/// Looks up (registering on first use) the counter / gauge with this name.
+/// The returned reference lives for the process; hot paths cache it in a
+/// function-local static (the X2VEC_METRIC* macros do this).
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+
+/// Looks up (registering on first use) the histogram `name`. The bounds
+/// are fixed by the first registration; later callers receive the same
+/// histogram regardless of the bounds they pass.
+Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+/// Runtime switch consulted by the X2VEC_METRIC* macros (default: on).
+/// Exists so tests can prove outputs are bit-identical with metrics on and
+/// off without rebuilding; the compile-time kill switch is
+/// -DX2VEC_METRICS_DISABLED.
+void SetEnabled(bool enabled);
+[[nodiscard]] bool Enabled();
+
+/// One histogram's folded state inside a Snapshot.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  ///< bounds.size() + 1 entries (overflow last).
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time fold of every registered metric. Snapshots subtract
+/// (Delta) so a caller can attribute counter/histogram traffic to one
+/// region of work; gauges carry the later value.
+struct Snapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+
+  /// Counter value by name; 0 when absent (counters register lazily, so a
+  /// metric whose code path never ran is simply missing).
+  [[nodiscard]] int64_t counter(std::string_view name) const;
+
+  /// Gauge value by name; 0.0 when absent.
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  /// Compact single-object JSON: {"counters":{...},"gauges":{...},
+  /// "histograms":{"name":{"bounds":[...],"counts":[...]}}}.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+/// Folds every registered metric into a Snapshot.
+[[nodiscard]] Snapshot GlobalSnapshot();
+
+/// Metric traffic between two snapshots of the same process: counters and
+/// histogram counts subtract entrywise, gauges take `after`'s value.
+[[nodiscard]] Snapshot Delta(const Snapshot& before, const Snapshot& after);
+
+}  // namespace x2vec::metrics
+
+/// Wraps one instrumentation statement. Compiles out entirely under
+/// -DX2VEC_METRICS_DISABLED; otherwise runs `op` when the runtime switch
+/// is on. `op` must be metrics-only (no algorithm state, no RNG).
+#if defined(X2VEC_METRICS_DISABLED)
+#define X2VEC_METRIC(op) ((void)0)
+#else
+#define X2VEC_METRIC(op)              \
+  do {                                \
+    if (::x2vec::metrics::Enabled()) { \
+      op;                             \
+    }                                 \
+  } while (0)
+#endif
+
+/// Increments counter `name` by `n`. The registry lookup happens once per
+/// call site (function-local static), so the steady-state cost is one
+/// relaxed atomic add.
+#define X2VEC_METRIC_COUNT(name, n)                                         \
+  X2VEC_METRIC(static ::x2vec::metrics::Counter& x2vec_metric_counter =     \
+                   ::x2vec::metrics::GetCounter(name);                      \
+               x2vec_metric_counter.Add(n))
+
+/// Sets gauge `name` to `value` (serial code only; see base/metrics.h).
+#define X2VEC_METRIC_GAUGE(name, value)                                 \
+  X2VEC_METRIC(static ::x2vec::metrics::Gauge& x2vec_metric_gauge =     \
+                   ::x2vec::metrics::GetGauge(name);                    \
+               x2vec_metric_gauge.Set(value))
+
+/// Records `value` into histogram `name` with the given bucket bounds
+/// (braced-init-list, e.g. ({1.0, 2.0, 4.0})). Bounds are fixed by the
+/// first call site that runs.
+#define X2VEC_METRIC_OBSERVE(name, bounds, value)                           \
+  X2VEC_METRIC(static ::x2vec::metrics::Histogram& x2vec_metric_histogram = \
+                   ::x2vec::metrics::GetHistogram(name,                     \
+                                                  std::vector<double> bounds); \
+               x2vec_metric_histogram.Observe(value))

@@ -1,0 +1,130 @@
+#include "base/trace.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "base/metrics.h"
+
+namespace x2vec::trace {
+namespace {
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();  // Leaked: process lifetime.
+  return *buffer;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread open-span depth, so nested spans report their level without
+/// global coordination.
+thread_local int t_depth = 0;
+
+/// Process trace epoch: the steady-clock instant of the first span (or
+/// first query), so start_us offsets are small and share one axis.
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // Span names are identifiers; control chars are noise.
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  if (enabled) Epoch();  // Pin the time axis before the first span.
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Clear() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.clear();
+}
+
+std::vector<SpanRecord> Spans() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.spans;
+}
+
+std::string SpansToJson() {
+  const std::vector<SpanRecord> spans = Spans();
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out << ",";
+    const SpanRecord& s = spans[i];
+    out << "{\"name\":\"" << JsonEscape(s.name) << "\",\"depth\":" << s.depth
+        << ",\"start_us\":" << s.start_us
+        << ",\"duration_us\":" << s.duration_us
+        << ",\"work_units\":" << s.work_units << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+Span::Span(std::string_view name) {
+  enabled_ = Enabled();
+  if (!enabled_) return;
+  name_ = std::string(name);
+  depth_ = t_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!enabled_) return;
+  --t_depth;
+  const auto end = std::chrono::steady_clock::now();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.depth = depth_;
+  record.start_us = MicrosSince(Epoch(), start_);
+  record.duration_us = MicrosSince(start_, end);
+  record.work_units = work_.load(std::memory_order_relaxed);
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(std::move(record));
+}
+
+Status WriteRunReport(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::Internal("cannot open run report file: " + path);
+  }
+  out << "{\"metrics\":" << metrics::GlobalSnapshot().ToJson()
+      << ",\"spans\":" << SpansToJson() << "}\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing run report file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace x2vec::trace

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace x2vec::trace {
+
+/// Lightweight RAII tracing: nestable named spans with wall-clock and
+/// work-unit attribution, collected into a process-wide buffer and dumped
+/// as a JSON trace report.
+///
+/// Spans measure wall time, so their durations are inherently
+/// nondeterministic; the deterministic part of the observability layer is
+/// base/metrics. Tracing never feeds back into algorithm state, so
+/// enabling or disabling it cannot change any computed result.
+///
+/// Collection is off by default (a disabled Span costs one relaxed atomic
+/// load); harnesses that want a run_report.json call SetEnabled(true) up
+/// front and WriteRunReport() at the end.
+
+/// One finished span. `depth` is the nesting level on the recording thread
+/// (0 = top-level); `start_us` is measured from the process trace epoch so
+/// reports from one run share a time axis.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  int64_t work_units = 0;
+};
+
+/// Turns span collection on or off. Spans already recorded are kept.
+void SetEnabled(bool enabled);
+[[nodiscard]] bool Enabled();
+
+/// Drops every recorded span (the enabled flag is unchanged).
+void Clear();
+
+/// Copies the finished spans recorded so far, in completion order.
+[[nodiscard]] std::vector<SpanRecord> Spans();
+
+/// JSON array of the finished spans:
+/// [{"name":...,"depth":N,"start_us":N,"duration_us":N,"work_units":N}].
+[[nodiscard]] std::string SpansToJson();
+
+/// RAII span: records [construction, destruction) under `name` when
+/// tracing is enabled. Nesting is tracked per thread; AddWork attributes
+/// work units (pairs trained, Gram entries filled) to the span and is safe
+/// to call from parallel workers while the span is open.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Adds `units` of work to this span's attribution. Thread-safe.
+  void AddWork(int64_t units) {
+    if (enabled_) work_.fetch_add(units, std::memory_order_relaxed);
+  }
+
+ private:
+  bool enabled_ = false;
+  std::string name_;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  std::atomic<int64_t> work_{0};
+};
+
+/// Plain wall-clock stopwatch for callers that need elapsed seconds as a
+/// value (core::RunMethodSuite's MethodOutcome.seconds). Lives here so raw
+/// std::chrono stays inside the base/ timing whitelist.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction.
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes `{"metrics": <global metrics snapshot>, "spans": [...]}` to
+/// `path` — the machine-readable run report the tab_* harnesses emit.
+/// Returns kInternal when the file cannot be written.
+[[nodiscard]] Status WriteRunReport(const std::string& path);
+
+}  // namespace x2vec::trace

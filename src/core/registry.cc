@@ -1,7 +1,6 @@
 #include "core/registry.h"
 
-#include <chrono>
-
+#include "base/trace.h"
 #include "embed/graph2vec.h"
 #include "embed/node_embeddings.h"
 #include "gnn/graphsage.h"
@@ -243,16 +242,21 @@ std::vector<MethodOutcome> RunMethodSuite(
   for (size_t i = 0; i < suite.size(); ++i) {
     Budget budget = spec.MakeBudget();
     Rng rng = MakeRng(seed + i);
-    const auto start = std::chrono::steady_clock::now();  // x2vec-lint: allow(chrono)
-    StatusOr<Matrix> result = suite[i].gram_budgeted(graphs, rng, budget);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // x2vec-lint: allow(chrono)
-            .count();
+    const metrics::Snapshot before = metrics::GlobalSnapshot();
+    const trace::StopWatch watch;
+    StatusOr<Matrix> result = [&]() -> StatusOr<Matrix> {
+      trace::Span span("method." + suite[i].name);
+      return suite[i].gram_budgeted(graphs, rng, budget);
+    }();
+    const double seconds = watch.Seconds();
+    metrics::Snapshot delta =
+        metrics::Delta(before, metrics::GlobalSnapshot());
     if (result.ok()) {
-      outcomes.push_back(
-          {suite[i].name, Status::Ok(), std::move(*result), seconds});
+      outcomes.push_back({suite[i].name, Status::Ok(), std::move(*result),
+                          seconds, std::move(delta)});
     } else {
-      outcomes.push_back({suite[i].name, result.status(), Matrix(), seconds});
+      outcomes.push_back({suite[i].name, result.status(), Matrix(), seconds,
+                          std::move(delta)});
     }
   }
   return outcomes;
@@ -266,16 +270,21 @@ std::vector<MethodOutcome> RunNodeMethodSuite(
   for (size_t i = 0; i < suite.size(); ++i) {
     Budget budget = spec.MakeBudget();
     Rng rng = MakeRng(seed + i);
-    const auto start = std::chrono::steady_clock::now();  // x2vec-lint: allow(chrono)
-    StatusOr<Matrix> result = suite[i].embed_budgeted(g, rng, budget);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // x2vec-lint: allow(chrono)
-            .count();
+    const metrics::Snapshot before = metrics::GlobalSnapshot();
+    const trace::StopWatch watch;
+    StatusOr<Matrix> result = [&]() -> StatusOr<Matrix> {
+      trace::Span span("method." + suite[i].name);
+      return suite[i].embed_budgeted(g, rng, budget);
+    }();
+    const double seconds = watch.Seconds();
+    metrics::Snapshot delta =
+        metrics::Delta(before, metrics::GlobalSnapshot());
     if (result.ok()) {
-      outcomes.push_back(
-          {suite[i].name, Status::Ok(), std::move(*result), seconds});
+      outcomes.push_back({suite[i].name, Status::Ok(), std::move(*result),
+                          seconds, std::move(delta)});
     } else {
-      outcomes.push_back({suite[i].name, result.status(), Matrix(), seconds});
+      outcomes.push_back({suite[i].name, result.status(), Matrix(), seconds,
+                          std::move(delta)});
     }
   }
   return outcomes;

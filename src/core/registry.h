@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/budget.h"
+#include "base/metrics.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "graph/graph.h"
@@ -67,6 +68,11 @@ struct MethodOutcome {
   /// succeeded or was skipped — blown budgets still report how long the
   /// method ran before giving up.
   double seconds = 0.0;
+  /// Metric traffic attributed to this method: the Delta of the global
+  /// snapshot across the method's run (counters/histograms are exact;
+  /// gauges carry their value at method end). Empty when metrics are
+  /// disabled.
+  metrics::Snapshot metrics;
 };
 
 /// Runs every method with a fresh per-method budget from `spec` and a

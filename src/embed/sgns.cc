@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "base/metrics.h"
 #include "base/parallel.h"
+#include "base/trace.h"
 #include "base/validation.h"
 #include "linalg/health.h"
 
@@ -12,6 +14,32 @@ namespace x2vec::embed {
 namespace {
 
 constexpr std::string_view kOperation = "SGNS training";
+
+// Redraw cap for negative-sampling collisions. With any non-degenerate
+// noise table the collision probability per draw is the sampled token's
+// own noise mass, so 16 redraws make a dropped negative vanishingly rare
+// while still terminating on (near-)single-token noise tables.
+constexpr int kNegativeRedraws = 16;
+
+// Draws a negative token distinct from `positive`, redrawing on collision
+// up to kNegativeRedraws extra times. Returns -1 when every draw collided
+// (only reachable with degenerate noise distributions); the caller then
+// trains the slot without that negative. Shared by the sequential and
+// sharded trainers so both draw exactly `options.negatives` usable
+// negatives per positive pair with identical semantics.
+int SampleNegative(const AliasTable& noise, int positive, Rng& rng) {
+  int negative = noise.Sample(rng);
+  for (int retry = 0; negative == positive && retry < kNegativeRedraws;
+       ++retry) {
+    X2VEC_METRIC_COUNT("sgns.negative_redraws", 1);
+    negative = noise.Sample(rng);
+  }
+  if (negative == positive) {
+    X2VEC_METRIC_COUNT("sgns.negative_exhausted", 1);
+    return -1;
+  }
+  return negative;
+}
 
 double Sigmoid(double x) {
   if (x > 30.0) return 1.0;
@@ -62,15 +90,12 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
 
   const AliasTable noise(noise_weights);
 
-  // Total number of positive pairs per epoch, for the linear LR decay.
-  int64_t pairs_per_epoch = 0;
-  if (skipgram_window) {
-    for (const auto& seq : sequences) {
-      pairs_per_epoch += 2LL * options.window * seq.size();  // Upper bound.
-    }
-  } else {
-    for (const auto& seq : sequences) pairs_per_epoch += seq.size();
-  }
+  // Exact window-clipped positive pairs per epoch, for the linear LR
+  // decay — the same accounting TrainSharded uses, so both trainers see
+  // one schedule (the old 2*window*|seq| upper bound kept the sequential
+  // decay from ever reaching its floor).
+  const int64_t pairs_per_epoch =
+      PositivePairPrefix(sequences, options.window, skipgram_window).back();
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
 
@@ -79,9 +104,11 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
   double clip = recovery.clip_norm;
   int retries = 0;
 
+  trace::Span train_span("sgns.train");
   int64_t seen = 0;
   std::vector<double> center_gradient(options.dimension);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    trace::Span epoch_span("sgns.epoch");
     double epoch_loss = 0.0;
     for (size_t s = 0; s < sequences.size(); ++s) {
       const std::vector<int>& seq = sequences[s];
@@ -98,12 +125,14 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
           for (int other = lo; other <= hi; ++other) {
             if (other == static_cast<int>(pos)) continue;
             if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
+            X2VEC_METRIC_COUNT("sgns.pairs", 1);
             std::fill(center_gradient.begin(), center_gradient.end(), 0.0);
             epoch_loss += UpdatePair(model.input, model.output, center,
                                      seq[other], 1.0, lr, center_gradient);
             for (int k = 0; k < options.negatives; ++k) {
-              int negative = noise.Sample(rng);
-              if (negative == seq[other]) continue;
+              const int negative = SampleNegative(noise, seq[other], rng);
+              if (negative < 0) continue;
+              X2VEC_METRIC_COUNT("sgns.negatives", 1);
               epoch_loss += UpdatePair(model.input, model.output, center,
                                        negative, 0.0, lr, center_gradient);
             }
@@ -116,13 +145,15 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
         } else {
           // PV-DBOW: the document id is the centre, the token the context.
           if (!budget.Spend(1)) return budget.ExhaustedError(kOperation);
+          X2VEC_METRIC_COUNT("sgns.pairs", 1);
           const int doc = static_cast<int>(s);
           std::fill(center_gradient.begin(), center_gradient.end(), 0.0);
           epoch_loss += UpdatePair(model.input, model.output, doc, seq[pos],
                                    1.0, lr, center_gradient);
           for (int k = 0; k < options.negatives; ++k) {
-            int negative = noise.Sample(rng);
-            if (negative == seq[pos]) continue;
+            const int negative = SampleNegative(noise, seq[pos], rng);
+            if (negative < 0) continue;
+            X2VEC_METRIC_COUNT("sgns.negatives", 1);
             epoch_loss += UpdatePair(model.input, model.output, doc, negative,
                                      0.0, lr, center_gradient);
           }
@@ -135,6 +166,16 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
       }
     }
 
+    epoch_span.AddWork(pairs_per_epoch);
+    // LR the next pair would train at, from the exact schedule position;
+    // `seen` advances across retried epochs exactly like the sharded
+    // trainer's attempt counter, so both trainers report identical values
+    // at matching epoch boundaries.
+    X2VEC_METRIC_GAUGE("sgns.lr_epoch_end",
+                       options.learning_rate * lr_scale *
+                           std::max(1e-4, 1.0 - static_cast<double>(seen) /
+                                                    total_pairs));
+
     // Per-epoch numeric health check with bounded self-healing.
     const bool healthy = std::isfinite(epoch_loss) &&
                          linalg::MatrixHealthy(model.input, recovery.max_abs) &&
@@ -146,6 +187,7 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
             "exhausted " +
             std::to_string(recovery.max_retries) + " recovery retries");
       }
+      X2VEC_METRIC_COUNT("sgns.recovery_retries", 1);
       lr_scale *= recovery.lr_backoff;
       clip *= recovery.clip_backoff;
       linalg::ReseedUnhealthyRows(model.input, init, recovery.max_abs, rng);
@@ -154,6 +196,7 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
       continue;
     }
   }
+  train_span.AddWork(seen);
   return model;
 }
 
@@ -232,23 +275,10 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
 
   // Exact positive-pair counts per sequence and their prefix sums: every
   // pair's slot in the global learning-rate schedule is known up front, so
-  // shards agree on the schedule without a shared counter.
-  std::vector<int64_t> pair_prefix(num_sequences + 1, 0);
-  for (int64_t s = 0; s < num_sequences; ++s) {
-    const std::vector<int>& seq = sequences[s];
-    int64_t pairs = 0;
-    if (skipgram_window) {
-      const int len = static_cast<int>(seq.size());
-      for (int pos = 0; pos < len; ++pos) {
-        const int lo = std::max(0, pos - options.window);
-        const int hi = std::min(len - 1, pos + options.window);
-        pairs += hi - lo;  // Excludes the centre itself.
-      }
-    } else {
-      pairs = static_cast<int64_t>(seq.size());
-    }
-    pair_prefix[s + 1] = pair_prefix[s] + pairs;
-  }
+  // shards agree on the schedule without a shared counter. The sequential
+  // trainer derives its schedule from the same prefix sums.
+  const std::vector<int64_t> pair_prefix =
+      PositivePairPrefix(sequences, options.window, skipgram_window);
   const int64_t pairs_per_epoch = pair_prefix[num_sequences];
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
@@ -260,11 +290,13 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   Rng recovery_rng = Rng::Fork(seed, ~uint64_t{0});
 
   BudgetGate gate(budget);
+  trace::Span train_span("sgns.train_sharded");
   // Epoch attempts (retries included) drive both the noise streams and the
   // schedule offset, mirroring the sequential trainer's ever-advancing
   // generator and pair counter across retried epochs.
   int64_t attempt = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch, ++attempt) {
+    trace::Span epoch_span("sgns.epoch");
     const uint64_t epoch_base = MixSeed(seed, 1 + static_cast<uint64_t>(attempt));
     const int64_t seen_base = attempt * pairs_per_epoch;
     double epoch_loss = 0.0;
@@ -295,6 +327,7 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                   const int whi = std::min(len - 1, pos + options.window);
                   for (int other = wlo; other <= whi; ++other) {
                     if (other == pos) continue;
+                    X2VEC_METRIC_COUNT("sgns.pairs", 1);
                     const double progress =
                         static_cast<double>(seen) / total_pairs;
                     const double lr = options.learning_rate * lr_scale *
@@ -305,8 +338,10 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                         ShardPair(model.input, model.output, center,
                                   seq[other], 1.0, lr, center_gradient, delta);
                     for (int k = 0; k < options.negatives; ++k) {
-                      const int negative = noise.Sample(rng);
-                      if (negative == seq[other]) continue;
+                      const int negative =
+                          SampleNegative(noise, seq[other], rng);
+                      if (negative < 0) continue;
+                      X2VEC_METRIC_COUNT("sgns.negatives", 1);
                       delta.loss +=
                           ShardPair(model.input, model.output, center,
                                     negative, 0.0, lr, center_gradient, delta);
@@ -321,6 +356,7 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                   }
                 } else {
                   const int doc = static_cast<int>(s);
+                  X2VEC_METRIC_COUNT("sgns.pairs", 1);
                   const double progress =
                       static_cast<double>(seen) / total_pairs;
                   const double lr = options.learning_rate * lr_scale *
@@ -331,8 +367,9 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                       ShardPair(model.input, model.output, doc, seq[pos], 1.0,
                                 lr, center_gradient, delta);
                   for (int k = 0; k < options.negatives; ++k) {
-                    const int negative = noise.Sample(rng);
-                    if (negative == seq[pos]) continue;
+                    const int negative = SampleNegative(noise, seq[pos], rng);
+                    if (negative < 0) continue;
+                    X2VEC_METRIC_COUNT("sgns.negatives", 1);
                     delta.loss +=
                         ShardPair(model.input, model.output, doc, negative,
                                   0.0, lr, center_gradient, delta);
@@ -362,6 +399,17 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
     }
     if (!epoch_status.ok()) return epoch_status;
 
+    epoch_span.AddWork(pairs_per_epoch);
+    train_span.AddWork(pairs_per_epoch);
+    // Same exact-schedule epoch-end LR as the sequential trainer: the
+    // attempt counter advances across retries exactly like its `seen`.
+    X2VEC_METRIC_GAUGE(
+        "sgns.lr_epoch_end",
+        options.learning_rate * lr_scale *
+            std::max(1e-4, 1.0 - static_cast<double>((attempt + 1) *
+                                                     pairs_per_epoch) /
+                                     total_pairs));
+
     // Per-epoch numeric health check with bounded self-healing, as in the
     // sequential trainer.
     const bool healthy = std::isfinite(epoch_loss) &&
@@ -374,6 +422,7 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
             "parameters) and exhausted " +
             std::to_string(recovery.max_retries) + " recovery retries");
       }
+      X2VEC_METRIC_COUNT("sgns.recovery_retries", 1);
       lr_scale *= recovery.lr_backoff;
       clip *= recovery.clip_backoff;
       linalg::ReseedUnhealthyRows(model.input, init, recovery.max_abs,
@@ -388,6 +437,28 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
 }
 
 }  // namespace
+
+std::vector<int64_t> PositivePairPrefix(
+    const std::vector<std::vector<int>>& sequences, int window,
+    bool skipgram_window) {
+  std::vector<int64_t> prefix(sequences.size() + 1, 0);
+  for (size_t s = 0; s < sequences.size(); ++s) {
+    const std::vector<int>& seq = sequences[s];
+    int64_t pairs = 0;
+    if (skipgram_window) {
+      const int len = static_cast<int>(seq.size());
+      for (int pos = 0; pos < len; ++pos) {
+        const int lo = std::max(0, pos - window);
+        const int hi = std::min(len - 1, pos + window);
+        pairs += hi - lo;  // Excludes the centre itself.
+      }
+    } else {
+      pairs = static_cast<int64_t>(seq.size());
+    }
+    prefix[s + 1] = prefix[s] + pairs;
+  }
+  return prefix;
+}
 
 Status ValidateSgnsOptions(const SgnsOptions& options) {
   return ValidateOptions({

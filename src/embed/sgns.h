@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "base/budget.h"
@@ -33,6 +34,19 @@ struct SgnsModel {
   linalg::Matrix output;
 };
 
+/// Exact positive-pair accounting behind the linear LR-decay schedule:
+/// entry s+1 is the number of positive pairs contributed by sequences
+/// [0, s] — window-clipped skip-gram pairs (position `pos` of a length-n
+/// sequence pairs with [max(0, pos-window), min(n-1, pos+window)] minus
+/// itself) or, for PV-DBOW, one pair per token. The back entry is the
+/// exact pairs-per-epoch total. Both TrainSgns* and TrainPvDbow* trainers
+/// (sequential and sharded) derive their schedule from this one function,
+/// which is what keeps their learning rates aligned at matching
+/// (epoch, pair) slots; exposed for the schedule-parity tests.
+[[nodiscard]] std::vector<int64_t> PositivePairPrefix(
+    const std::vector<std::vector<int>>& sequences, int window,
+    bool skipgram_window);
+
 /// kInvalidArgument naming the first bad field (non-positive dimension /
 /// window / negatives, negative epochs, non-finite or non-positive
 /// learning rate), OK otherwise. Zero epochs is valid: it requests the
@@ -41,7 +55,10 @@ struct SgnsModel {
 
 /// Trains skip-gram with negative sampling on a corpus: for each token
 /// occurrence, each context token within the window is a positive pair and
-/// `negatives` noise tokens are sampled from the unigram^power table.
+/// `negatives` noise tokens are sampled from the unigram^power table. A
+/// noise draw that collides with the positive context token is redrawn
+/// (bounded retries) rather than dropped, so every pair trains against the
+/// full complement of negatives even for frequent tokens.
 SgnsModel TrainSgns(const Corpus& corpus, const SgnsOptions& options,
                     Rng& rng);
 

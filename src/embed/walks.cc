@@ -1,6 +1,8 @@
 #include "embed/walks.h"
 
+#include "base/metrics.h"
 #include "base/parallel.h"
+#include "base/trace.h"
 
 namespace x2vec::embed {
 namespace {
@@ -8,31 +10,19 @@ namespace {
 using graph::Graph;
 using graph::Neighbor;
 
-// One second-order biased step: previous -> current -> next with node2vec
-// weights 1/p (return), 1 (stay at distance 1 from previous), 1/q (move
-// away). previous = -1 means uniform first step.
-int BiasedStep(const Graph& g, int previous, int current,
-               const WalkOptions& options, Rng& rng) {
-  const std::vector<Neighbor>& neighbors = g.Neighbors(current);
-  if (neighbors.empty()) return -1;
-  if (previous < 0 || (options.p == 1.0 && options.q == 1.0)) {
-    return neighbors[UniformInt(rng, 0, neighbors.size() - 1)].to;
+// The unnormalised node2vec weight of stepping current -> candidate given
+// the walk arrived from `previous`.
+double StepWeight(const Graph& g, int previous, const Neighbor& nb,
+                  const WalkOptions& options) {
+  double w;
+  if (nb.to == previous) {
+    w = 1.0 / options.p;
+  } else if (g.HasEdge(nb.to, previous)) {
+    w = 1.0;
+  } else {
+    w = 1.0 / options.q;
   }
-  std::vector<double> weights(neighbors.size());
-  for (size_t i = 0; i < neighbors.size(); ++i) {
-    const int candidate = neighbors[i].to;
-    double w;
-    if (candidate == previous) {
-      w = 1.0 / options.p;
-    } else if (g.HasEdge(candidate, previous)) {
-      w = 1.0;
-    } else {
-      w = 1.0 / options.q;
-    }
-    weights[i] = w * neighbors[i].weight;
-  }
-  const AliasTable table(weights);
-  return neighbors[table.Sample(rng)].to;
+  return w * nb.weight;
 }
 
 // One truncated walk from `start`, drawing every step from `rng`.
@@ -42,11 +32,17 @@ std::vector<int> WalkFrom(const Graph& g, int start,
   int previous = -1;
   while (static_cast<int>(walk.size()) < options.walk_length) {
     const int current = walk.back();
-    const int next = BiasedStep(g, previous, current, options, rng);
-    if (next < 0) break;
+    const int next = Node2VecStep(g, previous, current, options, rng);
+    if (next < 0) {
+      X2VEC_METRIC_COUNT("walks.dead_ends", 1);
+      break;
+    }
+    X2VEC_METRIC_COUNT("walks.steps", 1);
     previous = current;
     walk.push_back(next);
   }
+  X2VEC_METRIC_OBSERVE("walks.length", ({2.0, 4.0, 8.0, 16.0, 32.0, 64.0}),
+                       static_cast<double>(walk.size()));
   return walk;
 }
 
@@ -57,6 +53,32 @@ void CheckWalkOptions(const WalkOptions& options) {
 }
 
 }  // namespace
+
+int Node2VecStep(const Graph& g, int previous, int current,
+                 const WalkOptions& options, Rng& rng) {
+  const std::vector<Neighbor>& neighbors = g.Neighbors(current);
+  if (neighbors.empty()) return -1;
+  if (previous < 0 || (options.p == 1.0 && options.q == 1.0)) {
+    return neighbors[UniformInt(rng, 0, neighbors.size() - 1)].to;
+  }
+  // Cumulative-weight roulette: one pass to total the weights, one draw,
+  // one pass to find the drawn neighbor. Weights are recomputed in the
+  // second pass instead of stored — two multiplies and a hash probe per
+  // neighbor beat a heap allocation (let alone the alias-table build the
+  // previous implementation paid) for the neighborhood sizes walks see.
+  double total = 0.0;
+  for (const Neighbor& nb : neighbors) {
+    total += StepWeight(g, previous, nb, options);
+  }
+  double remaining = UniformReal(rng, 0.0, total);
+  for (const Neighbor& nb : neighbors) {
+    remaining -= StepWeight(g, previous, nb, options);
+    if (remaining <= 0.0) return nb.to;
+  }
+  // Floating-point slack can leave `remaining` marginally positive after
+  // the last subtraction; the draw belongs to the final neighbor.
+  return neighbors.back().to;
+}
 
 std::vector<std::vector<int>> GenerateWalks(const Graph& g,
                                             const WalkOptions& options,
@@ -78,6 +100,7 @@ std::vector<std::vector<int>> GenerateWalksParallel(const Graph& g,
                                                     const WalkOptions& options,
                                                     uint64_t seed) {
   CheckWalkOptions(options);
+  trace::Span span("walks.generate_parallel");
   const int64_t n = g.NumVertices();
   const int64_t passes = options.walks_per_node;
   // Streams [0, passes * n) are walks keyed by (pass, start vertex);
@@ -101,6 +124,7 @@ std::vector<std::vector<int>> GenerateWalksParallel(const Graph& g,
         return Status::Ok();
       });
   X2VEC_CHECK(status.ok()) << status.ToString();
+  span.AddWork(passes * n);
   return walks;
 }
 

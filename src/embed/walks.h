@@ -20,6 +20,17 @@ struct WalkOptions {
   double q = 1.0;
 };
 
+/// One second-order biased step of a node2vec walk: previous -> current ->
+/// next with unnormalised weights 1/p (return to previous), 1 (stay at
+/// distance 1 from previous), 1/q (move outwards), each times the edge
+/// weight. previous = -1 means a uniform first step. Returns -1 at a
+/// dead end (no neighbors). Draws via a single cumulative-weight roulette
+/// pass — no allocation, exactly one UniformReal draw in the biased case
+/// (one UniformInt in the uniform case) — rather than building a
+/// single-use AliasTable. Exposed for distribution tests.
+int Node2VecStep(const graph::Graph& g, int previous, int current,
+                 const WalkOptions& options, Rng& rng);
+
 /// Generates `walks_per_node` truncated random walks from every vertex.
 /// With p = q = 1 the walks are uniform first-order (DeepWalk); otherwise
 /// second-order biased node2vec walks. Walks stop early at isolated

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/metrics.h"
 #include "base/parallel.h"
+#include "base/trace.h"
 #include "graph/algorithms.h"
 #include "wl/color_refinement.h"
 
@@ -63,6 +65,7 @@ SparseVector FromCounts(const std::map<int64_t, double>& counts) {
 // Symmetric Gram fill over sparse features, parallel over the upper
 // triangle; every entry is an independent merge-dot.
 linalg::Matrix GramFromSparse(const std::vector<SparseVector>& features) {
+  trace::Span span("kernel.gram_from_sparse");
   const int n = static_cast<int>(features.size());
   linalg::Matrix k(n, n);
   const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
@@ -72,9 +75,11 @@ linalg::Matrix GramFromSparse(const std::vector<SparseVector>& features) {
       k(i, j) = features[i].Dot(features[j]);
       k(j, i) = k(i, j);
     }
+    X2VEC_METRIC_COUNT("kernel.gram_entries", hi - lo);
     return Status::Ok();
   });
   X2VEC_CHECK(status.ok()) << status.ToString();
+  span.AddWork(pairs);
   return k;
 }
 

@@ -6,6 +6,9 @@
 #include <numeric>
 #include <utility>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace x2vec::wl {
 namespace {
 
@@ -47,6 +50,7 @@ int CountColors(const std::vector<int>& colors) {
 
 RefinementResult ColorRefinement(const Graph& g,
                                  const RefinementOptions& options) {
+  trace::Span span("wl.color_refinement");
   const int n = g.NumVertices();
   RefinementResult result;
   result.round_colors.push_back(InitialColors(g, options));
@@ -54,6 +58,8 @@ RefinementResult ColorRefinement(const Graph& g,
 
   const int max_rounds = options.max_rounds < 0 ? n : options.max_rounds;
   for (int round = 0; round < max_rounds; ++round) {
+    X2VEC_METRIC_COUNT("wl.refinement_rounds", 1);
+    span.AddWork(n);
     const std::vector<int>& current = result.round_colors.back();
     std::vector<Signature> signatures(n);
     for (int v = 0; v < n; ++v) {

@@ -1,0 +1,15 @@
+// Raw std::chrono and std::this_thread use in the style that used to live
+// in src/core/registry.cc behind allow(chrono) markers. The unit tests
+// lint this content under ordinary src/ paths (must trip the chrono rule
+// on every use) and under the base/trace and base/metrics observability
+// paths (whitelisted — must pass).
+#include <chrono>
+#include <thread>
+
+double MeasureAndNap() {
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}

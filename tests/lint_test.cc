@@ -128,6 +128,37 @@ TEST(LintWhitelistTest, BudgetAndParallelMayUseChrono) {
   }
 }
 
+TEST(LintWhitelistTest, ObservabilityLayerMayUseChrono) {
+  // base/trace and base/metrics implement spans and stopwatches; their
+  // chrono use is the sanctioned timing surface the rest of src/ goes
+  // through, and the real files must lint clean.
+  for (const std::string rel :
+       {"src/base/trace.h", "src/base/trace.cc", "src/base/metrics.h",
+        "src/base/metrics.cc"}) {
+    const auto diags = LintFile(rel, ReadFileOrDie(SourcePath(rel)));
+    EXPECT_TRUE(diags.empty())
+        << rel << ": " << FormatDiagnostic(diags.front());
+  }
+}
+
+TEST(LintWhitelistTest, ChronoStillFiresOutsideTheWhitelist) {
+  // Widening the whitelist to base/trace + base/metrics must not have
+  // loosened the rule anywhere else: the same planted violation still
+  // fires under ordinary src/ paths, including the registry that used to
+  // carry allow(chrono) markers.
+  const std::string timing =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_chrono.cc"));
+  for (const std::string rel :
+       {"src/core/registry.cc", "src/embed/sgns.cc", "src/base/rng.cc"}) {
+    const auto diags = LintFile(rel, timing);
+    ASSERT_FALSE(diags.empty()) << rel;
+    for (const auto& d : diags) EXPECT_EQ(d.rule, "chrono") << rel;
+  }
+  // And the whitelisted hypothetical paths stay quiet.
+  EXPECT_TRUE(LintFile("src/base/trace_extra.cc", timing).empty());
+  EXPECT_TRUE(LintFile("src/base/metrics_extra.cc", timing).empty());
+}
+
 TEST(LintWhitelistTest, BenchTimingPassesSrcTimingFails) {
   const std::string timing = ReadFileOrDie(SourcePath(
       "tests/lint_fixtures/timing.cc"));

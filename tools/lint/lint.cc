@@ -145,8 +145,10 @@ void CheckChrono(const std::string& path,
     if (std::regex_search(code_lines[i], kClock)) {
       out->push_back({path, static_cast<int>(i + 1), "chrono",
                       "raw std::chrono/std::this_thread outside base/budget, "
-                      "base/parallel and bench timing code; route timing "
-                      "through Budget or suppress with allow(chrono)"});
+                      "base/parallel, base/trace, base/metrics and bench "
+                      "timing code; route timing through Budget or "
+                      "trace::Span/StopWatch, or suppress with "
+                      "allow(chrono)"});
     }
   }
 }
@@ -264,6 +266,8 @@ bool IsTimingWhitelisted(std::string_view path) {
   const std::string p = Normalise(path);
   return p.find("base/budget") != std::string::npos ||
          p.find("base/parallel") != std::string::npos ||
+         p.find("base/trace") != std::string::npos ||
+         p.find("base/metrics") != std::string::npos ||
          p.find("bench/") != std::string::npos;
 }
 

@@ -23,7 +23,8 @@ struct Diagnostic {
 ///                    rand/srand, time(nullptr), raw std::mt19937 engines
 ///                    outside base/rng)
 ///   chrono           raw std::chrono / std::this_thread outside the
-///                    timing whitelist (base/budget, base/parallel, bench/)
+///                    timing whitelist (base/budget, base/parallel,
+///                    base/trace, base/metrics, bench/)
 ///   rng-fork         an rng used inside a ParallelFor/ParallelMap lambda
 ///                    body that never forks a per-work-item stream via
 ///                    Rng::Fork / MixSeed
@@ -36,8 +37,9 @@ std::vector<std::string> RuleNames();
 bool IsLintableFile(std::string_view path);
 
 /// True when `path` may use raw std::chrono / std::this_thread: the budget
-/// and parallel runtimes (they implement deadlines and the pool) and bench
-/// timing code.
+/// and parallel runtimes (they implement deadlines and the pool), the
+/// observability layer (base/trace spans, base/metrics) and bench timing
+/// code.
 bool IsTimingWhitelisted(std::string_view path);
 
 /// True when `path` may declare raw std::mt19937 engines: base/rng, the
