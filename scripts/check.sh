@@ -6,8 +6,10 @@
 #   3. ctest (the whole suite, which includes `-L lint`)
 #   4. ctest -L metrics (observability + sampling-fidelity suite, re-run
 #      on its own so a regression there is called out by name)
-#   5. x2vec_lint over src/ tests/ bench/
-#   6. clang-tidy over src/ — skipped with a notice when not installed
+#   5. ctest -L kernels (span-kernel unit tests + bit-identity goldens,
+#      re-run on its own so a numeric drift is called out by name)
+#   6. x2vec_lint over src/ tests/ bench/
+#   7. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
 #   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
@@ -68,6 +70,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 step "ctest -L metrics (observability + sampling fidelity)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L metrics
+
+step "ctest -L kernels (span kernels + bit-identity goldens)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L kernels
 
 step "x2vec_lint src/ tests/ bench/"
 "$BUILD_DIR/tools/lint/x2vec_lint" src tests bench

@@ -1,6 +1,7 @@
 #include "embed/node_embeddings.h"
 
 #include <cmath>
+#include <span>
 #include <string>
 
 #include "graph/algorithms.h"
@@ -31,12 +32,18 @@ linalg::Matrix LaplacianEigenmapEmbedding(const graph::Graph& g, int d) {
   const linalg::EigenDecomposition eig = linalg::SymmetricEigen(laplacian);
   // Eigenvalues are sorted descending; take the d smallest with
   // eigenvalue above the zero tolerance (skipping component indicators).
-  linalg::Matrix embedding(n, d);
-  int placed = 0;
-  for (int j = n - 1; j >= 0 && placed < d; --j) {
+  std::vector<int> kept;
+  for (int j = n - 1; j >= 0 && static_cast<int>(kept.size()) < d; --j) {
     if (eig.values[j] < 1e-9) continue;  // Trivial/zero modes.
-    for (int v = 0; v < n; ++v) embedding(v, placed) = eig.vectors(v, j);
-    ++placed;
+    kept.push_back(j);
+  }
+  // Row-major fill over row views: each vertex's coordinates are gathered
+  // from its eigenvector row in one pass.
+  linalg::Matrix embedding(n, d);
+  for (int v = 0; v < n; ++v) {
+    const std::span<const double> vectors_row = eig.vectors.ConstRowSpan(v);
+    const std::span<double> out = embedding.RowSpan(v);
+    for (size_t p = 0; p < kept.size(); ++p) out[p] = vectors_row[kept[p]];
   }
   // Graphs with many components may not have d non-zero modes; the
   // remaining coordinates stay zero (component indicators carry no
@@ -56,10 +63,11 @@ linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d) {
   }
   linalg::Matrix squared(n, n);
   for (int u = 0; u < n; ++u) {
+    const std::span<double> row = squared.RowSpan(u);
     for (int v = 0; v < n; ++v) {
       const double distance =
           dist[u][v] >= 0 ? dist[u][v] : max_finite + 1.0;
-      squared(u, v) = distance * distance;
+      row[v] = distance * distance;
     }
   }
   // Classical MDS: B = -1/2 J D^2 J, embed along top eigenvectors of B.
@@ -69,13 +77,16 @@ linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d) {
   }
   const linalg::Matrix b = centering * squared * centering * (-0.5);
   const linalg::EigenDecomposition eig = linalg::SymmetricEigen(b);
-  linalg::Matrix embedding(n, d);
+  std::vector<double> scale(d);
   for (int j = 0; j < d; ++j) {
-    const double scale =
-        eig.values[j] > 1e-12 ? std::sqrt(eig.values[j]) : 0.0;
-    for (int v = 0; v < n; ++v) {
-      embedding(v, j) = eig.vectors(v, j) * scale;
-    }
+    scale[j] = eig.values[j] > 1e-12 ? std::sqrt(eig.values[j]) : 0.0;
+  }
+  // Row-major fill over row views, one pass per vertex.
+  linalg::Matrix embedding(n, d);
+  for (int v = 0; v < n; ++v) {
+    const std::span<const double> vectors_row = eig.vectors.ConstRowSpan(v);
+    const std::span<double> out = embedding.RowSpan(v);
+    for (int j = 0; j < d; ++j) out[j] = vectors_row[j] * scale[j];
   }
   return embedding;
 }

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "base/metrics.h"
 #include "base/parallel.h"
 #include "base/trace.h"
 #include "base/validation.h"
 #include "linalg/health.h"
+#include "linalg/kernels.h"
 
 namespace x2vec::embed {
 namespace {
@@ -41,32 +41,19 @@ int SampleNegative(const AliasTable& noise, int positive, Rng& rng) {
   return negative;
 }
 
-double Sigmoid(double x) {
-  if (x > 30.0) return 1.0;
-  if (x < -30.0) return 0.0;
-  return 1.0 / (1.0 + std::exp(-x));
-}
-
 // One SGD step on the pair (center -> context, label): maximises
 // log sigma(u_ctx . v_center) for positives and log sigma(-u . v) for
 // negatives. The centre-row update goes into `center_gradient` (applied by
 // the caller, possibly clipped); the context row is updated in place.
 // Returns the pair's negative log-likelihood for the epoch-loss health
-// check.
+// check. Delegates to the fused span kernel, which keeps the historical
+// per-dimension operation order.
 double UpdatePair(linalg::Matrix& input, linalg::Matrix& output, int center,
                   int context, double label, double lr,
                   std::vector<double>& center_gradient) {
-  const int dim = input.cols();
-  double score = 0.0;
-  for (int d = 0; d < dim; ++d) score += input(center, d) * output(context, d);
-  const double sig = Sigmoid(score);
-  const double gradient = (label - sig) * lr;
-  for (int d = 0; d < dim; ++d) {
-    center_gradient[d] += gradient * output(context, d);
-    output(context, d) += gradient * input(center, d);
-  }
-  return label > 0.5 ? -std::log(std::max(sig, 1e-12))
-                     : -std::log(std::max(1.0 - sig, 1e-12));
+  return linalg::SgdPairUpdate(input.ConstRowSpan(center),
+                               output.RowSpan(context), label, lr,
+                               center_gradient);
 }
 
 StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
@@ -137,9 +124,7 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
                                        negative, 0.0, lr, center_gradient);
             }
             linalg::ClipGradient(center_gradient, clip);
-            for (int d = 0; d < options.dimension; ++d) {
-              model.input(center, d) += center_gradient[d];
-            }
+            linalg::Axpy(1.0, center_gradient, model.input.RowSpan(center));
             ++seen;
           }
         } else {
@@ -158,9 +143,7 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
                                      0.0, lr, center_gradient);
           }
           linalg::ClipGradient(center_gradient, clip);
-          for (int d = 0; d < options.dimension; ++d) {
-            model.input(doc, d) += center_gradient[d];
-          }
+          linalg::Axpy(1.0, center_gradient, model.input.RowSpan(doc));
           ++seen;
         }
       }
@@ -210,20 +193,23 @@ constexpr std::string_view kShardOperation = "sharded SGNS training";
 constexpr int64_t kShardBatchSequences = 32;
 
 // Per-sequence gradient shard: sparse row deltas against the batch-start
-// parameters, plus the sequence's loss contribution. Applied serially in
-// sequence order after the batch's parallel compute.
+// parameters (flat touched-row buffers, no per-sequence allocation in
+// steady state), plus the sequence's loss contribution. Applied serially
+// in sequence order after the batch's parallel compute; within a shard the
+// touched rows are applied in first-touch order, which is fixed by the
+// sequence data and bit-equivalent to any other fixed order because
+// distinct rows update disjoint memory.
 struct ShardDelta {
-  std::map<int, std::vector<double>> input_rows;
-  std::map<int, std::vector<double>> output_rows;
+  linalg::RowDeltaBuffer input_rows;
+  linalg::RowDeltaBuffer output_rows;
   double loss = 0.0;
-};
 
-std::vector<double>& DeltaRow(std::map<int, std::vector<double>>& rows,
-                              int row, int dim) {
-  std::vector<double>& v = rows[row];
-  if (v.empty()) v.assign(dim, 0.0);
-  return v;
-}
+  void Reset(int rows_in, int rows_out, int dim) {
+    input_rows.Reset(rows_in, dim);
+    output_rows.Reset(rows_out, dim);
+    loss = 0.0;
+  }
+};
 
 // Frozen-parameter analogue of UpdatePair: the score is read from the
 // batch-start matrices and both updates land in the shard instead of the
@@ -231,18 +217,9 @@ std::vector<double>& DeltaRow(std::map<int, std::vector<double>>& rows,
 double ShardPair(const linalg::Matrix& input, const linalg::Matrix& output,
                  int center, int context, double label, double lr,
                  std::vector<double>& center_gradient, ShardDelta& delta) {
-  const int dim = input.cols();
-  double score = 0.0;
-  for (int d = 0; d < dim; ++d) score += input(center, d) * output(context, d);
-  const double sig = Sigmoid(score);
-  const double gradient = (label - sig) * lr;
-  std::vector<double>& out_row = DeltaRow(delta.output_rows, context, dim);
-  for (int d = 0; d < dim; ++d) {
-    center_gradient[d] += gradient * output(context, d);
-    out_row[d] += gradient * input(center, d);
-  }
-  return label > 0.5 ? -std::log(std::max(sig, 1e-12))
-                     : -std::log(std::max(1.0 - sig, 1e-12));
+  return linalg::SgdPairUpdateDelta(
+      input.ConstRowSpan(center), output.ConstRowSpan(context), label, lr,
+      center_gradient, delta.output_rows.Accumulator(context));
 }
 
 StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
@@ -295,6 +272,10 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   // schedule offset, mirroring the sequential trainer's ever-advancing
   // generator and pair counter across retried epochs.
   int64_t attempt = 0;
+  // Shard storage reused across batches and epochs: Reset() keeps each
+  // buffer's capacity, so steady-state training allocates nothing per
+  // sequence.
+  std::vector<ShardDelta> deltas(kShardBatchSequences);
   for (int epoch = 0; epoch < options.epochs; ++epoch, ++attempt) {
     trace::Span epoch_span("sgns.epoch");
     const uint64_t epoch_base = MixSeed(seed, 1 + static_cast<uint64_t>(attempt));
@@ -305,7 +286,6 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
          batch_lo += kShardBatchSequences) {
       const int64_t batch_hi =
           std::min(num_sequences, batch_lo + kShardBatchSequences);
-      std::vector<ShardDelta> deltas(batch_hi - batch_lo);
       epoch_status = ParallelFor(
           batch_hi - batch_lo, 0, [&](int64_t lo, int64_t hi) {
             std::vector<double> center_gradient(dim);
@@ -317,6 +297,7 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                 return gate.ExhaustedError(kShardOperation);
               }
               ShardDelta& delta = deltas[b];
+              delta.Reset(rows_in, rows_out, dim);
               Rng rng = Rng::Fork(epoch_base, static_cast<uint64_t>(s));
               int64_t seen = seen_base + pair_prefix[s];
               const int len = static_cast<int>(seq.size());
@@ -347,11 +328,8 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                                     negative, 0.0, lr, center_gradient, delta);
                     }
                     linalg::ClipGradient(center_gradient, clip);
-                    std::vector<double>& in_row =
-                        DeltaRow(delta.input_rows, center, dim);
-                    for (int d = 0; d < dim; ++d) {
-                      in_row[d] += center_gradient[d];
-                    }
+                    linalg::Axpy(1.0, center_gradient,
+                                 delta.input_rows.Accumulator(center));
                     ++seen;
                   }
                 } else {
@@ -375,9 +353,8 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                                   0.0, lr, center_gradient, delta);
                   }
                   linalg::ClipGradient(center_gradient, clip);
-                  std::vector<double>& in_row =
-                      DeltaRow(delta.input_rows, doc, dim);
-                  for (int d = 0; d < dim; ++d) in_row[d] += center_gradient[d];
+                  linalg::Axpy(1.0, center_gradient,
+                               delta.input_rows.Accumulator(doc));
                   ++seen;
                 }
               }
@@ -387,13 +364,18 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
       if (!epoch_status.ok()) break;
       // Serial apply in sequence order: the fold order is fixed by the
       // data, not by which worker produced which shard.
-      for (ShardDelta& d : deltas) {
+      for (int64_t b = 0; b < batch_hi - batch_lo; ++b) {
+        ShardDelta& d = deltas[b];
         epoch_loss += d.loss;
-        for (auto& [row, delta_row] : d.input_rows) {
-          for (int c = 0; c < dim; ++c) model.input(row, c) += delta_row[c];
+        const std::vector<int>& in_rows = d.input_rows.touched();
+        for (size_t t = 0; t < in_rows.size(); ++t) {
+          linalg::Axpy(1.0, d.input_rows.Slot(static_cast<int>(t)),
+                       model.input.RowSpan(in_rows[t]));
         }
-        for (auto& [row, delta_row] : d.output_rows) {
-          for (int c = 0; c < dim; ++c) model.output(row, c) += delta_row[c];
+        const std::vector<int>& out_rows = d.output_rows.touched();
+        for (size_t t = 0; t < out_rows.size(); ++t) {
+          linalg::Axpy(1.0, d.output_rows.Slot(static_cast<int>(t)),
+                       model.output.RowSpan(out_rows[t]));
         }
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <span>
 #include <tuple>
 
 #include "base/parallel.h"
@@ -24,8 +25,9 @@ linalg::Matrix GramFromDense(const std::vector<std::vector<double>>& features) {
   const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {
       const auto [i, j] = UpperTriangleIndex(t, n);
-      k(i, j) = linalg::Dot(features[i], features[j]);
-      k(j, i) = k(i, j);
+      const double dot = linalg::Dot(features[i], features[j]);
+      k(i, j) = dot;
+      k(j, i) = dot;
     }
     return Status::Ok();
   });
@@ -65,8 +67,9 @@ linalg::Matrix GramFromCountMaps(
   const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {
       const auto [i, j] = UpperTriangleIndex(t, n);
-      gram(i, j) = MapDot(counts[i], counts[j]);
-      gram(j, i) = gram(i, j);
+      const double dot = MapDot(counts[i], counts[j]);
+      gram(i, j) = dot;
+      gram(j, i) = dot;
     }
     return Status::Ok();
   });
@@ -226,11 +229,16 @@ linalg::Matrix ScaledHomKernelMatrix(const std::vector<Graph>& graphs,
 
 linalg::Matrix NormalizeKernel(const linalg::Matrix& k) {
   X2VEC_CHECK_EQ(k.rows(), k.cols());
-  linalg::Matrix out(k.rows(), k.cols());
-  for (int i = 0; i < k.rows(); ++i) {
-    for (int j = 0; j < k.cols(); ++j) {
-      const double denom = std::sqrt(k(i, i) * k(j, j));
-      out(i, j) = denom > 0.0 ? k(i, j) / denom : 0.0;
+  const int n = k.rows();
+  std::vector<double> diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = k(i, i);
+  linalg::Matrix out(n, n);
+  for (int i = 0; i < n; ++i) {
+    const std::span<const double> in = k.ConstRowSpan(i);
+    const std::span<double> normalized = out.RowSpan(i);
+    for (int j = 0; j < n; ++j) {
+      const double denom = std::sqrt(diag[i] * diag[j]);
+      normalized[j] = denom > 0.0 ? in[j] / denom : 0.0;
     }
   }
   return out;

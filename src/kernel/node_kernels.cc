@@ -1,6 +1,7 @@
 #include "kernel/node_kernels.h"
 
 #include <cmath>
+#include <span>
 
 #include "base/parallel.h"
 #include "linalg/eigen.h"
@@ -27,10 +28,10 @@ linalg::Matrix SpectralFunction(const graph::Graph& g,
   const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {
       const auto [i, j] = UpperTriangleIndex(t, n);
+      const std::span<const double> vi = eig.vectors.ConstRowSpan(i);
+      const std::span<const double> vj = eig.vectors.ConstRowSpan(j);
       double total = 0.0;
-      for (int e = 0; e < n; ++e) {
-        total += eig.vectors(i, e) * mapped[e] * eig.vectors(j, e);
-      }
+      for (int e = 0; e < n; ++e) total += vi[e] * mapped[e] * vj[e];
       k(i, j) = total;
       k(j, i) = total;
     }

@@ -72,8 +72,9 @@ linalg::Matrix GramFromSparse(const std::vector<SparseVector>& features) {
   const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {
       const auto [i, j] = UpperTriangleIndex(t, n);
-      k(i, j) = features[i].Dot(features[j]);
-      k(j, i) = k(i, j);
+      const double dot = features[i].Dot(features[j]);
+      k(i, j) = dot;
+      k(j, i) = dot;
     }
     X2VEC_METRIC_COUNT("kernel.gram_entries", hi - lo);
     return Status::Ok();

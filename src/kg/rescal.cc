@@ -24,8 +24,8 @@ std::vector<linalg::Matrix> RelationAdjacency(const KnowledgeGraph& kg) {
 
 double RescalModel::Score(int head, int relation, int tail) const {
   const std::vector<double> bt =
-      relations[relation].Apply(entities.Row(tail));
-  return linalg::Dot(entities.Row(head), bt);
+      relations[relation].Apply(entities.ConstRowSpan(tail));
+  return linalg::Dot(entities.ConstRowSpan(head), bt);
 }
 
 double RescalModel::ReconstructionError(const KnowledgeGraph& kg) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "base/validation.h"
 #include "linalg/health.h"
@@ -14,10 +15,12 @@ constexpr std::string_view kOperation = "TransE training";
 }  // namespace
 
 double TransEModel::Score(int head, int relation, int tail) const {
+  const std::span<const double> h = entities.ConstRowSpan(head);
+  const std::span<const double> r = relations.ConstRowSpan(relation);
+  const std::span<const double> t = entities.ConstRowSpan(tail);
   double total = 0.0;
-  for (int d = 0; d < entities.cols(); ++d) {
-    const double diff =
-        entities(head, d) + relations(relation, d) - entities(tail, d);
+  for (size_t d = 0; d < h.size(); ++d) {
+    const double diff = h[d] + r[d] - t[d];
     total += diff * diff;
   }
   return std::sqrt(total);
@@ -88,15 +91,12 @@ StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
 
   auto normalize_entities = [&model]() {
     for (int e = 0; e < model.entities.rows(); ++e) {
+      const std::span<double> row = model.entities.RowSpan(e);
       double norm = 0.0;
-      for (int d = 0; d < model.entities.cols(); ++d) {
-        norm += model.entities(e, d) * model.entities(e, d);
-      }
+      for (const double v : row) norm += v * v;
       norm = std::sqrt(norm);
       if (norm > 1e-12) {
-        for (int d = 0; d < model.entities.cols(); ++d) {
-          model.entities(e, d) /= norm;
-        }
+        for (double& v : row) v /= norm;
       }
     }
   };
@@ -147,17 +147,20 @@ StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
 
       // Gradient of ||h + t - r|| w.r.t. each vector (L2 distance), applied
       // to push the positive together and the negative apart.
+      // Row views may alias when head == tail (a reflexive triple); the
+      // per-dimension read-then-update order below matches the historical
+      // element-indexed loop either way.
       auto apply = [&](const Triple& t, double sign, double score) {
         if (score < 1e-9) return;
+        const std::span<double> head = model.entities.RowSpan(t.head);
+        const std::span<double> rel = model.relations.RowSpan(t.relation);
+        const std::span<double> tail = model.entities.RowSpan(t.tail);
         for (int d = 0; d < dim; ++d) {
-          const double diff = (model.entities(t.head, d) +
-                               model.relations(t.relation, d) -
-                               model.entities(t.tail, d)) /
-                              score;
+          const double diff = (head[d] + rel[d] - tail[d]) / score;
           const double step = sign * step_scale * diff;
-          model.entities(t.head, d) -= step;
-          model.relations(t.relation, d) -= step;
-          model.entities(t.tail, d) += step;
+          head[d] -= step;
+          rel[d] -= step;
+          tail[d] += step;
         }
       };
       apply(triple, +1.0, positive);

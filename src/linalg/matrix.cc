@@ -109,14 +109,10 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
+std::vector<double> Matrix::Apply(std::span<const double> x) const {
   X2VEC_CHECK_EQ(static_cast<int>(x.size()), cols_);
   std::vector<double> y(rows_, 0.0);
-  for (int i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (int j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
-    y[i] = acc;
-  }
+  for (int i = 0; i < rows_; ++i) y[i] = Dot(ConstRowSpan(i), x);
   return y;
 }
 
@@ -199,42 +195,6 @@ std::string Matrix::ToString(int precision) const {
     os << "]" << (i + 1 == rows_ ? "]" : "\n");
   }
   return os.str();
-}
-
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  X2VEC_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
-}
-
-double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
-
-double CosineSimilarity(const std::vector<double>& a,
-                        const std::vector<double>& b) {
-  const double na = Norm2(a);
-  const double nb = Norm2(b);
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return Dot(a, b) / (na * nb);
-}
-
-double Distance2(const std::vector<double>& a, const std::vector<double>& b) {
-  X2VEC_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
-}
-
-void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
-  X2VEC_CHECK_EQ(x.size(), y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
-}
-
-void Scale(std::vector<double>& x, double alpha) {
-  for (double& v : x) v *= alpha;
 }
 
 }  // namespace x2vec::linalg

@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "base/check.h"
+#include "linalg/kernels.h"
 
 namespace x2vec::linalg {
 
@@ -46,7 +48,25 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& mutable_data() { return data_; }
 
-  /// Copies row i into a vector.
+  /// Mutable zero-copy view of row i over the row-major storage. This is
+  /// the accessor hot loops should use (together with the free kernels in
+  /// linalg/kernels.h); bounds are checked once per row instead of once per
+  /// element. The view is invalidated by anything that reallocates the
+  /// matrix (assignment, move, destruction).
+  std::span<double> RowSpan(int i) {
+    X2VEC_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + static_cast<size_t>(i) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+  /// Read-only zero-copy view of row i.
+  std::span<const double> ConstRowSpan(int i) const {
+    X2VEC_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + static_cast<size_t>(i) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+
+  /// Copies row i into a vector. Prefer ConstRowSpan() in hot loops — the
+  /// `row-copy` lint rule flags this in src/ hot modules.
   std::vector<double> Row(int i) const;
   /// Copies column j into a vector.
   std::vector<double> Col(int j) const;
@@ -68,8 +88,10 @@ class Matrix {
 
   bool operator==(const Matrix& other) const = default;
 
-  /// Matrix-vector product.
-  std::vector<double> Apply(const std::vector<double>& x) const;
+  /// Matrix-vector product. Accepts any contiguous range of doubles
+  /// (std::vector converts implicitly), so callers can pass a row view
+  /// without copying it first.
+  std::vector<double> Apply(std::span<const double> x) const;
 
   double Trace() const;
   double FrobeniusNorm() const;
@@ -100,18 +122,8 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// ---- Free vector helpers used throughout the library. ----
-
-double Dot(const std::vector<double>& a, const std::vector<double>& b);
-double Norm2(const std::vector<double>& a);
-/// Cosine similarity; returns 0 if either vector is all-zero.
-double CosineSimilarity(const std::vector<double>& a,
-                        const std::vector<double>& b);
-/// Euclidean distance.
-double Distance2(const std::vector<double>& a, const std::vector<double>& b);
-/// y += alpha * x.
-void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
-/// In-place scale.
-void Scale(std::vector<double>& x, double alpha);
+/// The free vector helpers (Dot, Norm2, CosineSimilarity, Distance2, Axpy,
+/// Scale, ...) live in linalg/kernels.h, included above. They take spans,
+/// so they accept std::vector<double> and Matrix row views alike.
 
 }  // namespace x2vec::linalg

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <span>
+
+#include "linalg/kernels.h"
 
 namespace x2vec::ml {
 
@@ -14,17 +17,17 @@ void KnnClassifier::Fit(const linalg::Matrix& features,
   labels_ = labels;
 }
 
-int KnnClassifier::Predict(const std::vector<double>& point) const {
+int KnnClassifier::Predict(std::span<const double> point) const {
   X2VEC_CHECK_GT(features_.rows(), 0) << "Fit before Predict";
-  std::vector<std::pair<double, int>> distances;
-  distances.reserve(features_.rows());
+  scratch_.clear();
+  scratch_.reserve(features_.rows());
   for (int i = 0; i < features_.rows(); ++i) {
-    distances.emplace_back(linalg::Distance2(features_.Row(i), point), i);
+    scratch_.emplace_back(linalg::Distance2(features_.ConstRowSpan(i), point),
+                          i);
   }
-  std::partial_sort(distances.begin(), distances.begin() + k_,
-                    distances.end());
+  std::partial_sort(scratch_.begin(), scratch_.begin() + k_, scratch_.end());
   std::map<int, int> votes;
-  for (int i = 0; i < k_; ++i) ++votes[labels_[distances[i].second]];
+  for (int i = 0; i < k_; ++i) ++votes[labels_[scratch_[i].second]];
   int best_label = votes.begin()->first;
   int best_votes = 0;
   for (const auto& [label, count] : votes) {
@@ -38,7 +41,9 @@ int KnnClassifier::Predict(const std::vector<double>& point) const {
 
 std::vector<int> KnnClassifier::PredictAll(const linalg::Matrix& points) const {
   std::vector<int> out(points.rows());
-  for (int i = 0; i < points.rows(); ++i) out[i] = Predict(points.Row(i));
+  for (int i = 0; i < points.rows(); ++i) {
+    out[i] = Predict(points.ConstRowSpan(i));
+  }
   return out;
 }
 
@@ -49,17 +54,19 @@ KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
   X2VEC_CHECK_GE(k, 1);
   X2VEC_CHECK_GE(n, k);
 
-  // k-means++ seeding.
+  // k-means++ seeding. Distance2 (with its square root) followed by
+  // squaring is how the historical code accumulated min_dist_sq; keeping
+  // that exact call sequence keeps the seeding bit-identical.
   KMeansResult result;
   result.centroids = linalg::Matrix(k, d);
   std::vector<int> chosen;
   chosen.push_back(static_cast<int>(UniformInt(rng, 0, n - 1)));
   std::vector<double> min_dist_sq(n, std::numeric_limits<double>::infinity());
   while (static_cast<int>(chosen.size()) < k) {
-    const std::vector<double> last = features.Row(chosen.back());
+    const std::span<const double> last = features.ConstRowSpan(chosen.back());
     double total = 0.0;
     for (int i = 0; i < n; ++i) {
-      const double dist = linalg::Distance2(features.Row(i), last);
+      const double dist = linalg::Distance2(features.ConstRowSpan(i), last);
       min_dist_sq[i] = std::min(min_dist_sq[i], dist * dist);
       total += min_dist_sq[i];
     }
@@ -75,7 +82,7 @@ KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
     chosen.push_back(next);
   }
   for (int c = 0; c < k; ++c) {
-    result.centroids.SetRow(c, features.Row(chosen[c]));
+    linalg::Copy(features.ConstRowSpan(chosen[c]), result.centroids.RowSpan(c));
   }
 
   result.assignment.assign(n, -1);
@@ -83,12 +90,12 @@ KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
     // Assign.
     bool moved = false;
     for (int i = 0; i < n; ++i) {
+      const std::span<const double> row = features.ConstRowSpan(i);
       int best = 0;
-      double best_dist = linalg::Distance2(features.Row(i),
-                                           result.centroids.Row(0));
+      double best_dist = linalg::Distance2(row, result.centroids.ConstRowSpan(0));
       for (int c = 1; c < k; ++c) {
         const double dist =
-            linalg::Distance2(features.Row(i), result.centroids.Row(c));
+            linalg::Distance2(row, result.centroids.ConstRowSpan(c));
         if (dist < best_dist) {
           best_dist = dist;
           best = c;
@@ -107,20 +114,21 @@ KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
     for (int i = 0; i < n; ++i) {
       const int c = result.assignment[i];
       ++counts[c];
-      for (int j = 0; j < d; ++j) sums(c, j) += features(i, j);
+      linalg::Axpy(1.0, features.ConstRowSpan(i), sums.RowSpan(c));
     }
     for (int c = 0; c < k; ++c) {
       if (counts[c] == 0) continue;  // Keep the old centroid.
-      for (int j = 0; j < d; ++j) {
-        result.centroids(c, j) = sums(c, j) / counts[c];
-      }
+      const std::span<const double> sum_row = sums.ConstRowSpan(c);
+      const std::span<double> centroid = result.centroids.RowSpan(c);
+      for (int j = 0; j < d; ++j) centroid[j] = sum_row[j] / counts[c];
     }
   }
 
   result.inertia = 0.0;
   for (int i = 0; i < n; ++i) {
     const double dist = linalg::Distance2(
-        features.Row(i), result.centroids.Row(result.assignment[i]));
+        features.ConstRowSpan(i),
+        result.centroids.ConstRowSpan(result.assignment[i]));
     result.inertia += dist * dist;
   }
   return result;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
@@ -9,19 +11,28 @@ namespace x2vec::ml {
 
 /// k-nearest-neighbour classifier on dense feature vectors (Euclidean
 /// metric) — the "nearest-neighbour based classification on the embedding"
-/// probe from the paper's introduction.
+/// probe from the paper's introduction. The distance scan runs on row
+/// views and a reused scratch buffer, so serving a query allocates nothing
+/// in steady state; as a consequence a single instance must not serve
+/// concurrent Predict calls.
 class KnnClassifier {
  public:
   explicit KnnClassifier(int k) : k_(k) { X2VEC_CHECK_GE(k, 1); }
 
   void Fit(const linalg::Matrix& features, const std::vector<int>& labels);
-  int Predict(const std::vector<double>& point) const;
+  int Predict(std::span<const double> point) const;
+  /// Overload so call sites can pass a braced initializer list.
+  int Predict(const std::vector<double>& point) const {
+    return Predict(std::span<const double>(point));
+  }
   std::vector<int> PredictAll(const linalg::Matrix& points) const;
 
  private:
   int k_;
   linalg::Matrix features_;
   std::vector<int> labels_;
+  // (distance, training row) per training row, reused across queries.
+  mutable std::vector<std::pair<double, int>> scratch_;
 };
 
 /// Lloyd's k-means with k-means++ seeding on rows of `features`.

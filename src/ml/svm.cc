@@ -86,7 +86,7 @@ void KernelSvm::Fit(const linalg::Matrix& gram,
   }
 }
 
-double KernelSvm::Decision(const std::vector<double>& kernel_row) const {
+double KernelSvm::Decision(std::span<const double> kernel_row) const {
   X2VEC_CHECK_EQ(kernel_row.size(), alphas_.size());
   double value = bias_;
   for (size_t j = 0; j < alphas_.size(); ++j) {
@@ -116,7 +116,7 @@ std::vector<int> OneVsRestSvm::Predict(
     const linalg::Matrix& kernel_rows) const {
   std::vector<int> predictions(kernel_rows.rows());
   for (int i = 0; i < kernel_rows.rows(); ++i) {
-    const std::vector<double> row = kernel_rows.Row(i);
+    const std::span<const double> row = kernel_rows.ConstRowSpan(i);
     int best = 0;
     double best_score = machines_[0].Decision(row);
     for (size_t c = 1; c < machines_.size(); ++c) {

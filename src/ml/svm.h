@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "base/rng.h"
@@ -25,8 +26,9 @@ class KernelSvm {
            const SvmOptions& options, Rng& rng);
 
   /// Decision value for a point x given its kernel row
-  /// (k(x, train_0), ..., k(x, train_{n-1})).
-  double Decision(const std::vector<double>& kernel_row) const;
+  /// (k(x, train_0), ..., k(x, train_{n-1})); accepts a vector or a
+  /// Matrix row view.
+  double Decision(std::span<const double> kernel_row) const;
 
   const std::vector<double>& alphas() const { return alphas_; }
   double bias() const { return bias_; }

@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "linalg/eigen.h"
+#include "linalg/kernels.h"
 
 namespace x2vec::sim {
 
@@ -18,7 +19,7 @@ double CutNorm(const linalg::Matrix& m) {
     std::fill(column_sums.begin(), column_sums.end(), 0.0);
     for (int i = 0; i < rows; ++i) {
       if ((subset >> i) & 1ULL) {
-        for (int j = 0; j < cols; ++j) column_sums[j] += m(i, j);
+        linalg::Axpy(1.0, m.ConstRowSpan(i), column_sums);
       }
     }
     // For fixed S, the optimal T takes either all positive or all negative

@@ -40,7 +40,8 @@ TEST(MatrixContractTest, ShapeMismatchesAbort) {
   linalg::Matrix b(2, 3);
   EXPECT_DEATH(a * b, "shape mismatch");
   EXPECT_DEATH(a.Trace(), "");
-  EXPECT_DEATH(a.Apply({1.0, 2.0}), "");
+  const std::vector<double> wrong_length = {1.0, 2.0};
+  EXPECT_DEATH(a.Apply(wrong_length), "");
 }
 
 TEST(MatrixContractTest, RaggedInitializerAborts) {

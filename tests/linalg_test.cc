@@ -67,7 +67,8 @@ TEST(VectorOpsTest, CosineAndDistance) {
   EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
   EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
   EXPECT_DOUBLE_EQ(Distance2(a, b), std::sqrt(5.0));
-  EXPECT_DOUBLE_EQ(CosineSimilarity({0.0, 0.0}, a), 0.0);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, a), 0.0);
 }
 
 TEST(EigenTest, DiagonalMatrix) {

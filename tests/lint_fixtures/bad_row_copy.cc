@@ -1,0 +1,23 @@
+// Planted row-copy violations: Matrix::Row() / SetRow() allocate a fresh
+// std::vector per call. Linted under hypothetical hot-module paths
+// (src/embed/..., src/kg/..., src/ml/...) this fixture must trip the
+// row-copy rule twice; under its real tests/ path it stays legal.
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace x2vec {
+
+double SumFirstRow(const linalg::Matrix& m) {
+  const std::vector<double> row = m.Row(0);
+  double total = 0.0;
+  for (double v : row) total += v;
+  return total;
+}
+
+void ZeroFirstRow(linalg::Matrix& m) {
+  m.SetRow(0, std::vector<double>(m.cols(), 0.0));
+}
+
+}  // namespace x2vec

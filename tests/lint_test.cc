@@ -168,6 +168,55 @@ TEST(LintWhitelistTest, BenchTimingPassesSrcTimingFails) {
   for (const auto& d : diags) EXPECT_EQ(d.rule, "chrono");
 }
 
+TEST(LintRuleTest, RowCopyFiresInHotModules) {
+  // The planted Row()/SetRow() copies must each fire once when the fixture
+  // is linted under any numeric hot-module path.
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_row_copy.cc"));
+  for (const std::string rel :
+       {"src/embed/sgns.cc", "src/kg/rescal.cc", "src/ml/neighbors.cc",
+        "src/kernel/graph_kernels.cc", "src/sim/matrix_norms.cc"}) {
+    const auto diags = LintFile(rel, code);
+    ASSERT_EQ(diags.size(), 2u) << rel;
+    for (const auto& d : diags) {
+      EXPECT_EQ(d.rule, "row-copy") << FormatDiagnostic(d);
+      EXPECT_NE(d.message.find("RowSpan"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintWhitelistTest, RowCopyIsLegalOutsideHotModules) {
+  // Copies are the right call in core plumbing, benches and tests; the
+  // fixture under its real path and under non-hot paths stays quiet.
+  EXPECT_TRUE(LintFixture("bad_row_copy.cc").empty());
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_row_copy.cc"));
+  for (const std::string rel :
+       {"src/core/registry.cc", "src/linalg/matrix.cc",
+        "bench/tab_word2vec.cc", "tests/ml_test.cc"}) {
+    EXPECT_TRUE(LintFile(rel, code).empty()) << rel;
+  }
+}
+
+TEST(LintRuleTest, RowSpanAccessorsDoNotTripRowCopy) {
+  const std::string code =
+      "void F(linalg::Matrix& m) {\n"
+      "  auto a = m.RowSpan(0);\n"
+      "  auto b = m.ConstRowSpan(1);\n"
+      "  (void)a; (void)b;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/embed/sgns.cc", code).empty());
+}
+
+TEST(LintSuppressionTest, AllowRowCopySilencesTheLine) {
+  const std::string code =
+      "void F(linalg::Matrix& m) {\n"
+      "  auto row = m.Row(0);  // x2vec-lint: allow(row-copy)\n"
+      "  (void)row;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/embed/sgns.cc", code).empty());
+}
+
 TEST(LintSuppressionTest, AllowSilencesExactlyOneLine) {
   const auto diags = LintFixture("allow_one_line.cc");
   ASSERT_EQ(diags.size(), 1u);

@@ -11,7 +11,8 @@ namespace x2vec::lint {
 namespace {
 
 constexpr std::string_view kRules[] = {
-    "nondeterminism", "chrono", "rng-fork", "pragma-once", "using-namespace",
+    "nondeterminism", "chrono",    "rng-fork",
+    "pragma-once",    "using-namespace", "row-copy",
 };
 
 bool EndsWith(std::string_view s, std::string_view suffix) {
@@ -222,6 +223,24 @@ void CheckRngFork(const std::string& path, std::string_view code,
   }
 }
 
+// -- Rule: row-copy -----------------------------------------------------------
+
+void CheckRowCopy(const std::string& path,
+                  const std::vector<std::string>& code_lines,
+                  std::vector<Diagnostic>* out) {
+  // Matches ".Row(" / ".SetRow(" but not ".RowSpan(" — the span accessors
+  // are exactly what hot loops should migrate to.
+  static const std::regex kRowCopy(R"(\.\s*(Set)?Row\s*\()");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kRowCopy)) {
+      out->push_back({path, static_cast<int>(i + 1), "row-copy",
+                      "Matrix::Row()/SetRow() allocates a copy per call; hot "
+                      "modules use RowSpan()/ConstRowSpan() with the linalg "
+                      "span kernels, or suppress with allow(row-copy)"});
+    }
+  }
+}
+
 // -- Rules: pragma-once / using-namespace (headers) ---------------------------
 
 void CheckHeaderHygiene(const std::string& path,
@@ -274,6 +293,16 @@ bool IsTimingWhitelisted(std::string_view path) {
 bool IsRawEngineWhitelisted(std::string_view path) {
   const std::string p = Normalise(path);
   return p.find("base/rng") != std::string::npos;
+}
+
+bool IsRowCopyHotPath(std::string_view path) {
+  const std::string p = Normalise(path);
+  return p.find("src/embed/") != std::string::npos ||
+         p.find("src/kg/") != std::string::npos ||
+         p.find("src/ml/") != std::string::npos ||
+         p.find("src/kernel/") != std::string::npos ||
+         p.find("src/sim/") != std::string::npos ||
+         p.find("src/gnn/") != std::string::npos;
 }
 
 namespace {
@@ -404,6 +433,7 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   CheckNondeterminism(path, code_lines, IsRawEngineWhitelisted(path), &found);
   if (!IsTimingWhitelisted(path)) CheckChrono(path, code_lines, &found);
   CheckRngFork(path, code, &found);
+  if (IsRowCopyHotPath(path)) CheckRowCopy(path, code_lines, &found);
   if (IsHeaderPath(path)) CheckHeaderHygiene(path, code_lines, &found);
 
   const Suppressions sup = ParseSuppressions(path, raw_lines);

@@ -31,6 +31,10 @@ struct Diagnostic {
 ///   pragma-once      header whose first non-comment line is not
 ///                    #pragma once
 ///   using-namespace  using-namespace directive in a header
+///   row-copy         allocating Matrix::Row()/SetRow() copies in a hot
+///                    module (src/embed, src/kg, src/ml, src/kernel,
+///                    src/sim, src/gnn); hot loops use
+///                    RowSpan()/ConstRowSpan() and the linalg span kernels
 std::vector<std::string> RuleNames();
 
 /// True for the file extensions the linter scans (.h, .cc, .cpp).
@@ -45,6 +49,12 @@ bool IsTimingWhitelisted(std::string_view path);
 /// True when `path` may declare raw std::mt19937 engines: base/rng, the
 /// single sanctioned wrapper around the engine.
 bool IsRawEngineWhitelisted(std::string_view path);
+
+/// True when `path` is a numeric hot module where Matrix::Row()/SetRow()
+/// copies are banned (the row-copy rule): src/embed, src/kg, src/ml,
+/// src/kernel, src/sim, src/gnn. Everywhere else (core plumbing, benches,
+/// tests) a copy is often the right call and stays legal.
+bool IsRowCopyHotPath(std::string_view path);
 
 /// Returns `content` with comments and string/char literals blanked out
 /// (newlines preserved), so token rules never fire on prose or literals.
