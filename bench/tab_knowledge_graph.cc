@@ -4,14 +4,43 @@
 // RESCAL's bilinear reconstruction, on the synthetic countries KG.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "core/x2vec.h"
 
-int main() {
+namespace {
+
+/// Value of "--checkpoint-dir=DIR" / "--checkpoint-dir DIR", or "" when
+/// absent. With a directory set, each trainer in the sweep snapshots into
+/// its own subdirectory and a re-run after a kill resumes mid-sweep.
+std::string CheckpointDirFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      return std::string(argv[i] + 17);
+    }
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      return std::string(argv[i + 1]);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace x2vec;
+  trace::SetEnabled(true);
+  const std::string checkpoint_dir = CheckpointDirFlag(argc, argv);
   Rng rng = MakeRng(23);
   const kg::KnowledgeGraph base = data::CountriesKnowledgeGraph(16, rng);
   std::printf("=== Section 2.3: knowledge graph embeddings ===\n\n");
+  if (!checkpoint_dir.empty()) {
+    std::printf("checkpointing to %s (resume-safe per-model runs)\n\n",
+                checkpoint_dir.c_str());
+  }
   std::printf("countries KG: %d entities, %d relations, %zu facts\n\n",
               base.NumEntities(), base.NumRelations(), base.Triples().size());
 
@@ -22,6 +51,14 @@ int main() {
     kg::TransEOptions options;
     options.dimension = dim;
     options.epochs = 400;
+    if (!checkpoint_dir.empty()) {
+      // One subdirectory per sweep stage: keep-last GC is per directory,
+      // so stages never collect each other's files. 400 epochs at a save
+      // per epoch would be churn; every 50 keeps eight barriers per run.
+      options.checkpoint.dir =
+          checkpoint_dir + "/transe_d" + std::to_string(dim);
+      options.checkpoint.every_n_epochs = 50;
+    }
     Rng train_rng = MakeRng(100 + dim);
     const kg::TransEModel model = kg::TrainTransE(base, options, train_rng);
 
@@ -92,10 +129,33 @@ int main() {
         kg::TrainRescal(base, options, before_rng).ReconstructionError(base);
     options.epochs = 300;
     options.learning_rate = 0.01;
+    if (!checkpoint_dir.empty()) {
+      options.checkpoint.dir =
+          checkpoint_dir + "/rescal_d" + std::to_string(dim);
+      options.checkpoint.every_n_epochs = 50;
+    }
     Rng after_rng = MakeRng(200 + dim);
     const double after =
         kg::TrainRescal(base, options, after_rng).ReconstructionError(base);
     std::printf("%-8d  %-16.2f  %-16.2f\n", dim, before, after);
+  }
+
+  if (!checkpoint_dir.empty()) {
+    const metrics::Snapshot snapshot = metrics::GlobalSnapshot();
+    std::printf("\ncheckpoints: %lld saved, %lld resumed, %lld corrupt "
+                "skipped\n",
+                static_cast<long long>(snapshot.counter("checkpoint.saves")),
+                static_cast<long long>(snapshot.counter("checkpoint.resumes")),
+                static_cast<long long>(
+                    snapshot.counter("checkpoint.corrupt_skipped")));
+  }
+
+  const Status report = trace::WriteRunReport("run_report.json");
+  if (report.ok()) {
+    std::printf("\nwrote run_report.json (metrics + spans, incl. "
+                "checkpoint.* counters)\n");
+  } else {
+    std::printf("\nrun report not written: %s\n", report.ToString().c_str());
   }
   return 0;
 }

@@ -5,15 +5,41 @@
 // and graph2vec are built (see DESIGN.md's substitution table).
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "base/metrics.h"
 #include "base/trace.h"
 #include "core/x2vec.h"
 
-int main() {
+namespace {
+
+/// Value of "--checkpoint-dir=DIR" / "--checkpoint-dir DIR", or "" when
+/// absent. With a directory set, each trainer in the sweep snapshots into
+/// its own subdirectory and a re-run after a kill resumes mid-sweep.
+std::string CheckpointDirFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      return std::string(argv[i] + 17);
+    }
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      return std::string(argv[i + 1]);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace x2vec;
   trace::SetEnabled(true);
+  const std::string checkpoint_dir = CheckpointDirFlag(argc, argv);
   std::printf("=== Section 2.1: word2vec (SGNS) on a topic corpus ===\n\n");
+  if (!checkpoint_dir.empty()) {
+    std::printf("checkpointing to %s (resume-safe per-dimension runs)\n\n",
+                checkpoint_dir.c_str());
+  }
 
   Rng corpus_rng = MakeRng(21);
   const int kTopics = 5;
@@ -31,6 +57,12 @@ int main() {
     embed::SgnsOptions options;
     options.dimension = dim;
     options.epochs = 5;
+    if (!checkpoint_dir.empty()) {
+      // One subdirectory per sweep stage: keep-last GC is per directory,
+      // so stages never collect each other's files.
+      options.checkpoint.dir =
+          checkpoint_dir + "/sgns_d" + std::to_string(dim);
+    }
     Rng train_rng = MakeRng(22);
     const embed::SgnsModel model = embed::TrainSgns(corpus, options,
                                                     train_rng);
@@ -87,9 +119,20 @@ int main() {
       "co-occur embed nearby, the property node2vec transfers to graphs by\n"
       "treating random walks as sentences (Section 2.1).\n");
 
+  if (!checkpoint_dir.empty()) {
+    const metrics::Snapshot snapshot = metrics::GlobalSnapshot();
+    std::printf("\ncheckpoints: %lld saved, %lld resumed, %lld corrupt "
+                "skipped\n",
+                static_cast<long long>(snapshot.counter("checkpoint.saves")),
+                static_cast<long long>(snapshot.counter("checkpoint.resumes")),
+                static_cast<long long>(
+                    snapshot.counter("checkpoint.corrupt_skipped")));
+  }
+
   const Status report = trace::WriteRunReport("run_report.json");
   if (report.ok()) {
-    std::printf("\nwrote run_report.json (metrics + spans)\n");
+    std::printf("\nwrote run_report.json (metrics + spans, incl. "
+                "checkpoint.* counters)\n");
   } else {
     std::printf("\nrun report not written: %s\n", report.ToString().c_str());
   }

@@ -8,8 +8,11 @@
 #      on its own so a regression there is called out by name)
 #   5. ctest -L kernels (span-kernel unit tests + bit-identity goldens,
 #      re-run on its own so a numeric drift is called out by name)
-#   6. x2vec_lint over src/ tests/ bench/
-#   7. clang-tidy over src/ — skipped with a notice when not installed
+#   6. ctest -L persist (durable I/O + checkpoint/resume crash-safety
+#      suite, re-run on its own so a persistence regression is called out
+#      by name)
+#   7. x2vec_lint over src/ tests/ bench/
+#   8. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
 #   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
@@ -73,6 +76,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L metrics
 
 step "ctest -L kernels (span kernels + bit-identity goldens)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L kernels
+
+step "ctest -L persist (durable I/O + checkpoint/resume)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L persist
 
 step "x2vec_lint src/ tests/ bench/"
 "$BUILD_DIR/tools/lint/x2vec_lint" src tests bench

@@ -1,0 +1,332 @@
+#include "base/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "base/metrics.h"
+
+namespace x2vec {
+namespace {
+
+std::string ErrnoText(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+/// "/a/b/c" -> "/a/b"; "c" -> "."; "/c" -> "/".
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Closes `fd` preserving the caller's errno.
+void CloseQuietly(int fd) {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory for fsync: " + dir + ": " +
+                           ErrnoText(errno));
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IoError("fsync failed for directory " + dir +
+                                    ": " + ErrnoText(errno));
+    CloseQuietly(fd);
+    return status;
+  }
+  CloseQuietly(fd);
+  return Status::Ok();
+}
+
+Status RemoveTreeImpl(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::Ok();
+    return Status::IoError("lstat failed for " + path + ": " +
+                           ErrnoText(errno));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      return Status::IoError("cannot open directory " + path + ": " +
+                             ErrnoText(errno));
+    }
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      Status status = RemoveTreeImpl(path + "/" + name);
+      if (!status.ok()) {
+        ::closedir(dir);
+        return status;
+      }
+    }
+    ::closedir(dir);
+    if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError("rmdir failed for " + path + ": " +
+                             ErrnoText(errno));
+    }
+    return Status::Ok();
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError("unlink failed for " + path + ": " +
+                           ErrnoText(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> RealFs::ReadFile(const std::string& path,
+                                       int64_t max_bytes) {
+  X2VEC_METRIC_COUNT("fs.reads", 1);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IoError("cannot open " + path + " for reading: " +
+                           ErrnoText(errno));
+  }
+  std::string content;
+  int64_t offset = 0;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IoError("read failed for " + path +
+                                      " at byte offset " +
+                                      std::to_string(offset) + ": " +
+                                      ErrnoText(errno));
+      CloseQuietly(fd);
+      return status;
+    }
+    if (n == 0) break;
+    offset += n;
+    if (offset > max_bytes) {
+      CloseQuietly(fd);
+      return Status::IoError("file " + path + " exceeds the read bound of " +
+                             std::to_string(max_bytes) +
+                             " bytes (stopped at byte offset " +
+                             std::to_string(offset) + ")");
+    }
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  CloseQuietly(fd);
+  return content;
+}
+
+Status RealFs::WriteFileAtomic(const std::string& path,
+                               std::string_view content) {
+  X2VEC_METRIC_COUNT("fs.writes", 1);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open temp file " + tmp + " for writing: " +
+                           ErrnoText(errno));
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IoError("write failed for " + tmp +
+                                      " at byte offset " +
+                                      std::to_string(written) + ": " +
+                                      ErrnoText(errno));
+      CloseQuietly(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IoError("fsync failed for " + tmp + ": " +
+                                    ErrnoText(errno));
+    CloseQuietly(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    Status status = Status::IoError("close failed for " + tmp + ": " +
+                                    ErrnoText(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::IoError("rename " + tmp + " -> " + path +
+                                    " failed: " + ErrnoText(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // The rename is only durable once the directory entry itself is synced.
+  return FsyncDir(ParentDir(path));
+}
+
+Status RealFs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IoError("unlink failed for " + path + ": " +
+                           ErrnoText(errno));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> RealFs::ListDir(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such directory: " + dir);
+    }
+    return Status::IoError("cannot open directory " + dir + ": " +
+                           ErrnoText(errno));
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    const std::string full = dir + "/" + name;
+    if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RealFs::CreateDirs(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("CreateDirs requires a non-empty path");
+  }
+  // Walk the path component by component, creating what is missing.
+  size_t pos = 0;
+  while (pos < dir.size()) {
+    size_t slash = dir.find('/', pos + 1);
+    if (slash == std::string::npos) slash = dir.size();
+    const std::string prefix = dir.substr(0, slash);
+    if (!prefix.empty() && prefix != "/") {
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::IoError("mkdir failed for " + prefix + ": " +
+                               ErrnoText(errno));
+      }
+    }
+    pos = slash;
+  }
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IoError("path exists but is not a directory: " + dir);
+  }
+  return Status::Ok();
+}
+
+Status RealFs::RemoveTree(const std::string& path) {
+  return RemoveTreeImpl(path);
+}
+
+bool RealFs::Exists(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+Fs& DefaultFs() {
+  static RealFs* fs = new RealFs();
+  return *fs;
+}
+
+StatusOr<std::string> ReadFileWithRetry(Fs& fs, const std::string& path,
+                                        const ReadRetryPolicy& policy,
+                                        int64_t max_bytes) {
+  const int attempts = std::max(1, policy.attempts);
+  StatusOr<std::string> result = fs.ReadFile(path, max_bytes);
+  for (int attempt = 1; attempt < attempts; ++attempt) {
+    // Only kIoError is plausibly transient; kNotFound / kCorruptedData are
+    // definitive and retrying them just delays the caller's fallback logic.
+    if (result.ok() || result.status().code() != StatusCode::kIoError) {
+      return result;
+    }
+    X2VEC_METRIC_COUNT("fs.read_retries", 1);
+    if (policy.backoff_ms > 0) {
+      const int64_t wait_ms = static_cast<int64_t>(policy.backoff_ms)
+                              << (attempt - 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    }
+    result = fs.ReadFile(path, max_bytes);
+  }
+  return result;
+}
+
+StatusOr<std::string> FaultInjectingFs::ReadFile(const std::string& path,
+                                                 int64_t max_bytes) {
+  const int64_t index = reads_++;
+  if (index < plan_.transient_read_failures) {
+    ++faults_injected_;
+    X2VEC_METRIC_COUNT("fs.faults_injected", 1);
+    return Status::IoError("injected transient read failure #" +
+                           std::to_string(index) + " for " + path);
+  }
+  StatusOr<std::string> result = delegate_.ReadFile(path, max_bytes);
+  if (!result.ok()) return result;
+  std::string content = std::move(result).value();
+  if (index == plan_.short_read_at) {
+    ++faults_injected_;
+    X2VEC_METRIC_COUNT("fs.faults_injected", 1);
+    content.resize(content.size() / 2);
+  }
+  if (index == plan_.bit_flip_read_at && !content.empty()) {
+    ++faults_injected_;
+    X2VEC_METRIC_COUNT("fs.faults_injected", 1);
+    content[content.size() / 2] ^= 0x20;
+  }
+  return content;
+}
+
+Status FaultInjectingFs::WriteFileAtomic(const std::string& path,
+                                         std::string_view content) {
+  const int64_t index = writes_++;
+  if (index == plan_.enospc_write_at) {
+    ++faults_injected_;
+    X2VEC_METRIC_COUNT("fs.faults_injected", 1);
+    return Status::IoError("injected ENOSPC while writing " + path + ": " +
+                           ErrnoText(ENOSPC));
+  }
+  if (index == plan_.rename_fail_at) {
+    ++faults_injected_;
+    X2VEC_METRIC_COUNT("fs.faults_injected", 1);
+    // The temp file was staged but the publish step failed: the destination
+    // is untouched, exactly as RealFs guarantees on a real rename error.
+    return Status::IoError("injected rename failure while publishing " + path);
+  }
+  if (index == plan_.torn_write_at) {
+    ++faults_injected_;
+    X2VEC_METRIC_COUNT("fs.faults_injected", 1);
+    // A torn write persists a prefix yet reports success — the checksum
+    // layer above, not the caller, must catch this on the next read.
+    return delegate_.WriteFileAtomic(path,
+                                     content.substr(0, content.size() / 2));
+  }
+  return delegate_.WriteFileAtomic(path, content);
+}
+
+}  // namespace x2vec

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace x2vec {
+
+/// Durable filesystem layer. Every persistent artifact the library writes
+/// (datasets, run reports, model checkpoints) goes through this interface
+/// so that
+///   - writes are crash-consistent: WriteFileAtomic stages the bytes in a
+///     temp file, fsyncs it, then renames over the destination, so readers
+///     only ever observe the old complete file or the new complete file —
+///     never a truncated half-write;
+///   - reads are bounded and typed: ReadFile enforces a byte cap and
+///     reports kNotFound / kIoError with the path and byte offset instead
+///     of handing parsers a silently truncated stream;
+///   - every failure mode is injectable: FaultInjectingFs below scripts
+///     torn writes, short reads, bit flips, ENOSPC and rename failures
+///     into any code path that takes an Fs&, extending the
+///     FaultInjectingRng idiom from the robustness suite to storage.
+///
+/// The raw-file-io lint rule bans std::ofstream / fopen writes outside
+/// this layer, so crash consistency cannot silently regress.
+class Fs {
+ public:
+  /// Refuse to slurp files larger than this by default (a corrupt header
+  /// or a mis-pointed path must not drive a multi-gigabyte allocation).
+  static constexpr int64_t kDefaultMaxReadBytes = int64_t{1} << 30;  // 1 GiB
+
+  virtual ~Fs() = default;
+
+  /// Reads the whole file. kNotFound when the path does not exist,
+  /// kIoError (with path and byte offset) on read failures or when the
+  /// file exceeds `max_bytes`.
+  [[nodiscard]] virtual StatusOr<std::string> ReadFile(
+      const std::string& path, int64_t max_bytes = kDefaultMaxReadBytes) = 0;
+
+  /// Durably replaces `path` with `content`: write `path`.tmp, flush +
+  /// fsync, rename over `path`, fsync the parent directory. On any error
+  /// the destination is untouched and the temp file is removed (best
+  /// effort). Returns kIoError with the failing step and errno text.
+  [[nodiscard]] virtual Status WriteFileAtomic(const std::string& path,
+                                               std::string_view content) = 0;
+
+  /// Deletes a file. Missing files are kNotFound; other failures kIoError.
+  [[nodiscard]] virtual Status Remove(const std::string& path) = 0;
+
+  /// Names (not paths) of the regular files in `dir`, sorted. kNotFound
+  /// when the directory does not exist.
+  [[nodiscard]] virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Creates `dir` and any missing parents (ok when already present).
+  [[nodiscard]] virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// Recursively deletes `path` (ok when absent). For test scratch dirs.
+  [[nodiscard]] virtual Status RemoveTree(const std::string& path) = 0;
+
+  /// True when `path` exists (any file type).
+  [[nodiscard]] virtual bool Exists(const std::string& path) = 0;
+};
+
+/// POSIX implementation; the only code in the tree that opens files for
+/// writing directly.
+class RealFs : public Fs {
+ public:
+  [[nodiscard]] StatusOr<std::string> ReadFile(
+      const std::string& path,
+      int64_t max_bytes = kDefaultMaxReadBytes) override;
+  [[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                       std::string_view content) override;
+  [[nodiscard]] Status Remove(const std::string& path) override;
+  [[nodiscard]] StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) override;
+  [[nodiscard]] Status CreateDirs(const std::string& dir) override;
+  [[nodiscard]] Status RemoveTree(const std::string& path) override;
+  [[nodiscard]] bool Exists(const std::string& path) override;
+};
+
+/// Process-wide RealFs instance, the default when callers do not inject
+/// their own (CheckpointOptions::fs, SaveDataset, WriteRunReport).
+Fs& DefaultFs();
+
+/// Bounded retry policy for transient read failures (NFS hiccups, racing
+/// writers). Only kIoError is retried: kNotFound and kCorruptedData are
+/// definitive answers, not transient conditions.
+struct ReadRetryPolicy {
+  int attempts = 3;        ///< Total tries (>= 1).
+  int backoff_ms = 0;      ///< Sleep before retry k is backoff_ms << (k-1).
+};
+
+/// ReadFile with retry/backoff per the policy. Counts each retry in the
+/// `fs.read_retries` metric; returns the last error when every attempt
+/// fails.
+[[nodiscard]] StatusOr<std::string> ReadFileWithRetry(
+    Fs& fs, const std::string& path,
+    const ReadRetryPolicy& policy = ReadRetryPolicy{},
+    int64_t max_bytes = Fs::kDefaultMaxReadBytes);
+
+/// Deterministic fault scripting for one FaultInjectingFs. Operation
+/// indices are 0-based and count calls of that kind on the wrapper; -1
+/// disables a fault. Faults that "succeed" (torn write, short read, bit
+/// flip) model silent storage corruption and must be caught by the
+/// checksum layer above; faults that fail return kIoError and model
+/// transient or environmental errors (ENOSPC, rename failure, flaky
+/// reads).
+struct FsFaultPlan {
+  int torn_write_at = -1;        ///< Persist only a prefix, report success.
+  int enospc_write_at = -1;      ///< Fail the write with kIoError (no file).
+  int rename_fail_at = -1;       ///< Stage the temp, fail the rename step.
+  int short_read_at = -1;        ///< Return only a prefix of the file.
+  int bit_flip_read_at = -1;     ///< Flip one bit of the bytes returned.
+  int transient_read_failures = 0;  ///< First N reads fail with kIoError.
+};
+
+/// Fs decorator injecting the FsFaultPlan into a delegate (DefaultFs()
+/// unless another is given). Deterministic: the same plan over the same
+/// call sequence injects the same faults. Untouched operations forward
+/// unchanged.
+class FaultInjectingFs : public Fs {
+ public:
+  explicit FaultInjectingFs(FsFaultPlan plan) : FaultInjectingFs(plan, DefaultFs()) {}
+  FaultInjectingFs(FsFaultPlan plan, Fs& delegate)
+      : plan_(plan), delegate_(delegate) {}
+
+  [[nodiscard]] StatusOr<std::string> ReadFile(
+      const std::string& path,
+      int64_t max_bytes = kDefaultMaxReadBytes) override;
+  [[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                       std::string_view content) override;
+  [[nodiscard]] Status Remove(const std::string& path) override {
+    return delegate_.Remove(path);
+  }
+  [[nodiscard]] StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    return delegate_.ListDir(dir);
+  }
+  [[nodiscard]] Status CreateDirs(const std::string& dir) override {
+    return delegate_.CreateDirs(dir);
+  }
+  [[nodiscard]] Status RemoveTree(const std::string& path) override {
+    return delegate_.RemoveTree(path);
+  }
+  [[nodiscard]] bool Exists(const std::string& path) override {
+    return delegate_.Exists(path);
+  }
+
+  [[nodiscard]] int64_t reads() const { return reads_; }
+  [[nodiscard]] int64_t writes() const { return writes_; }
+  [[nodiscard]] int64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  FsFaultPlan plan_;
+  Fs& delegate_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+  int64_t faults_injected_ = 0;
+};
+
+}  // namespace x2vec

@@ -2,8 +2,29 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 namespace x2vec {
+
+std::string Rng::SaveEngineState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::LoadEngineState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::CorruptedData(
+        "mt19937_64 engine state does not parse (expected " +
+        std::to_string(std::mt19937_64::state_size) +
+        " decimal words plus a position)");
+  }
+  engine_ = restored;
+  return Status::Ok();
+}
 
 std::vector<int> RandomPermutation(int n, Rng& rng) {
   X2VEC_CHECK_GE(n, 0);

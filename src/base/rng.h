@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "base/check.h"
+#include "base/status.h"
 
 namespace x2vec {
 
@@ -49,6 +51,17 @@ class Rng {
   static Rng Fork(uint64_t base_seed, uint64_t stream) {
     return Rng(MixSeed(base_seed, stream));
   }
+
+  /// Serialises the full mt19937_64 engine state as whitespace-separated
+  /// decimal words (the standard stream format), so a training run can be
+  /// checkpointed at an epoch barrier and resumed with the exact same draw
+  /// sequence. Subclass state (fault-injection counters) is not captured.
+  [[nodiscard]] std::string SaveEngineState() const;
+
+  /// Restores an engine state produced by SaveEngineState. Returns
+  /// kCorruptedData when the text does not parse as a full engine state;
+  /// the engine is left untouched on failure.
+  [[nodiscard]] Status LoadEngineState(const std::string& state);
 
  protected:
   std::mt19937_64 engine_;

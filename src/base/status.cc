@@ -18,6 +18,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptedData:
+      return "CORRUPTED_DATA";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kResourceExhausted,  ///< A budget (deadline / work quota) was exceeded.
+  kIoError,            ///< A filesystem operation failed (possibly transient).
+  kCorruptedData,      ///< Stored bytes failed a checksum / structure check.
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -52,6 +54,12 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status CorruptedData(std::string message) {
+    return Status(StatusCode::kCorruptedData, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

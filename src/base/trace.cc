@@ -1,9 +1,9 @@
 #include "base/trace.h"
 
-#include <fstream>
 #include <mutex>
 #include <sstream>
 
+#include "base/fs.h"
 #include "base/metrics.h"
 
 namespace x2vec::trace {
@@ -114,17 +114,12 @@ Span::~Span() {
 }
 
 Status WriteRunReport(const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    return Status::Internal("cannot open run report file: " + path);
-  }
-  out << "{\"metrics\":" << metrics::GlobalSnapshot().ToJson()
-      << ",\"spans\":" << SpansToJson() << "}\n";
-  out.flush();
-  if (!out.good()) {
-    return Status::Internal("failed writing run report file: " + path);
-  }
-  return Status::Ok();
+  std::ostringstream report;
+  report << "{\"metrics\":" << metrics::GlobalSnapshot().ToJson()
+         << ",\"spans\":" << SpansToJson() << "}\n";
+  // Atomic durable write: a crash mid-report leaves the previous report
+  // (or none), never a truncated JSON file.
+  return DefaultFs().WriteFileAtomic(path, report.str());
 }
 
 }  // namespace x2vec::trace

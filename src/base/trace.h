@@ -94,7 +94,9 @@ class StopWatch {
 
 /// Writes `{"metrics": <global metrics snapshot>, "spans": [...]}` to
 /// `path` — the machine-readable run report the tab_* harnesses emit.
-/// Returns kInternal when the file cannot be written.
+/// The write goes through base/fs's atomic temp-file + rename path, so a
+/// crash never leaves a truncated report; failures are kIoError naming
+/// the failing step.
 [[nodiscard]] Status WriteRunReport(const std::string& path);
 
 }  // namespace x2vec::trace

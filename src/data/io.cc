@@ -1,8 +1,8 @@
 #include "data/io.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "base/fs.h"
 #include "graph/graph6.h"
 
 namespace x2vec::data {
@@ -134,19 +134,18 @@ StatusOr<GraphDataset> ParseDataset(const std::string& text) {
 Status SaveDataset(const GraphDataset& dataset, const std::string& path) {
   StatusOr<std::string> serialized = SerializeDataset(dataset);
   if (!serialized.ok()) return serialized.status();
-  std::ofstream out(path);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
-  out << *serialized;
-  return out ? Status::Ok()
-             : Status::Internal("short write to " + path);
+  // Atomic durable write: a crash mid-save leaves the previous file (or no
+  // file), never a truncated dataset.
+  return DefaultFs().WriteFileAtomic(path, *serialized);
 }
 
 StatusOr<GraphDataset> LoadDataset(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseDataset(buffer.str());
+  // Bounded read with typed errors: kNotFound for a missing path, kIoError
+  // (naming the path and byte offset) for read failures or a file above
+  // the size cap — never a silently truncated parse.
+  StatusOr<std::string> text = DefaultFs().ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseDataset(*text);
 }
 
 }  // namespace x2vec::data

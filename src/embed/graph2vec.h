@@ -15,6 +15,11 @@ namespace x2vec::embed {
 /// PV-DBOW.
 struct Graph2VecOptions {
   int wl_rounds = 3;
+  /// PV-DBOW training knobs. Crash-safe checkpointing rides here too: set
+  /// sgns.checkpoint.dir and the trainer snapshots at epoch barriers and
+  /// resumes on the next call — the WL document build is a pure function
+  /// of (graphs, wl_rounds), so a restarted process reconstructs the same
+  /// corpus and the checkpoint fingerprint matches.
   SgnsOptions sgns;
 };
 

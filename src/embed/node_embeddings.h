@@ -32,6 +32,13 @@ linalg::Matrix IsomapEmbedding(const graph::Graph& g, int d);
 /// Shared knobs for the walk + skip-gram node embedders.
 struct Node2VecOptions {
   WalkOptions walks;
+  /// Skip-gram training knobs. Crash-safe checkpointing rides here: set
+  /// sgns.checkpoint.dir and the trainer snapshots at epoch barriers and
+  /// resumes on the next call. Walk generation is deterministic for a
+  /// fixed seed/rng, so a restarted process rebuilds the identical walk
+  /// corpus and the checkpoint fingerprint (which hashes the corpus)
+  /// matches; a changed graph or walk setup changes the fingerprint and
+  /// the stale checkpoint is skipped.
   SgnsOptions sgns;
 };
 

@@ -15,6 +15,103 @@ namespace {
 
 constexpr std::string_view kOperation = "SGNS training";
 
+// ---- Checkpoint plumbing shared by the sequential and sharded trainers.
+
+// Binds a checkpoint to one exact run: options (recovery included, since
+// it shapes the retry path), data shape and content, noise table and seed.
+// Any difference means "resuming would not reproduce the uninterrupted
+// run", so LoadLatestCheckpoint skips the file.
+uint64_t SgnsFingerprint(CheckpointKind kind,
+                         const std::vector<std::vector<int>>& sequences,
+                         const std::vector<double>& noise_weights, int rows_in,
+                         int rows_out, bool skipgram_window,
+                         const SgnsOptions& options, uint64_t seed) {
+  Fnv1a hasher;
+  hasher.UpdateU64(static_cast<uint64_t>(kind));
+  hasher.UpdateU64(static_cast<uint64_t>(rows_in));
+  hasher.UpdateU64(static_cast<uint64_t>(rows_out));
+  hasher.UpdateU64(skipgram_window ? 1 : 0);
+  hasher.UpdateU64(static_cast<uint64_t>(options.dimension));
+  hasher.UpdateU64(static_cast<uint64_t>(options.window));
+  hasher.UpdateU64(static_cast<uint64_t>(options.negatives));
+  hasher.UpdateU64(static_cast<uint64_t>(options.epochs));
+  hasher.UpdateDouble(options.learning_rate);
+  hasher.UpdateDouble(options.noise_power);
+  hasher.UpdateU64(static_cast<uint64_t>(options.recovery.max_retries));
+  hasher.UpdateDouble(options.recovery.lr_backoff);
+  hasher.UpdateDouble(options.recovery.clip_norm);
+  hasher.UpdateDouble(options.recovery.clip_backoff);
+  hasher.UpdateDouble(options.recovery.max_abs);
+  hasher.UpdateU64(seed);
+  hasher.UpdateU64(sequences.size());
+  for (const std::vector<int>& seq : sequences) {
+    hasher.UpdateU64(seq.size());
+    for (int token : seq) hasher.UpdateU64(static_cast<uint64_t>(token));
+  }
+  hasher.UpdateU64(noise_weights.size());
+  for (double w : noise_weights) hasher.UpdateDouble(w);
+  return hasher.digest();
+}
+
+// Everything beyond the model needed to make a resumed run bit-identical:
+// where the schedule stands, the recovery settings in force, and the RNG
+// engine mid-stream. `progress` is the pair counter `seen` for the
+// sequential trainer and the epoch `attempt` counter for the sharded one —
+// each trainer's single source of schedule truth.
+struct SgnsResumeState {
+  int next_epoch = 0;
+  int64_t progress = 0;
+  double lr_scale = 1.0;
+  double clip = 0.0;
+  int retries = 0;
+  std::string rng_state;
+};
+
+CheckpointData EncodeSgnsState(CheckpointKind kind, uint64_t fingerprint,
+                               const SgnsModel& model,
+                               const SgnsResumeState& state) {
+  CheckpointData data;
+  data.kind = kind;
+  data.fingerprint = fingerprint;
+  PayloadWriter model_writer;
+  model_writer.PutMatrix(model.input);
+  model_writer.PutMatrix(model.output);
+  data.sections.push_back({"model", model_writer.Take()});
+  PayloadWriter trainer_writer;
+  trainer_writer.PutI64(state.next_epoch);
+  trainer_writer.PutI64(state.progress);
+  trainer_writer.PutDouble(state.lr_scale);
+  trainer_writer.PutDouble(state.clip);
+  trainer_writer.PutI64(state.retries);
+  trainer_writer.PutString(state.rng_state);
+  data.sections.push_back({"trainer", trainer_writer.Take()});
+  return data;
+}
+
+Status DecodeSgnsState(const CheckpointData& data, SgnsModel& model,
+                       SgnsResumeState& state) {
+  const CheckpointSection* model_section = data.Find("model");
+  const CheckpointSection* trainer_section = data.Find("trainer");
+  if (model_section == nullptr || trainer_section == nullptr) {
+    return Status::CorruptedData(
+        "checkpoint is missing its 'model' or 'trainer' section");
+  }
+  PayloadReader model_reader(model_section->payload);
+  model.input = model_reader.GetMatrix();
+  model.output = model_reader.GetMatrix();
+  model_reader.ExpectEnd();
+  if (!model_reader.status().ok()) return model_reader.status();
+  PayloadReader trainer_reader(trainer_section->payload);
+  state.next_epoch = static_cast<int>(trainer_reader.GetI64());
+  state.progress = trainer_reader.GetI64();
+  state.lr_scale = trainer_reader.GetDouble();
+  state.clip = trainer_reader.GetDouble();
+  state.retries = static_cast<int>(trainer_reader.GetI64());
+  state.rng_state = trainer_reader.GetString();
+  trainer_reader.ExpectEnd();
+  return trainer_reader.status();
+}
+
 // Redraw cap for negative-sampling collisions. With any non-degenerate
 // noise table the collision probability per draw is the sampled token's
 // own noise mass, so 16 redraws make a dropped negative vanishingly rare
@@ -64,16 +161,70 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
   if (Status status = ValidateSgnsOptions(options); !status.ok()) {
     return status;
   }
+  if (Status status = ValidateCheckpointOptions(options.checkpoint);
+      !status.ok()) {
+    return status;
+  }
   if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
   X2VEC_CHECK_GT(rows_in, 0);
   X2VEC_CHECK_GT(rows_out, 0);
+  const CheckpointOptions& ckpt = options.checkpoint;
+  constexpr CheckpointKind kKind = CheckpointKind::kSgnsSequential;
+  const uint64_t fingerprint =
+      ckpt.enabled()
+          ? SgnsFingerprint(kKind, sequences, noise_weights, rows_in, rows_out,
+                            skipgram_window, options, /*seed=*/0)
+          : 0;
+
   SgnsModel model;
   const double init = 0.5 / options.dimension;
-  model.input = linalg::Matrix(rows_in, options.dimension);
-  for (double& v : model.input.mutable_data()) {
-    v = UniformReal(rng, -init, init);
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Halved on each numeric recovery.
+  double clip = recovery.clip_norm;
+  int retries = 0;
+  int64_t seen = 0;
+  int start_epoch = 0;
+
+  bool resumed = false;
+  if (ckpt.enabled()) {
+    StatusOr<std::optional<CheckpointData>> loaded =
+        LoadLatestCheckpoint(ckpt, kKind, fingerprint);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded->has_value()) {
+      SgnsResumeState state;
+      if (Status status = DecodeSgnsState(**loaded, model, state);
+          !status.ok()) {
+        return status;
+      }
+      if (model.input.rows() != rows_in ||
+          model.input.cols() != options.dimension ||
+          model.output.rows() != rows_out ||
+          model.output.cols() != options.dimension) {
+        return Status::CorruptedData(
+            "checkpoint model shape does not match this run's "
+            "(rows, dimension)");
+      }
+      // Restoring the engine replays the exact draw sequence the
+      // uninterrupted run would have continued with.
+      if (Status status = rng.LoadEngineState(state.rng_state); !status.ok()) {
+        return status;
+      }
+      start_epoch = state.next_epoch;
+      seen = state.progress;
+      lr_scale = state.lr_scale;
+      clip = state.clip;
+      retries = state.retries;
+      resumed = true;
+      X2VEC_METRIC_COUNT("checkpoint.resumes", 1);
+    }
   }
-  model.output = linalg::Matrix(rows_out, options.dimension);  // Zeros.
+  if (!resumed) {
+    model.input = linalg::Matrix(rows_in, options.dimension);
+    for (double& v : model.input.mutable_data()) {
+      v = UniformReal(rng, -init, init);
+    }
+    model.output = linalg::Matrix(rows_out, options.dimension);  // Zeros.
+  }
 
   const AliasTable noise(noise_weights);
 
@@ -86,15 +237,9 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
 
-  const RecoveryPolicy& recovery = options.recovery;
-  double lr_scale = 1.0;  // Halved on each numeric recovery.
-  double clip = recovery.clip_norm;
-  int retries = 0;
-
   trace::Span train_span("sgns.train");
-  int64_t seen = 0;
   std::vector<double> center_gradient(options.dimension);
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     trace::Span epoch_span("sgns.epoch");
     double epoch_loss = 0.0;
     for (size_t s = 0; s < sequences.size(); ++s) {
@@ -178,6 +323,19 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
       --epoch;  // Retry the failed epoch with the gentler settings.
       continue;
     }
+
+    // Epoch barrier reached with healthy parameters: persist everything a
+    // resumed run needs to finish bit-identically. A save failure is a
+    // typed error, not a silent skip — the caller asked for durability.
+    if (ckpt.enabled() && (epoch + 1) % ckpt.every_n_epochs == 0) {
+      SgnsResumeState state{epoch + 1, seen, lr_scale, clip, retries,
+                            rng.SaveEngineState()};
+      if (Status status = SaveCheckpoint(
+              ckpt, epoch + 1, EncodeSgnsState(kKind, fingerprint, model, state));
+          !status.ok()) {
+        return status;
+      }
+    }
   }
   train_span.AddWork(seen);
   return model;
@@ -231,21 +389,76 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   if (Status status = ValidateSgnsOptions(options); !status.ok()) {
     return status;
   }
+  if (Status status = ValidateCheckpointOptions(options.checkpoint);
+      !status.ok()) {
+    return status;
+  }
   if (budget.Exhausted()) return budget.ExhaustedError(kShardOperation);
   X2VEC_CHECK_GT(rows_in, 0);
   X2VEC_CHECK_GT(rows_out, 0);
   const int dim = options.dimension;
+  const CheckpointOptions& ckpt = options.checkpoint;
+  constexpr CheckpointKind kKind = CheckpointKind::kSgnsSharded;
+  const uint64_t fingerprint =
+      ckpt.enabled()
+          ? SgnsFingerprint(kKind, sequences, noise_weights, rows_in, rows_out,
+                            skipgram_window, options, seed)
+          : 0;
+
   SgnsModel model;
   const double init = 0.5 / dim;
-  model.input = linalg::Matrix(rows_in, dim);
-  // Stream 0 of the seed initialises; streams of MixSeed(seed, 1 + attempt)
-  // drive the per-sequence noise draws of each epoch attempt; the ~0
-  // stream reseeds rows during numeric recovery.
-  Rng init_rng = Rng::Fork(seed, 0);
-  for (double& v : model.input.mutable_data()) {
-    v = UniformReal(init_rng, -init, init);
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Halved on each numeric recovery.
+  double clip = recovery.clip_norm;
+  int retries = 0;
+  Rng recovery_rng = Rng::Fork(seed, ~uint64_t{0});
+  // Epoch attempts (retries included) drive both the noise streams and the
+  // schedule offset, mirroring the sequential trainer's ever-advancing
+  // generator and pair counter across retried epochs.
+  int64_t attempt = 0;
+  int start_epoch = 0;
+
+  bool resumed = false;
+  if (ckpt.enabled()) {
+    StatusOr<std::optional<CheckpointData>> loaded =
+        LoadLatestCheckpoint(ckpt, kKind, fingerprint);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded->has_value()) {
+      SgnsResumeState state;
+      if (Status status = DecodeSgnsState(**loaded, model, state);
+          !status.ok()) {
+        return status;
+      }
+      if (model.input.rows() != rows_in || model.input.cols() != dim ||
+          model.output.rows() != rows_out || model.output.cols() != dim) {
+        return Status::CorruptedData(
+            "checkpoint model shape does not match this run's "
+            "(rows, dimension)");
+      }
+      if (Status status = recovery_rng.LoadEngineState(state.rng_state);
+          !status.ok()) {
+        return status;
+      }
+      start_epoch = state.next_epoch;
+      attempt = state.progress;
+      lr_scale = state.lr_scale;
+      clip = state.clip;
+      retries = state.retries;
+      resumed = true;
+      X2VEC_METRIC_COUNT("checkpoint.resumes", 1);
+    }
   }
-  model.output = linalg::Matrix(rows_out, dim);  // Zeros.
+  if (!resumed) {
+    model.input = linalg::Matrix(rows_in, dim);
+    // Stream 0 of the seed initialises; streams of MixSeed(seed, 1 + attempt)
+    // drive the per-sequence noise draws of each epoch attempt; the ~0
+    // stream reseeds rows during numeric recovery.
+    Rng init_rng = Rng::Fork(seed, 0);
+    for (double& v : model.input.mutable_data()) {
+      v = UniformReal(init_rng, -init, init);
+    }
+    model.output = linalg::Matrix(rows_out, dim);  // Zeros.
+  }
 
   const AliasTable noise(noise_weights);
   const int64_t num_sequences = static_cast<int64_t>(sequences.size());
@@ -260,23 +473,13 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
 
-  const RecoveryPolicy& recovery = options.recovery;
-  double lr_scale = 1.0;  // Halved on each numeric recovery.
-  double clip = recovery.clip_norm;
-  int retries = 0;
-  Rng recovery_rng = Rng::Fork(seed, ~uint64_t{0});
-
   BudgetGate gate(budget);
   trace::Span train_span("sgns.train_sharded");
-  // Epoch attempts (retries included) drive both the noise streams and the
-  // schedule offset, mirroring the sequential trainer's ever-advancing
-  // generator and pair counter across retried epochs.
-  int64_t attempt = 0;
   // Shard storage reused across batches and epochs: Reset() keeps each
   // buffer's capacity, so steady-state training allocates nothing per
   // sequence.
   std::vector<ShardDelta> deltas(kShardBatchSequences);
-  for (int epoch = 0; epoch < options.epochs; ++epoch, ++attempt) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch, ++attempt) {
     trace::Span epoch_span("sgns.epoch");
     const uint64_t epoch_base = MixSeed(seed, 1 + static_cast<uint64_t>(attempt));
     const int64_t seen_base = attempt * pairs_per_epoch;
@@ -413,6 +616,20 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                                   recovery_rng);
       --epoch;  // Retry the failed epoch with the gentler settings.
       continue;
+    }
+
+    // Healthy epoch barrier: persist the resume state. `attempt + 1` is
+    // the attempt counter at the next epoch's start (the for-step has not
+    // run yet), so a resumed run forks the same per-sequence streams the
+    // uninterrupted run would have.
+    if (ckpt.enabled() && (epoch + 1) % ckpt.every_n_epochs == 0) {
+      SgnsResumeState state{epoch + 1, attempt + 1, lr_scale, clip, retries,
+                            recovery_rng.SaveEngineState()};
+      if (Status status = SaveCheckpoint(
+              ckpt, epoch + 1, EncodeSgnsState(kKind, fingerprint, model, state));
+          !status.ok()) {
+        return status;
+      }
     }
   }
   return model;

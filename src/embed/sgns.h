@@ -7,6 +7,7 @@
 #include "base/recovery.h"
 #include "base/rng.h"
 #include "base/status.h"
+#include "embed/checkpoint.h"
 #include "embed/corpus.h"
 #include "linalg/matrix.h"
 
@@ -25,6 +26,13 @@ struct SgnsOptions {
   /// Numeric-health guardrails: gradient clipping plus NaN/Inf detection
   /// with LR-backoff retries. The defaults never engage on a healthy run.
   RecoveryPolicy recovery;
+  /// Opt-in crash-safe persistence: with a non-empty dir the trainer saves
+  /// a checksummed snapshot (model, RNG engine state, schedule position)
+  /// at every every_n_epochs-th epoch barrier and, on the next run with
+  /// the same options/data/seed, resumes from the newest intact one. A
+  /// resumed run finishes bit-identical to an uninterrupted one; corrupt
+  /// or stale files are skipped, never trusted.
+  CheckpointOptions checkpoint;
 };
 
 /// Trained embedding: `input` holds the vectors normally used downstream

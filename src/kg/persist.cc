@@ -1,0 +1,119 @@
+#include "kg/persist.h"
+
+#include <utility>
+
+namespace x2vec::kg {
+
+using embed::CheckpointData;
+using embed::CheckpointKind;
+using embed::CheckpointSection;
+using embed::DecodeCheckpoint;
+using embed::EncodeCheckpoint;
+using embed::PayloadReader;
+using embed::PayloadWriter;
+
+void HashKnowledgeGraph(embed::Fnv1a& hasher, const KnowledgeGraph& kg) {
+  hasher.UpdateU64(static_cast<uint64_t>(kg.NumEntities()));
+  hasher.UpdateU64(static_cast<uint64_t>(kg.NumRelations()));
+  hasher.UpdateU64(kg.Triples().size());
+  for (const Triple& triple : kg.Triples()) {
+    hasher.UpdateU64(static_cast<uint64_t>(triple.head));
+    hasher.UpdateU64(static_cast<uint64_t>(triple.relation));
+    hasher.UpdateU64(static_cast<uint64_t>(triple.tail));
+  }
+}
+
+namespace {
+
+Status SaveArtifact(Fs& fs, const std::string& path, CheckpointKind kind,
+                    CheckpointData data) {
+  data.kind = kind;
+  return fs.WriteFileAtomic(path, EncodeCheckpoint(data));
+}
+
+StatusOr<CheckpointData> LoadArtifact(Fs& fs, const std::string& path,
+                                      CheckpointKind kind) {
+  StatusOr<std::string> bytes = fs.ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  StatusOr<CheckpointData> decoded = DecodeCheckpoint(*bytes);
+  if (!decoded.ok()) {
+    return Status::CorruptedData(path + ": " + decoded.status().message());
+  }
+  if (decoded->kind != kind) {
+    return Status::CorruptedData(
+        path + ": wrong artifact kind " +
+        std::to_string(static_cast<uint32_t>(decoded->kind)) + " (expected " +
+        std::to_string(static_cast<uint32_t>(kind)) + ")");
+  }
+  return decoded;
+}
+
+}  // namespace
+
+Status SaveTransEModel(Fs& fs, const std::string& path,
+                       const TransEModel& model) {
+  PayloadWriter writer;
+  writer.PutMatrix(model.entities);
+  writer.PutMatrix(model.relations);
+  CheckpointData data;
+  data.sections.push_back({"model", writer.Take()});
+  return SaveArtifact(fs, path, CheckpointKind::kTransEModelArtifact,
+                      std::move(data));
+}
+
+StatusOr<TransEModel> LoadTransEModel(Fs& fs, const std::string& path) {
+  StatusOr<CheckpointData> data =
+      LoadArtifact(fs, path, CheckpointKind::kTransEModelArtifact);
+  if (!data.ok()) return data.status();
+  const CheckpointSection* section = data->Find("model");
+  if (section == nullptr) {
+    return Status::CorruptedData(path + ": missing 'model' section");
+  }
+  PayloadReader reader(section->payload);
+  TransEModel model;
+  model.entities = reader.GetMatrix();
+  model.relations = reader.GetMatrix();
+  reader.ExpectEnd();
+  if (!reader.status().ok()) {
+    return Status::CorruptedData(path + ": " + reader.status().message());
+  }
+  return model;
+}
+
+Status SaveRescalModel(Fs& fs, const std::string& path,
+                       const RescalModel& model) {
+  PayloadWriter writer;
+  writer.PutMatrix(model.entities);
+  writer.PutU32(static_cast<uint32_t>(model.relations.size()));
+  for (const linalg::Matrix& relation : model.relations) {
+    writer.PutMatrix(relation);
+  }
+  CheckpointData data;
+  data.sections.push_back({"model", writer.Take()});
+  return SaveArtifact(fs, path, CheckpointKind::kRescalModelArtifact,
+                      std::move(data));
+}
+
+StatusOr<RescalModel> LoadRescalModel(Fs& fs, const std::string& path) {
+  StatusOr<CheckpointData> data =
+      LoadArtifact(fs, path, CheckpointKind::kRescalModelArtifact);
+  if (!data.ok()) return data.status();
+  const CheckpointSection* section = data->Find("model");
+  if (section == nullptr) {
+    return Status::CorruptedData(path + ": missing 'model' section");
+  }
+  PayloadReader reader(section->payload);
+  RescalModel model;
+  model.entities = reader.GetMatrix();
+  const uint32_t relation_count = reader.GetU32();
+  for (uint32_t r = 0; r < relation_count && reader.status().ok(); ++r) {
+    model.relations.push_back(reader.GetMatrix());
+  }
+  reader.ExpectEnd();
+  if (!reader.status().ok()) {
+    return Status::CorruptedData(path + ": " + reader.status().message());
+  }
+  return model;
+}
+
+}  // namespace x2vec::kg

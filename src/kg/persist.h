@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "base/fs.h"
+#include "base/status.h"
+#include "embed/checkpoint.h"
+#include "kg/knowledge_graph.h"
+#include "kg/rescal.h"
+#include "kg/transe.h"
+
+namespace x2vec::kg {
+
+/// Persistence for the knowledge-graph models, built on the same
+/// checksummed container as embed/checkpoint.h (kg links embed; embed
+/// never links kg, which is why these functions live here rather than
+/// next to the generic format).
+
+/// Folds the full knowledge graph — entity/relation counts and every
+/// triple — into `hasher`. The trainers use this to fingerprint their
+/// checkpoints so a checkpoint from different data is skipped, not
+/// resumed.
+void HashKnowledgeGraph(embed::Fnv1a& hasher, const KnowledgeGraph& kg);
+
+/// Writes a trained TransE model (entities + relations) atomically.
+[[nodiscard]] Status SaveTransEModel(Fs& fs, const std::string& path,
+                                     const TransEModel& model);
+
+/// Loads a file written by SaveTransEModel. kCorruptedData on checksum or
+/// structure damage, kNotFound / kIoError from the filesystem.
+[[nodiscard]] StatusOr<TransEModel> LoadTransEModel(Fs& fs,
+                                                    const std::string& path);
+
+/// Writes a trained RESCAL model (entity matrix + per-relation bilinear
+/// forms) atomically.
+[[nodiscard]] Status SaveRescalModel(Fs& fs, const std::string& path,
+                                     const RescalModel& model);
+
+/// Loads a file written by SaveRescalModel.
+[[nodiscard]] StatusOr<RescalModel> LoadRescalModel(Fs& fs,
+                                                    const std::string& path);
+
+}  // namespace x2vec::kg

@@ -2,13 +2,87 @@
 
 #include <cmath>
 
+#include "base/metrics.h"
 #include "base/validation.h"
+#include "kg/persist.h"
 #include "linalg/health.h"
 
 namespace x2vec::kg {
 namespace {
 
 constexpr std::string_view kOperation = "RESCAL training";
+
+using embed::CheckpointData;
+using embed::CheckpointKind;
+using embed::CheckpointOptions;
+using embed::CheckpointSection;
+using embed::PayloadReader;
+using embed::PayloadWriter;
+
+uint64_t RescalFingerprint(const KnowledgeGraph& kg,
+                           const RescalOptions& options) {
+  embed::Fnv1a hasher;
+  hasher.UpdateU64(static_cast<uint64_t>(CheckpointKind::kRescal));
+  hasher.UpdateU64(static_cast<uint64_t>(options.dimension));
+  hasher.UpdateU64(static_cast<uint64_t>(options.epochs));
+  hasher.UpdateDouble(options.learning_rate);
+  hasher.UpdateDouble(options.l2);
+  hasher.UpdateU64(static_cast<uint64_t>(options.recovery.max_retries));
+  hasher.UpdateDouble(options.recovery.lr_backoff);
+  hasher.UpdateDouble(options.recovery.max_abs);
+  HashKnowledgeGraph(hasher, kg);
+  return hasher.digest();
+}
+
+CheckpointData EncodeRescalState(uint64_t fingerprint,
+                                 const RescalModel& model, int next_epoch,
+                                 double lr_scale, int retries,
+                                 const std::string& rng_state) {
+  CheckpointData data;
+  data.kind = CheckpointKind::kRescal;
+  data.fingerprint = fingerprint;
+  PayloadWriter model_writer;
+  model_writer.PutMatrix(model.entities);
+  model_writer.PutU32(static_cast<uint32_t>(model.relations.size()));
+  for (const linalg::Matrix& relation : model.relations) {
+    model_writer.PutMatrix(relation);
+  }
+  data.sections.push_back({"model", model_writer.Take()});
+  PayloadWriter trainer_writer;
+  trainer_writer.PutI64(next_epoch);
+  trainer_writer.PutDouble(lr_scale);
+  trainer_writer.PutI64(retries);
+  trainer_writer.PutString(rng_state);
+  data.sections.push_back({"trainer", trainer_writer.Take()});
+  return data;
+}
+
+Status DecodeRescalState(const CheckpointData& data, RescalModel& model,
+                         int& next_epoch, double& lr_scale, int& retries,
+                         std::string& rng_state) {
+  const CheckpointSection* model_section = data.Find("model");
+  const CheckpointSection* trainer_section = data.Find("trainer");
+  if (model_section == nullptr || trainer_section == nullptr) {
+    return Status::CorruptedData(
+        "RESCAL checkpoint is missing its 'model' or 'trainer' section");
+  }
+  PayloadReader model_reader(model_section->payload);
+  model.entities = model_reader.GetMatrix();
+  const uint32_t relation_count = model_reader.GetU32();
+  model.relations.clear();
+  for (uint32_t r = 0; r < relation_count && model_reader.status().ok(); ++r) {
+    model.relations.push_back(model_reader.GetMatrix());
+  }
+  model_reader.ExpectEnd();
+  if (!model_reader.status().ok()) return model_reader.status();
+  PayloadReader trainer_reader(trainer_section->payload);
+  next_epoch = static_cast<int>(trainer_reader.GetI64());
+  lr_scale = trainer_reader.GetDouble();
+  retries = static_cast<int>(trainer_reader.GetI64());
+  rng_state = trainer_reader.GetString();
+  trainer_reader.ExpectEnd();
+  return trainer_reader.status();
+}
 
 // Dense relation adjacency matrices A_R.
 std::vector<linalg::Matrix> RelationAdjacency(const KnowledgeGraph& kg) {
@@ -79,26 +153,68 @@ StatusOr<RescalModel> TrainRescalBudgeted(const KnowledgeGraph& kg,
     return Status::InvalidArgument(
         "RESCAL training needs at least one relation");
   }
+  if (Status status = embed::ValidateCheckpointOptions(options.checkpoint);
+      !status.ok()) {
+    return status;
+  }
   if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
 
+  const CheckpointOptions& ckpt = options.checkpoint;
+  const uint64_t fingerprint =
+      ckpt.enabled() ? RescalFingerprint(kg, options) : 0;
+
   RescalModel model;
-  model.entities = linalg::Matrix(n, d);
   const double init = 1.0 / std::sqrt(static_cast<double>(d));
-  for (double& v : model.entities.mutable_data()) {
-    v = UniformReal(rng, -init, init);
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Backed off on each numeric recovery.
+  int retries = 0;
+  int start_epoch = 0;
+
+  bool resumed = false;
+  if (ckpt.enabled()) {
+    StatusOr<std::optional<CheckpointData>> loaded =
+        embed::LoadLatestCheckpoint(ckpt, CheckpointKind::kRescal,
+                                    fingerprint);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded->has_value()) {
+      std::string rng_state;
+      if (Status status = DecodeRescalState(**loaded, model, start_epoch,
+                                            lr_scale, retries, rng_state);
+          !status.ok()) {
+        return status;
+      }
+      bool shapes_ok = model.entities.rows() == n &&
+                       model.entities.cols() == d &&
+                       static_cast<int>(model.relations.size()) ==
+                           kg.NumRelations();
+      for (const linalg::Matrix& relation : model.relations) {
+        shapes_ok = shapes_ok && relation.rows() == d && relation.cols() == d;
+      }
+      if (!shapes_ok) {
+        return Status::CorruptedData(
+            "RESCAL checkpoint model shape does not match this run's");
+      }
+      if (Status status = rng.LoadEngineState(rng_state); !status.ok()) {
+        return status;
+      }
+      resumed = true;
+      X2VEC_METRIC_COUNT("checkpoint.resumes", 1);
+    }
   }
-  model.relations.assign(kg.NumRelations(), linalg::Matrix(d, d));
-  for (linalg::Matrix& b : model.relations) {
-    for (double& v : b.mutable_data()) v = UniformReal(rng, -init, init);
+  if (!resumed) {
+    model.entities = linalg::Matrix(n, d);
+    for (double& v : model.entities.mutable_data()) {
+      v = UniformReal(rng, -init, init);
+    }
+    model.relations.assign(kg.NumRelations(), linalg::Matrix(d, d));
+    for (linalg::Matrix& b : model.relations) {
+      for (double& v : b.mutable_data()) v = UniformReal(rng, -init, init);
+    }
   }
 
   const std::vector<linalg::Matrix> targets = RelationAdjacency(kg);
 
-  const RecoveryPolicy& recovery = options.recovery;
-  double lr_scale = 1.0;  // Backed off on each numeric recovery.
-  int retries = 0;
-
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     const double lr = options.learning_rate * lr_scale;
     double epoch_loss = 0.0;
     // Full-batch gradients of sum_R ||X B_R X^T - A_R||^2.
@@ -141,6 +257,17 @@ StatusOr<RescalModel> TrainRescalBudgeted(const KnowledgeGraph& kg,
       }
       --epoch;  // Retry the failed epoch with the gentler settings.
       continue;
+    }
+
+    // Healthy epoch barrier: persist the resume state.
+    if (ckpt.enabled() && (epoch + 1) % ckpt.every_n_epochs == 0) {
+      if (Status status = embed::SaveCheckpoint(
+              ckpt, epoch + 1,
+              EncodeRescalState(fingerprint, model, epoch + 1, lr_scale,
+                                retries, rng.SaveEngineState()));
+          !status.ok()) {
+        return status;
+      }
     }
   }
   return model;

@@ -4,13 +4,84 @@
 #include <cmath>
 #include <span>
 
+#include "base/metrics.h"
 #include "base/validation.h"
+#include "kg/persist.h"
 #include "linalg/health.h"
 
 namespace x2vec::kg {
 namespace {
 
 constexpr std::string_view kOperation = "TransE training";
+
+using embed::CheckpointData;
+using embed::CheckpointKind;
+using embed::CheckpointOptions;
+using embed::CheckpointSection;
+using embed::PayloadReader;
+using embed::PayloadWriter;
+
+uint64_t TransEFingerprint(const KnowledgeGraph& kg,
+                           const TransEOptions& options) {
+  embed::Fnv1a hasher;
+  hasher.UpdateU64(static_cast<uint64_t>(CheckpointKind::kTransE));
+  hasher.UpdateU64(static_cast<uint64_t>(options.dimension));
+  hasher.UpdateU64(static_cast<uint64_t>(options.epochs));
+  hasher.UpdateDouble(options.learning_rate);
+  hasher.UpdateDouble(options.margin);
+  hasher.UpdateU64(static_cast<uint64_t>(options.recovery.max_retries));
+  hasher.UpdateDouble(options.recovery.lr_backoff);
+  hasher.UpdateDouble(options.recovery.clip_norm);
+  hasher.UpdateDouble(options.recovery.clip_backoff);
+  hasher.UpdateDouble(options.recovery.max_abs);
+  HashKnowledgeGraph(hasher, kg);
+  return hasher.digest();
+}
+
+CheckpointData EncodeTransEState(uint64_t fingerprint,
+                                 const TransEModel& model, int next_epoch,
+                                 double lr_scale, double clip, int retries,
+                                 const std::string& rng_state) {
+  CheckpointData data;
+  data.kind = CheckpointKind::kTransE;
+  data.fingerprint = fingerprint;
+  PayloadWriter model_writer;
+  model_writer.PutMatrix(model.entities);
+  model_writer.PutMatrix(model.relations);
+  data.sections.push_back({"model", model_writer.Take()});
+  PayloadWriter trainer_writer;
+  trainer_writer.PutI64(next_epoch);
+  trainer_writer.PutDouble(lr_scale);
+  trainer_writer.PutDouble(clip);
+  trainer_writer.PutI64(retries);
+  trainer_writer.PutString(rng_state);
+  data.sections.push_back({"trainer", trainer_writer.Take()});
+  return data;
+}
+
+Status DecodeTransEState(const CheckpointData& data, TransEModel& model,
+                         int& next_epoch, double& lr_scale, double& clip,
+                         int& retries, std::string& rng_state) {
+  const CheckpointSection* model_section = data.Find("model");
+  const CheckpointSection* trainer_section = data.Find("trainer");
+  if (model_section == nullptr || trainer_section == nullptr) {
+    return Status::CorruptedData(
+        "TransE checkpoint is missing its 'model' or 'trainer' section");
+  }
+  PayloadReader model_reader(model_section->payload);
+  model.entities = model_reader.GetMatrix();
+  model.relations = model_reader.GetMatrix();
+  model_reader.ExpectEnd();
+  if (!model_reader.status().ok()) return model_reader.status();
+  PayloadReader trainer_reader(trainer_section->payload);
+  next_epoch = static_cast<int>(trainer_reader.GetI64());
+  lr_scale = trainer_reader.GetDouble();
+  clip = trainer_reader.GetDouble();
+  retries = static_cast<int>(trainer_reader.GetI64());
+  rng_state = trainer_reader.GetString();
+  trainer_reader.ExpectEnd();
+  return trainer_reader.status();
+}
 
 }  // namespace
 
@@ -76,17 +147,61 @@ StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
     return Status::InvalidArgument(
         "TransE training needs at least one triple");
   }
+  if (Status status = embed::ValidateCheckpointOptions(options.checkpoint);
+      !status.ok()) {
+    return status;
+  }
   if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
+
+  const CheckpointOptions& ckpt = options.checkpoint;
+  const uint64_t fingerprint =
+      ckpt.enabled() ? TransEFingerprint(kg, options) : 0;
 
   TransEModel model;
   const double init = 6.0 / std::sqrt(options.dimension);
-  model.entities = linalg::Matrix(kg.NumEntities(), options.dimension);
-  model.relations = linalg::Matrix(kg.NumRelations(), options.dimension);
-  for (double& v : model.entities.mutable_data()) {
-    v = UniformReal(rng, -init, init);
+  const RecoveryPolicy& recovery = options.recovery;
+  double lr_scale = 1.0;  // Backed off on each numeric recovery.
+  double clip = recovery.clip_norm;
+  int retries = 0;
+  int start_epoch = 0;
+
+  bool resumed = false;
+  if (ckpt.enabled()) {
+    StatusOr<std::optional<CheckpointData>> loaded =
+        embed::LoadLatestCheckpoint(ckpt, CheckpointKind::kTransE,
+                                    fingerprint);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded->has_value()) {
+      std::string rng_state;
+      if (Status status =
+              DecodeTransEState(**loaded, model, start_epoch, lr_scale, clip,
+                                retries, rng_state);
+          !status.ok()) {
+        return status;
+      }
+      if (model.entities.rows() != kg.NumEntities() ||
+          model.entities.cols() != options.dimension ||
+          model.relations.rows() != kg.NumRelations() ||
+          model.relations.cols() != options.dimension) {
+        return Status::CorruptedData(
+            "TransE checkpoint model shape does not match this run's");
+      }
+      if (Status status = rng.LoadEngineState(rng_state); !status.ok()) {
+        return status;
+      }
+      resumed = true;
+      X2VEC_METRIC_COUNT("checkpoint.resumes", 1);
+    }
   }
-  for (double& v : model.relations.mutable_data()) {
-    v = UniformReal(rng, -init, init);
+  if (!resumed) {
+    model.entities = linalg::Matrix(kg.NumEntities(), options.dimension);
+    model.relations = linalg::Matrix(kg.NumRelations(), options.dimension);
+    for (double& v : model.entities.mutable_data()) {
+      v = UniformReal(rng, -init, init);
+    }
+    for (double& v : model.relations.mutable_data()) {
+      v = UniformReal(rng, -init, init);
+    }
   }
 
   auto normalize_entities = [&model]() {
@@ -101,13 +216,8 @@ StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
     }
   };
 
-  const RecoveryPolicy& recovery = options.recovery;
-  double lr_scale = 1.0;  // Backed off on each numeric recovery.
-  double clip = recovery.clip_norm;
-  int retries = 0;
-
   const int dim = options.dimension;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     normalize_entities();
     double epoch_loss = 0.0;
     // The translation step direction (h + t - r)/score has unit L2 norm, so
@@ -186,6 +296,20 @@ StatusOr<TransEModel> TrainTransEBudgeted(const KnowledgeGraph& kg,
                                   rng);
       --epoch;  // Retry the failed epoch with the gentler settings.
       continue;
+    }
+
+    // Healthy epoch barrier: persist the resume state. Saving the raw
+    // (un-normalised) entities is correct because every epoch — resumed or
+    // not — renormalises on entry, and the final normalize below runs in
+    // both the resumed and uninterrupted runs.
+    if (ckpt.enabled() && (epoch + 1) % ckpt.every_n_epochs == 0) {
+      if (Status status = embed::SaveCheckpoint(
+              ckpt, epoch + 1,
+              EncodeTransEState(fingerprint, model, epoch + 1, lr_scale, clip,
+                                retries, rng.SaveEngineState()));
+          !status.ok()) {
+        return status;
+      }
     }
   }
   normalize_entities();

@@ -6,6 +6,7 @@
 #include "base/recovery.h"
 #include "base/rng.h"
 #include "base/status.h"
+#include "embed/checkpoint.h"
 #include "kg/knowledge_graph.h"
 #include "linalg/matrix.h"
 
@@ -23,6 +24,10 @@ struct TransEOptions {
   /// Numeric-health guardrails: step clipping plus NaN/Inf detection with
   /// LR-backoff retries. The defaults never engage on a healthy run.
   RecoveryPolicy recovery;
+  /// Opt-in crash-safe persistence (see embed/checkpoint.h): snapshots at
+  /// epoch barriers, resume from the newest intact checkpoint, final model
+  /// bit-identical to an uninterrupted run.
+  embed::CheckpointOptions checkpoint;
 };
 
 struct TransEModel {

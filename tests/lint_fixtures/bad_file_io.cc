@@ -1,0 +1,19 @@
+// Planted raw-file-io violations: every write-capable file API used
+// outside base/fs must fire once per line below. The std::ifstream read at
+// the end is the counter-example — reads cannot corrupt anything and stay
+// legal everywhere.
+
+#include <cstdio>
+#include <fstream>
+
+void WriteThingsRawly(const char* path) {
+  std::ofstream out(path);           // raw-file-io
+  std::fstream both(path);           // raw-file-io
+  std::FILE* f = fopen(path, "w");   // raw-file-io
+  f = std::freopen(path, "a", f);    // raw-file-io
+  std::ifstream in(path);            // legal: read-only
+  (void)out;
+  (void)both;
+  (void)f;
+  (void)in;
+}

@@ -198,6 +198,59 @@ TEST(LintWhitelistTest, RowCopyIsLegalOutsideHotModules) {
   }
 }
 
+TEST(LintRuleTest, PlantedRawFileIoIsReported) {
+  // ofstream, fstream, fopen and std::freopen each fire once; the
+  // std::ifstream read at the end must not.
+  const auto diags = LintFixture("bad_file_io.cc");
+  ASSERT_EQ(diags.size(), 4u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "raw-file-io") << FormatDiagnostic(d);
+    EXPECT_NE(d.message.find("WriteFileAtomic"), std::string::npos);
+  }
+}
+
+TEST(LintWhitelistTest, BaseFsMayUseRawFileIoAndChrono) {
+  // base/fs IS the durable-I/O layer (and sleeps for read-retry backoff);
+  // the real files must lint clean, as must hypothetical siblings.
+  for (const std::string rel : {"src/base/fs.h", "src/base/fs.cc"}) {
+    const auto diags = LintFile(rel, ReadFileOrDie(SourcePath(rel)));
+    EXPECT_TRUE(diags.empty())
+        << rel << ": " << FormatDiagnostic(diags.front());
+  }
+  const std::string writer = "#include <fstream>\nstd::ofstream out(\"x\");\n";
+  EXPECT_TRUE(LintFile("src/base/fs_extra.cc", writer).empty());
+}
+
+TEST(LintWhitelistTest, RawFileIoFiresOutsideBaseFs) {
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_file_io.cc"));
+  // The rule holds across src/, tests/ and bench/: only base/fs may write.
+  for (const std::string rel :
+       {"src/data/io.cc", "src/base/trace.cc", "bench/tab_word2vec.cc",
+        "tests/persist_test.cc"}) {
+    const auto diags = LintFile(rel, code);
+    ASSERT_EQ(diags.size(), 4u) << rel;
+    for (const auto& d : diags) EXPECT_EQ(d.rule, "raw-file-io") << rel;
+  }
+}
+
+TEST(LintRuleTest, IfstreamReadsDoNotTripRawFileIo) {
+  const std::string reader =
+      "#include <fstream>\n"
+      "int Count(const char* p) {\n"
+      "  std::ifstream in(p, std::ios::binary);\n"
+      "  return in.good() ? 1 : 0;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/data/io.cc", reader).empty());
+}
+
+TEST(LintSuppressionTest, AllowRawFileIoSilencesTheLine) {
+  const std::string code =
+      "#include <fstream>\n"
+      "std::ofstream out(\"x\");  // x2vec-lint: allow(raw-file-io)\n";
+  EXPECT_TRUE(LintFile("src/data/io.cc", code).empty());
+}
+
 TEST(LintRuleTest, RowSpanAccessorsDoNotTripRowCopy) {
   const std::string code =
       "void F(linalg::Matrix& m) {\n"

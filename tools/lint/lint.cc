@@ -11,8 +11,8 @@ namespace x2vec::lint {
 namespace {
 
 constexpr std::string_view kRules[] = {
-    "nondeterminism", "chrono",    "rng-fork",
-    "pragma-once",    "using-namespace", "row-copy",
+    "nondeterminism", "chrono",          "rng-fork",    "pragma-once",
+    "using-namespace", "row-copy",       "raw-file-io",
 };
 
 bool EndsWith(std::string_view s, std::string_view suffix) {
@@ -146,8 +146,8 @@ void CheckChrono(const std::string& path,
     if (std::regex_search(code_lines[i], kClock)) {
       out->push_back({path, static_cast<int>(i + 1), "chrono",
                       "raw std::chrono/std::this_thread outside base/budget, "
-                      "base/parallel, base/trace, base/metrics and bench "
-                      "timing code; route timing through Budget or "
+                      "base/parallel, base/trace, base/metrics, base/fs and "
+                      "bench timing code; route timing through Budget or "
                       "trace::Span/StopWatch, or suppress with "
                       "allow(chrono)"});
     }
@@ -241,6 +241,27 @@ void CheckRowCopy(const std::string& path,
   }
 }
 
+// -- Rule: raw-file-io --------------------------------------------------------
+
+void CheckRawFileIo(const std::string& path,
+                    const std::vector<std::string>& code_lines,
+                    std::vector<Diagnostic>* out) {
+  // Write-capable file APIs only: std::ifstream stays legal (reads cannot
+  // corrupt anything), and fopen/freopen are banned outright because their
+  // mode string is not statically known.
+  static const std::regex kRawWrite(
+      R"(std\s*::\s*(o?fstream|basic_ofstream|basic_fstream)\b|(^|[^\w])f(re)?open\s*\()");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kRawWrite)) {
+      out->push_back(
+          {path, static_cast<int>(i + 1), "raw-file-io",
+           "raw file writes (std::ofstream/std::fstream/fopen) bypass the "
+           "durable atomic-rename path; write through base/fs "
+           "(Fs::WriteFileAtomic), or suppress with allow(raw-file-io)"});
+    }
+  }
+}
+
 // -- Rules: pragma-once / using-namespace (headers) ---------------------------
 
 void CheckHeaderHygiene(const std::string& path,
@@ -287,7 +308,13 @@ bool IsTimingWhitelisted(std::string_view path) {
          p.find("base/parallel") != std::string::npos ||
          p.find("base/trace") != std::string::npos ||
          p.find("base/metrics") != std::string::npos ||
+         p.find("base/fs") != std::string::npos ||
          p.find("bench/") != std::string::npos;
+}
+
+bool IsFileIoWhitelisted(std::string_view path) {
+  const std::string p = Normalise(path);
+  return p.find("base/fs") != std::string::npos;
 }
 
 bool IsRawEngineWhitelisted(std::string_view path) {
@@ -432,6 +459,7 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   std::vector<Diagnostic> found;
   CheckNondeterminism(path, code_lines, IsRawEngineWhitelisted(path), &found);
   if (!IsTimingWhitelisted(path)) CheckChrono(path, code_lines, &found);
+  if (!IsFileIoWhitelisted(path)) CheckRawFileIo(path, code_lines, &found);
   CheckRngFork(path, code, &found);
   if (IsRowCopyHotPath(path)) CheckRowCopy(path, code_lines, &found);
   if (IsHeaderPath(path)) CheckHeaderHygiene(path, code_lines, &found);

@@ -24,7 +24,7 @@ struct Diagnostic {
 ///                    outside base/rng)
 ///   chrono           raw std::chrono / std::this_thread outside the
 ///                    timing whitelist (base/budget, base/parallel,
-///                    base/trace, base/metrics, bench/)
+///                    base/trace, base/metrics, base/fs, bench/)
 ///   rng-fork         an rng used inside a ParallelFor/ParallelMap lambda
 ///                    body that never forks a per-work-item stream via
 ///                    Rng::Fork / MixSeed
@@ -35,6 +35,10 @@ struct Diagnostic {
 ///                    module (src/embed, src/kg, src/ml, src/kernel,
 ///                    src/sim, src/gnn); hot loops use
 ///                    RowSpan()/ConstRowSpan() and the linalg span kernels
+///   raw-file-io      write-capable raw file APIs (std::ofstream,
+///                    std::fstream, fopen, freopen) outside base/fs — the
+///                    single durable atomic-write layer. std::ifstream
+///                    (read-only) stays legal everywhere.
 std::vector<std::string> RuleNames();
 
 /// True for the file extensions the linter scans (.h, .cc, .cpp).
@@ -42,9 +46,14 @@ bool IsLintableFile(std::string_view path);
 
 /// True when `path` may use raw std::chrono / std::this_thread: the budget
 /// and parallel runtimes (they implement deadlines and the pool), the
-/// observability layer (base/trace spans, base/metrics) and bench timing
-/// code.
+/// observability layer (base/trace spans, base/metrics), base/fs (its
+/// read-retry backoff sleeps) and bench timing code.
 bool IsTimingWhitelisted(std::string_view path);
+
+/// True when `path` may use raw write-capable file APIs (std::ofstream,
+/// fopen): base/fs only, the sanctioned durable-I/O layer everything else
+/// routes writes through.
+bool IsFileIoWhitelisted(std::string_view path);
 
 /// True when `path` may declare raw std::mt19937 engines: base/rng, the
 /// single sanctioned wrapper around the engine.
