@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "linalg/kernels_backend.h"
+
+namespace x2vec::bench {
+
+/// Machine/compiler/flags metadata every perf_* harness embeds in its
+/// output, so throughput numbers committed across PRs (BENCH_*.json) are
+/// comparable: a speedup only means something next to the compiler, flags
+/// and ISA that produced it. Values are strings; MetaJson() renders them
+/// as one JSON object, MetaEntries() feeds benchmark::AddCustomContext.
+inline std::vector<std::pair<std::string, std::string>> MetaEntries() {
+#if defined(__x86_64__)
+  const std::string arch = "x86_64";
+#elif defined(__aarch64__)
+  const std::string arch = "aarch64";
+#else
+  const std::string arch = "unknown";
+#endif
+#if defined(X2VEC_BUILD_TYPE)
+  const std::string build_type = X2VEC_BUILD_TYPE;
+#else
+  const std::string build_type = "unknown";
+#endif
+#if defined(X2VEC_BUILD_FLAGS)
+  const std::string build_flags = X2VEC_BUILD_FLAGS;
+#else
+  const std::string build_flags = "unknown";
+#endif
+  const linalg::CpuFeatures features = linalg::DetectCpuFeatures();
+  return {
+      {"compiler", __VERSION__},
+      {"build_type", build_type},
+      {"build_flags", build_flags},
+      {"arch", arch},
+      {"cpu_avx2", features.avx2 ? "true" : "false"},
+      {"cpu_fma", features.fma ? "true" : "false"},
+      {"vectorized_uses_avx2",
+       linalg::VectorizedUsesAvx2() ? "true" : "false"},
+      {"hardware_threads",
+       std::to_string(std::thread::hardware_concurrency())},
+  };
+}
+
+/// The same entries as one JSON object: {"compiler": "...", ...}.
+inline std::string MetaJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : MetaEntries()) {
+    if (!first) out += ", ";
+    first = false;
+    std::string escaped;
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    out += "\"" + key + "\": \"" + escaped + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace x2vec::bench

@@ -2,11 +2,14 @@
 // walk-corpus workloads at 1 / 2 / 4 / 8 logical threads. Because results
 // are bit-identical at every thread count (the determinism contract of
 // base/parallel), the only thing that may change across rows is the wall
-// clock. Run with --benchmark_format=json for the usual perf_* JSON shape.
+// clock. Run with --benchmark_format=json for the usual perf_* JSON shape;
+// the context block carries machine/compiler/flags metadata (bench_meta.h)
+// so runs stay comparable across machines and PRs.
 
 #include <benchmark/benchmark.h>
 
 #include "base/parallel.h"
+#include "bench_meta.h"
 #include "base/rng.h"
 #include "embed/sgns.h"
 #include "embed/walks.h"
@@ -116,4 +119,16 @@ BENCHMARK(BM_ShardedPvDbowThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): identical flow, plus the
+// bench_meta entries injected into the benchmark context (they appear
+// under "context" in --benchmark_format=json output).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  for (const auto& [key, value] : x2vec::bench::MetaEntries()) {
+    benchmark::AddCustomContext(key, value);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

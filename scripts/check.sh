@@ -8,11 +8,14 @@
 #      on its own so a regression there is called out by name)
 #   5. ctest -L kernels (span-kernel unit tests + bit-identity goldens,
 #      re-run on its own so a numeric drift is called out by name)
-#   6. ctest -L persist (durable I/O + checkpoint/resume crash-safety
+#   6. ctest -L parity (backend-parity suite: vectorized/float32 kernel
+#      backends vs the generic golden reference, re-run on its own so a
+#      tolerance breach is called out by name)
+#   7. ctest -L persist (durable I/O + checkpoint/resume crash-safety
 #      suite, re-run on its own so a persistence regression is called out
 #      by name)
-#   7. x2vec_lint over src/ tests/ bench/
-#   8. clang-tidy over src/ — skipped with a notice when not installed
+#   8. x2vec_lint over src/ tests/ bench/
+#   9. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
 #   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
@@ -76,6 +79,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L metrics
 
 step "ctest -L kernels (span kernels + bit-identity goldens)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L kernels
+
+step "ctest -L parity (kernel backends vs generic golden reference)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L parity
 
 step "ctest -L persist (durable I/O + checkpoint/resume)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L persist

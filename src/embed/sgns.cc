@@ -9,6 +9,7 @@
 #include "base/validation.h"
 #include "linalg/health.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_backend.h"
 
 namespace x2vec::embed {
 namespace {
@@ -168,6 +169,8 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
   if (budget.Exhausted()) return budget.ExhaustedError(kOperation);
   X2VEC_CHECK_GT(rows_in, 0);
   X2VEC_CHECK_GT(rows_out, 0);
+  X2VEC_METRIC_GAUGE("kernels.backend",
+                     static_cast<double>(linalg::ActiveKernelBackend()));
   const CheckpointOptions& ckpt = options.checkpoint;
   constexpr CheckpointKind kKind = CheckpointKind::kSgnsSequential;
   const uint64_t fingerprint =
@@ -396,6 +399,8 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   if (budget.Exhausted()) return budget.ExhaustedError(kShardOperation);
   X2VEC_CHECK_GT(rows_in, 0);
   X2VEC_CHECK_GT(rows_out, 0);
+  X2VEC_METRIC_GAUGE("kernels.backend",
+                     static_cast<double>(linalg::ActiveKernelBackend()));
   const int dim = options.dimension;
   const CheckpointOptions& ckpt = options.checkpoint;
   constexpr CheckpointKind kKind = CheckpointKind::kSgnsSharded;

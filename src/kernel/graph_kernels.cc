@@ -6,9 +6,11 @@
 #include <span>
 #include <tuple>
 
+#include "base/metrics.h"
 #include "base/parallel.h"
 #include "graph/algorithms.h"
 #include "linalg/eigen.h"
+#include "linalg/kernels_backend.h"
 
 namespace x2vec::kernel {
 namespace {
@@ -21,6 +23,9 @@ using graph::Graph;
 linalg::Matrix GramFromDense(const std::vector<std::vector<double>>& features) {
   const int n = static_cast<int>(features.size());
   linalg::Matrix k(n, n);
+  // Gauge written here, at the serial entry, never inside the ParallelFor.
+  X2VEC_METRIC_GAUGE("kernels.backend",
+                     static_cast<double>(linalg::ActiveKernelBackend()));
   const int64_t pairs = static_cast<int64_t>(n) * (n + 1) / 2;
   const Status status = ParallelFor(pairs, 0, [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {

@@ -4,14 +4,108 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "linalg/kernels_backend.h"
 
 namespace x2vec::linalg {
 
-double Dot(std::span<const double> a, std::span<const double> b) {
+namespace detail {
+
+double PairLoss(double label, double sig) {
+  return label > 0.5 ? -std::log(std::max(sig, 1e-12))
+                     : -std::log(std::max(1.0 - sig, 1e-12));
+}
+
+}  // namespace detail
+
+namespace {
+
+// The generic backend: the order-exact reference loops the golden digests
+// in tests/kernels_test.cc pin. Nothing here may reorder, block, or widen
+// the arithmetic — changes to these loops are numeric changes and require
+// refreshed goldens.
+
+double GenericDot(std::span<const double> a, std::span<const double> b) {
   X2VEC_DCHECK(a.size() == b.size());
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
+}
+
+double GenericSquaredDistance(std::span<const double> a,
+                              std::span<const double> b) {
+  X2VEC_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void GenericAxpy(double alpha, std::span<const double> x,
+                 std::span<double> y) {
+  X2VEC_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void GenericScale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double GenericSgdPairUpdate(std::span<const double> center,
+                            std::span<double> context, double label,
+                            double lr, std::span<double> center_gradient) {
+  X2VEC_DCHECK(center.size() == context.size());
+  X2VEC_DCHECK(center.size() == center_gradient.size());
+  double score = 0.0;
+  for (size_t d = 0; d < center.size(); ++d) score += center[d] * context[d];
+  const double sig = Sigmoid(score);
+  const double gradient = (label - sig) * lr;
+  // Per-dimension interleave: read context[d] into the center gradient
+  // before this iteration overwrites it.
+  for (size_t d = 0; d < center.size(); ++d) {
+    center_gradient[d] += gradient * context[d];
+    context[d] += gradient * center[d];
+  }
+  return detail::PairLoss(label, sig);
+}
+
+double GenericSgdPairUpdateDelta(std::span<const double> center,
+                                 std::span<const double> context,
+                                 double label, double lr,
+                                 std::span<double> center_gradient,
+                                 std::span<double> context_delta) {
+  X2VEC_DCHECK(center.size() == context.size());
+  X2VEC_DCHECK(center.size() == center_gradient.size());
+  X2VEC_DCHECK(center.size() == context_delta.size());
+  double score = 0.0;
+  for (size_t d = 0; d < center.size(); ++d) score += center[d] * context[d];
+  const double sig = Sigmoid(score);
+  const double gradient = (label - sig) * lr;
+  for (size_t d = 0; d < center.size(); ++d) {
+    center_gradient[d] += gradient * context[d];
+    context_delta[d] += gradient * center[d];
+  }
+  return detail::PairLoss(label, sig);
+}
+
+}  // namespace
+
+const KernelOps& GenericKernelOps() {
+  static const KernelOps ops = {
+      GenericDot,        GenericSquaredDistance,
+      GenericAxpy,       GenericScale,
+      GenericSgdPairUpdate, GenericSgdPairUpdateDelta,
+  };
+  return ops;
+}
+
+// Public entry points: one table load, then the backend's loop. The
+// derived kernels (Norm2, CosineSimilarity, Distance2) compose dispatched
+// primitives; Copy and Sigmoid are backend-invariant.
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  return ActiveKernelOps().dot(a, b);
 }
 
 double Norm2(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
@@ -24,13 +118,7 @@ double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
 }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {
-  X2VEC_DCHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return ActiveKernelOps().squared_distance(a, b);
 }
 
 double Distance2(std::span<const double> a, std::span<const double> b) {
@@ -38,12 +126,11 @@ double Distance2(std::span<const double> a, std::span<const double> b) {
 }
 
 void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  X2VEC_DCHECK(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  ActiveKernelOps().axpy(alpha, x, y);
 }
 
 void Scale(std::span<double> x, double alpha) {
-  for (double& v : x) v *= alpha;
+  ActiveKernelOps().scale(x, alpha);
 }
 
 void Copy(std::span<const double> src, std::span<double> dst) {
@@ -57,52 +144,19 @@ double Sigmoid(double x) {
   return 1.0 / (1.0 + std::exp(-x));
 }
 
-namespace {
-
-// Shared loss accounting for the pair kernels: negative log-likelihood of
-// predicting `sig` for a pair with the given label, floored away from
-// log(0).
-double PairLoss(double label, double sig) {
-  return label > 0.5 ? -std::log(std::max(sig, 1e-12))
-                     : -std::log(std::max(1.0 - sig, 1e-12));
-}
-
-}  // namespace
-
 double SgdPairUpdate(std::span<const double> center, std::span<double> context,
                      double label, double lr,
                      std::span<double> center_gradient) {
-  X2VEC_DCHECK(center.size() == context.size());
-  X2VEC_DCHECK(center.size() == center_gradient.size());
-  double score = 0.0;
-  for (size_t d = 0; d < center.size(); ++d) score += center[d] * context[d];
-  const double sig = Sigmoid(score);
-  const double gradient = (label - sig) * lr;
-  // Per-dimension interleave: read context[d] into the center gradient
-  // before this iteration overwrites it.
-  for (size_t d = 0; d < center.size(); ++d) {
-    center_gradient[d] += gradient * context[d];
-    context[d] += gradient * center[d];
-  }
-  return PairLoss(label, sig);
+  return ActiveKernelOps().sgd_pair_update(center, context, label, lr,
+                                           center_gradient);
 }
 
 double SgdPairUpdateDelta(std::span<const double> center,
                           std::span<const double> context, double label,
                           double lr, std::span<double> center_gradient,
                           std::span<double> context_delta) {
-  X2VEC_DCHECK(center.size() == context.size());
-  X2VEC_DCHECK(center.size() == center_gradient.size());
-  X2VEC_DCHECK(center.size() == context_delta.size());
-  double score = 0.0;
-  for (size_t d = 0; d < center.size(); ++d) score += center[d] * context[d];
-  const double sig = Sigmoid(score);
-  const double gradient = (label - sig) * lr;
-  for (size_t d = 0; d < center.size(); ++d) {
-    center_gradient[d] += gradient * context[d];
-    context_delta[d] += gradient * center[d];
-  }
-  return PairLoss(label, sig);
+  return ActiveKernelOps().sgd_pair_update_delta(
+      center, context, label, lr, center_gradient, context_delta);
 }
 
 void RowDeltaBuffer::Reset(int rows, int dim) {

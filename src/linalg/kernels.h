@@ -11,13 +11,19 @@ namespace x2vec::linalg {
 /// Matrix::RowSpan()/ConstRowSpan() to operate on matrix rows without
 /// copies or per-element bounds checks.
 ///
-/// Contract (DESIGN.md, "Dense kernels and row views"): each kernel
-/// accumulates in the exact floating-point operation order of the
-/// element-indexed loop it replaced, left to right, one accumulator. That
-/// makes sweeping a caller from operator()/Row() onto a kernel a pure
-/// performance change — outputs stay bit-identical. Any future reordering
-/// (SIMD, blocking, pairwise summation) is a *numeric* change and must ship
-/// with refreshed goldens in tests/kernels_test.cc.
+/// Contract (DESIGN.md, "Dense kernels and row views"): under the default
+/// `generic` backend each kernel accumulates in the exact floating-point
+/// operation order of the element-indexed loop it replaced, left to right,
+/// one accumulator. That makes sweeping a caller from operator()/Row() onto
+/// a kernel a pure performance change — outputs stay bit-identical, pinned
+/// by the golden digests in tests/kernels_test.cc.
+///
+/// These entry points dispatch through the runtime-switchable backend
+/// layer in linalg/kernels_backend.h (X2VEC_KERNEL_BACKEND /
+/// SetKernelBackend): `vectorized` reorders the summation for SIMD and
+/// `float32` rounds through fp32 — both are *numeric* changes relative to
+/// generic, tolerance-checked against it by tests/backend_parity_test.cc
+/// rather than digest-pinned. Copy and Sigmoid are backend-invariant.
 ///
 /// std::vector<double> converts implicitly to std::span<const double>, so
 /// existing vector-based callers keep working; braced initializer lists do

@@ -1,0 +1,110 @@
+// Float32 mixed-precision kernel backend: operands are rounded to fp32 and
+// the per-element arithmetic (products, differences, scaled updates) runs
+// in fp32; reductions accumulate in double, which costs nothing on scalar
+// hardware and removes the O(n) accumulation error that pure-fp32 sums
+// would add on top of the rounding error. Storage stays double at the
+// Matrix layer — this backend measures the numeric cost of an fp32
+// arithmetic tier (and, by extension, of a future fp32 storage tier)
+// against the generic reference via tests/backend_parity_test.cc.
+//
+// Deliberate consequence: values representable in double but not in float
+// (|x| > FLT_MAX) round to ±inf here, and inf - inf / 0 * inf produce NaN.
+// The numeric-health guards in linalg/health.h are expected to catch both;
+// tests/robustness_test.cc pins that the SGNS recovery path still heals or
+// gives up cleanly under this backend.
+
+#include <span>
+
+#include "base/check.h"
+#include "linalg/kernels.h"
+#include "linalg/kernels_backend.h"
+
+namespace x2vec::linalg {
+
+namespace {
+
+double F32Dot(std::span<const double> a, std::span<const double> b) {
+  X2VEC_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(static_cast<float>(a[i]) *
+                             static_cast<float>(b[i]));
+  }
+  return s;
+}
+
+double F32SquaredDistance(std::span<const double> a,
+                          std::span<const double> b) {
+  X2VEC_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float d = static_cast<float>(a[i]) - static_cast<float>(b[i]);
+    s += static_cast<double>(d * d);
+  }
+  return s;
+}
+
+void F32Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  X2VEC_DCHECK(x.size() == y.size());
+  const float a = static_cast<float>(alpha);
+  for (size_t i = 0; i < x.size(); ++i) {
+    // y stays a double accumulator; only the product is fp32.
+    y[i] += static_cast<double>(a * static_cast<float>(x[i]));
+  }
+}
+
+void F32Scale(std::span<double> x, double alpha) {
+  const float a = static_cast<float>(alpha);
+  for (double& v : x) {
+    v = static_cast<double>(static_cast<float>(v) * a);
+  }
+}
+
+double F32SgdPairUpdate(std::span<const double> center,
+                        std::span<double> context, double label, double lr,
+                        std::span<double> center_gradient) {
+  X2VEC_DCHECK(center.size() == context.size());
+  X2VEC_DCHECK(center.size() == center_gradient.size());
+  // Score in mixed precision; sigmoid and gradient scalar math in double,
+  // where precision is cheap and saturation behavior must match generic.
+  const double sig = Sigmoid(F32Dot(center, context));
+  const double gradient = (label - sig) * lr;
+  const float g = static_cast<float>(gradient);
+  for (size_t d = 0; d < center.size(); ++d) {
+    center_gradient[d] +=
+        static_cast<double>(g * static_cast<float>(context[d]));
+    context[d] += static_cast<double>(g * static_cast<float>(center[d]));
+  }
+  return detail::PairLoss(label, sig);
+}
+
+double F32SgdPairUpdateDelta(std::span<const double> center,
+                             std::span<const double> context, double label,
+                             double lr, std::span<double> center_gradient,
+                             std::span<double> context_delta) {
+  X2VEC_DCHECK(center.size() == context.size());
+  X2VEC_DCHECK(center.size() == center_gradient.size());
+  X2VEC_DCHECK(center.size() == context_delta.size());
+  const double sig = Sigmoid(F32Dot(center, context));
+  const double gradient = (label - sig) * lr;
+  const float g = static_cast<float>(gradient);
+  for (size_t d = 0; d < center.size(); ++d) {
+    center_gradient[d] +=
+        static_cast<double>(g * static_cast<float>(context[d]));
+    context_delta[d] +=
+        static_cast<double>(g * static_cast<float>(center[d]));
+  }
+  return detail::PairLoss(label, sig);
+}
+
+}  // namespace
+
+const KernelOps& Float32KernelOps() {
+  static const KernelOps ops = {
+      F32Dot,   F32SquaredDistance, F32Axpy,
+      F32Scale, F32SgdPairUpdate,   F32SgdPairUpdateDelta,
+  };
+  return ops;
+}
+
+}  // namespace x2vec::linalg

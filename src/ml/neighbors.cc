@@ -5,7 +5,9 @@
 #include <map>
 #include <span>
 
+#include "base/metrics.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_backend.h"
 
 namespace x2vec::ml {
 
@@ -13,6 +15,8 @@ void KnnClassifier::Fit(const linalg::Matrix& features,
                         const std::vector<int>& labels) {
   X2VEC_CHECK_EQ(features.rows(), static_cast<int>(labels.size()));
   X2VEC_CHECK_GE(features.rows(), k_);
+  X2VEC_METRIC_GAUGE("kernels.backend",
+                     static_cast<double>(linalg::ActiveKernelBackend()));
   features_ = features;
   labels_ = labels;
 }
@@ -53,6 +57,8 @@ KMeansResult KMeans(const linalg::Matrix& features, int k, Rng& rng,
   const int d = features.cols();
   X2VEC_CHECK_GE(k, 1);
   X2VEC_CHECK_GE(n, k);
+  X2VEC_METRIC_GAUGE("kernels.backend",
+                     static_cast<double>(linalg::ActiveKernelBackend()));
 
   // k-means++ seeding. Distance2 (with its square root) followed by
   // squaring is how the historical code accumulated min_dist_sq; keeping

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -37,6 +38,7 @@
 #include "kg/rescal.h"
 #include "kg/transe.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_backend.h"
 #include "linalg/matrix.h"
 #include "ml/neighbors.h"
 #include "ml/svm.h"
@@ -401,6 +403,99 @@ TEST(SpanKernelTest, RowSpansAliasMatrixStorage) {
   const std::span<const double> view = m.ConstRowSpan(1);
   EXPECT_EQ(view.data(), m.data().data() + 4);
   EXPECT_EQ(view.size(), 4u);
+}
+
+// ---- Kernel-backend selection ----------------------------------------------
+//
+// ResolveKernelBackend is the pure core behind X2VEC_KERNEL_BACKEND,
+// exposed (like ResolveThreadCount) so the parsing and ISA-fallback rules
+// are testable without mutating the process environment.
+
+TEST(KernelBackendTest, ResolveDefaultsToGeneric) {
+  const linalg::CpuFeatures none;
+  EXPECT_EQ(linalg::ResolveKernelBackend(nullptr, none).value(),
+            linalg::KernelBackend::kGeneric);
+  EXPECT_EQ(linalg::ResolveKernelBackend("", none).value(),
+            linalg::KernelBackend::kGeneric);
+  EXPECT_EQ(linalg::ResolveKernelBackend("generic", none).value(),
+            linalg::KernelBackend::kGeneric);
+}
+
+TEST(KernelBackendTest, ResolveNamedBackends) {
+  const linalg::CpuFeatures none;
+  EXPECT_EQ(linalg::ResolveKernelBackend("vectorized", none).value(),
+            linalg::KernelBackend::kVectorized);
+  EXPECT_EQ(linalg::ResolveKernelBackend("float32", none).value(),
+            linalg::KernelBackend::kFloat32);
+  EXPECT_EQ(linalg::ResolveKernelBackend("fp32", none).value(),
+            linalg::KernelBackend::kFloat32);
+}
+
+TEST(KernelBackendTest, ResolveUnknownValueIsInvalidArgument) {
+  const linalg::CpuFeatures none;
+  const StatusOr<linalg::KernelBackend> resolved =
+      linalg::ResolveKernelBackend("avx512-bf16", none);
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resolved.status().message().find("avx512-bf16"),
+            std::string::npos);
+}
+
+TEST(KernelBackendTest, ResolveAvx2FallsBackToGenericWithoutIsaSupport) {
+  linalg::CpuFeatures features;  // no AVX2, no FMA
+  EXPECT_EQ(linalg::ResolveKernelBackend("avx2", features).value(),
+            linalg::KernelBackend::kGeneric);
+  features.avx2 = true;  // FMA still missing: the fused path stays off
+  EXPECT_EQ(linalg::ResolveKernelBackend("avx2", features).value(),
+            linalg::KernelBackend::kGeneric);
+  features.fma = true;
+  EXPECT_EQ(linalg::ResolveKernelBackend("avx2", features).value(),
+            linalg::KernelBackend::kVectorized);
+}
+
+TEST(KernelBackendTest, BackendNamesAreStable) {
+  EXPECT_EQ(linalg::KernelBackendName(linalg::KernelBackend::kGeneric),
+            "generic");
+  EXPECT_EQ(linalg::KernelBackendName(linalg::KernelBackend::kVectorized),
+            "vectorized");
+  EXPECT_EQ(linalg::KernelBackendName(linalg::KernelBackend::kFloat32),
+            "float32");
+}
+
+TEST(KernelBackendTest, DetectCpuFeaturesIsStableAcrossCalls) {
+  const linalg::CpuFeatures first = linalg::DetectCpuFeatures();
+  const linalg::CpuFeatures second = linalg::DetectCpuFeatures();
+  EXPECT_EQ(first.avx2, second.avx2);
+  EXPECT_EQ(first.fma, second.fma);
+  // The AVX2 specialization may only be live when the CPU truly has both
+  // features; on machines without them the portable lowering must serve.
+  if (linalg::VectorizedUsesAvx2()) {
+    EXPECT_TRUE(first.avx2);
+    EXPECT_TRUE(first.fma);
+  }
+}
+
+TEST(KernelBackendTest, SetKernelBackendSwitchesPublicDispatch) {
+  const std::vector<double> a = TestVector(33, 21);
+  const std::vector<double> b = TestVector(33, 22);
+  const double generic = linalg::GenericKernelOps().dot(a, b);
+
+  linalg::SetKernelBackend(linalg::KernelBackend::kFloat32);
+  EXPECT_EQ(linalg::ActiveKernelBackend(), linalg::KernelBackend::kFloat32);
+  EXPECT_EQ(linalg::Dot(a, b), linalg::Float32KernelOps().dot(a, b));
+
+  linalg::SetKernelBackend(linalg::KernelBackend::kGeneric);
+  EXPECT_EQ(linalg::ActiveKernelBackend(), linalg::KernelBackend::kGeneric);
+  EXPECT_EQ(linalg::Dot(a, b), generic);
+}
+
+TEST(KernelBackendTest, GetKernelOpsCoversEveryBackend) {
+  EXPECT_EQ(&linalg::GetKernelOps(linalg::KernelBackend::kGeneric),
+            &linalg::GenericKernelOps());
+  EXPECT_EQ(&linalg::GetKernelOps(linalg::KernelBackend::kVectorized),
+            &linalg::VectorizedKernelOps());
+  EXPECT_EQ(&linalg::GetKernelOps(linalg::KernelBackend::kFloat32),
+            &linalg::Float32KernelOps());
 }
 
 TEST(SpanKernelTest, MatrixApplyAcceptsSpansAndVectors) {

@@ -1,0 +1,16 @@
+// Planted intrinsics violations: raw SIMD used outside the
+// linalg/kernels_* backend files must fire once per line below. The same
+// content linted under a linalg/kernels_* path must stay silent.
+
+#include <immintrin.h>                                   // intrinsics
+
+using V4 = double __attribute__((vector_size(32)));      // intrinsics
+
+double SumFour(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);                        // intrinsics
+  v = _mm256_add_pd(v, v);                               // intrinsics
+  double out[4];
+  _mm256_storeu_pd(out, v);                              // intrinsics
+  if (__builtin_cpu_supports("avx2")) return out[0];     // intrinsics
+  return out[0] + out[1] + out[2] + out[3];
+}

@@ -313,6 +313,53 @@ TEST(LintFormatTest, DiagnosticFormatIsFileLineRule) {
   EXPECT_EQ(FormatDiagnostic(d), "src/a.cc:12: chrono: raw clock");
 }
 
+TEST(LintRuleTest, PlantedIntrinsicsAreReported) {
+  // The intrinsic header include, the vector_size extension, each _mm*/
+  // __m* line and the CPUID builtin fire once per line.
+  const auto diags = LintFixture("bad_intrinsics.cc");
+  ASSERT_EQ(diags.size(), 6u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "intrinsics") << FormatDiagnostic(d);
+    EXPECT_NE(d.message.find("linalg/kernels_"), std::string::npos);
+  }
+}
+
+TEST(LintWhitelistTest, KernelBackendFilesMayUseIntrinsics) {
+  // The real backend files ARE the sanctioned raw-SIMD surface; they must
+  // lint clean under their real paths, as must hypothetical siblings.
+  for (const std::string rel :
+       {"src/linalg/kernels_vectorized.cc", "src/linalg/kernels_float32.cc",
+        "src/linalg/kernels_backend.cc"}) {
+    const auto diags = LintFile(rel, ReadFileOrDie(SourcePath(rel)));
+    EXPECT_TRUE(diags.empty())
+        << rel << ": " << FormatDiagnostic(diags.front());
+  }
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_intrinsics.cc"));
+  EXPECT_TRUE(LintFile("src/linalg/kernels_avx512.cc", code).empty());
+}
+
+TEST(LintWhitelistTest, IntrinsicsFireOutsideKernelBackendFiles) {
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_intrinsics.cc"));
+  // The rule holds everywhere else — including linalg/kernels.cc itself,
+  // which is the dispatching facade, not a backend.
+  for (const std::string rel :
+       {"src/linalg/kernels.cc", "src/embed/sgns.cc",
+        "bench/perf_dense_kernels.cc", "tests/ml_test.cc"}) {
+    const auto diags = LintFile(rel, code);
+    ASSERT_EQ(diags.size(), 6u) << rel;
+    for (const auto& d : diags) EXPECT_EQ(d.rule, "intrinsics") << rel;
+  }
+}
+
+TEST(LintSuppressionTest, AllowIntrinsicsSilencesTheLine) {
+  const std::string code =
+      "int F() { return __builtin_cpu_supports(\"avx2\"); }"
+      "  // x2vec-lint: allow(intrinsics)\n";
+  EXPECT_TRUE(LintFile("src/embed/sgns.cc", code).empty());
+}
+
 TEST(LintTreeTest, WholeTreeIsClean) {
   // The in-tree mirror of the `x2vec_lint_tree` ctest: src/, tests/ and
   // bench/ must lint clean with fixtures excluded.

@@ -12,7 +12,7 @@ namespace {
 
 constexpr std::string_view kRules[] = {
     "nondeterminism", "chrono",          "rng-fork",    "pragma-once",
-    "using-namespace", "row-copy",       "raw-file-io",
+    "using-namespace", "row-copy",       "raw-file-io", "intrinsics",
 };
 
 bool EndsWith(std::string_view s, std::string_view suffix) {
@@ -262,6 +262,33 @@ void CheckRawFileIo(const std::string& path,
   }
 }
 
+// -- Rule: intrinsics ---------------------------------------------------------
+
+void CheckIntrinsics(const std::string& path,
+                     const std::vector<std::string>& code_lines,
+                     std::vector<Diagnostic>* out) {
+  // Raw SIMD surface: intrinsic headers, _mm*/__m* identifiers, GCC vector
+  // extensions and CPUID builtins. Everything numeric calls through
+  // linalg/kernels so the golden generic path stays the one source of
+  // truth; only the linalg/kernels_* backend files implement fast paths.
+  static const std::regex kIntrinsics(
+      R"(#\s*include\s*<\w*intrin\.h>|#\s*include\s*<arm_neon\.h>)"
+      R"(|(^|[^\w])_mm(256|512)?_\w+)"
+      R"(|(^|[^\w])__m(128|256|512)[di]?\b)"
+      R"(|__builtin_ia32_|__builtin_cpu_(supports|init|is))"
+      R"(|vector_size)");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kIntrinsics)) {
+      out->push_back(
+          {path, static_cast<int>(i + 1), "intrinsics",
+           "raw SIMD (intrinsic headers, _mm*/__m*, vector_size, CPUID "
+           "builtins) lives in the linalg/kernels_* backend files only; "
+           "call through linalg/kernels, or suppress with "
+           "allow(intrinsics)"});
+    }
+  }
+}
+
 // -- Rules: pragma-once / using-namespace (headers) ---------------------------
 
 void CheckHeaderHygiene(const std::string& path,
@@ -320,6 +347,11 @@ bool IsFileIoWhitelisted(std::string_view path) {
 bool IsRawEngineWhitelisted(std::string_view path) {
   const std::string p = Normalise(path);
   return p.find("base/rng") != std::string::npos;
+}
+
+bool IsIntrinsicsWhitelisted(std::string_view path) {
+  const std::string p = Normalise(path);
+  return p.find("linalg/kernels_") != std::string::npos;
 }
 
 bool IsRowCopyHotPath(std::string_view path) {
@@ -460,6 +492,7 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   CheckNondeterminism(path, code_lines, IsRawEngineWhitelisted(path), &found);
   if (!IsTimingWhitelisted(path)) CheckChrono(path, code_lines, &found);
   if (!IsFileIoWhitelisted(path)) CheckRawFileIo(path, code_lines, &found);
+  if (!IsIntrinsicsWhitelisted(path)) CheckIntrinsics(path, code_lines, &found);
   CheckRngFork(path, code, &found);
   if (IsRowCopyHotPath(path)) CheckRowCopy(path, code_lines, &found);
   if (IsHeaderPath(path)) CheckHeaderHygiene(path, code_lines, &found);

@@ -39,6 +39,11 @@ struct Diagnostic {
 ///                    std::fstream, fopen, freopen) outside base/fs — the
 ///                    single durable atomic-write layer. std::ifstream
 ///                    (read-only) stays legal everywhere.
+///   intrinsics       raw SIMD surface (intrinsic headers, _mm*/__m*
+///                    identifiers, GCC vector_size extensions, CPUID
+///                    builtins) outside the linalg/kernels_* backend
+///                    files — numeric code calls through linalg/kernels so
+///                    the generic golden path stays the reference.
 std::vector<std::string> RuleNames();
 
 /// True for the file extensions the linter scans (.h, .cc, .cpp).
@@ -58,6 +63,10 @@ bool IsFileIoWhitelisted(std::string_view path);
 /// True when `path` may declare raw std::mt19937 engines: base/rng, the
 /// single sanctioned wrapper around the engine.
 bool IsRawEngineWhitelisted(std::string_view path);
+
+/// True when `path` may use raw SIMD (the intrinsics rule): the
+/// linalg/kernels_* backend implementation files only.
+bool IsIntrinsicsWhitelisted(std::string_view path);
 
 /// True when `path` is a numeric hot module where Matrix::Row()/SetRow()
 /// copies are banned (the row-copy rule): src/embed, src/kg, src/ml,
