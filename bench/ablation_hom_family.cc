@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 

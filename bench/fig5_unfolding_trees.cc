@@ -11,7 +11,7 @@
 #include <map>
 #include <string>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 int main() {
   using namespace x2vec;

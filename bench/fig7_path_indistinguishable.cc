@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 

@@ -7,7 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 #include "hom/densities.h"
 
 int main() {

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "base/trace.h"
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 int main() {
   using namespace x2vec;
@@ -26,7 +26,7 @@ int main() {
   const std::vector<data::GraphDataset> datasets =
       data::AllClassificationDatasets(kPerClass, kGraphSize, data_rng);
   const std::vector<core::GraphKernelMethod> methods =
-      core::DefaultMethodSuite();
+      api::DefaultMethodSuite();
 
   std::printf("=== Graph classification: 5-fold CV accuracy ===\n");
   std::printf("(%d graphs per dataset, |V| = %d, 2 classes each)\n\n",

@@ -9,7 +9,7 @@
 
 #include "base/metrics.h"
 #include "base/trace.h"
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   trace::SetEnabled(true);
   const std::string checkpoint_dir = CheckpointDirFlag(argc, argv);
   Rng rng = MakeRng(23);
-  const kg::KnowledgeGraph base = data::CountriesKnowledgeGraph(16, rng);
+  const kg::KnowledgeGraph base = kg::CountriesKnowledgeGraph(16, rng);
   std::printf("=== Section 2.3: knowledge graph embeddings ===\n\n");
   if (!checkpoint_dir.empty()) {
     std::printf("checkpointing to %s (resume-safe per-model runs)\n\n",

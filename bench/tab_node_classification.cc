@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 
@@ -65,7 +65,7 @@ int main() {
   std::printf("%-20s  %-12s  %-14s\n", "method (transductive)",
               "probe acc", "on fresh graph");
   for (const core::NodeEmbeddingMethod& method :
-       core::DefaultNodeMethodSuite()) {
+       api::DefaultNodeMethodSuite()) {
     Rng method_rng = MakeRng(13);
     const Matrix embedding = method.embed(train_graph.graph, method_rng);
     Rng probe_rng = MakeRng(14);

@@ -10,7 +10,7 @@
 
 #include "base/metrics.h"
 #include "base/trace.h"
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 

@@ -8,7 +8,7 @@
 #include <map>
 #include <vector>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 

@@ -8,13 +8,13 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 int main() {
   using namespace x2vec;
 
   Rng rng = MakeRng(314);
-  const kg::KnowledgeGraph base = data::CountriesKnowledgeGraph(16, rng);
+  const kg::KnowledgeGraph base = kg::CountriesKnowledgeGraph(16, rng);
   std::printf("knowledge graph: %d entities, %d relations, %zu facts\n",
               base.NumEntities(), base.NumRelations(), base.Triples().size());
 

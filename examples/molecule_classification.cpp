@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 int main() {
   using namespace x2vec;
@@ -22,7 +22,7 @@ int main() {
 
   std::printf("\n%-16s  %s\n", "method", "5-fold CV accuracy");
   std::printf("%-16s  %s\n", "------", "------------------");
-  for (const core::GraphKernelMethod& method : core::DefaultMethodSuite()) {
+  for (const core::GraphKernelMethod& method : api::DefaultMethodSuite()) {
     Rng method_rng = MakeRng(7);
     const linalg::Matrix gram = kernel::NormalizeKernel(
         method.gram(dataset.graphs, method_rng));

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 int main() {
   using namespace x2vec;

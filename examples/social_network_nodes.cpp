@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/x2vec.h"
+#include "api/x2vec.h"
 
 namespace {
 
@@ -37,7 +37,7 @@ int main() {
 
   std::printf("\n%-20s  community purity (k-means on embedding)\n", "method");
   for (const core::NodeEmbeddingMethod& method :
-       core::DefaultNodeMethodSuite()) {
+       api::DefaultNodeMethodSuite()) {
     Rng method_rng = MakeRng(11);
     const linalg::Matrix embedding =
         method.embed(network.graph, method_rng);

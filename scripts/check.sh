@@ -14,7 +14,11 @@
 #   7. ctest -L persist (durable I/O + checkpoint/resume crash-safety
 #      suite, re-run on its own so a persistence regression is called out
 #      by name)
-#   8. x2vec_lint over src/ tests/ bench/
+#   8. x2vec_lint over src/ tests/ bench/ tools/ examples/ — per-file
+#      rules plus the whole-program passes (include cycles, layering
+#      against tools/lint/layers.txt, metric registry); also exports the
+#      module dependency DAG to $BUILD_DIR/deps.json and fails if the
+#      checked-in docs/metrics.md is stale
 #   9. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
@@ -86,8 +90,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L parity
 step "ctest -L persist (durable I/O + checkpoint/resume)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L persist
 
-step "x2vec_lint src/ tests/ bench/"
-"$BUILD_DIR/tools/lint/x2vec_lint" src tests bench
+step "x2vec_lint src/ tests/ bench/ tools/ examples/"
+"$BUILD_DIR/tools/lint/x2vec_lint" --graph="$BUILD_DIR/deps.json" \
+  --metrics-doc="$BUILD_DIR/metrics.md" src tests bench tools examples
+if ! diff -u docs/metrics.md "$BUILD_DIR/metrics.md"; then
+  echo "check.sh: docs/metrics.md is stale; regenerate with" >&2
+  echo "  $BUILD_DIR/tools/lint/x2vec_lint --metrics-doc=docs/metrics.md src tests bench tools examples" >&2
+  exit 1
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy"

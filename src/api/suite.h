@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "core/registry.h"
+
+namespace x2vec::api {
+
+/// The default method suites, assembled here — above every method module —
+/// so core (the suite *framework*: registry structs, RunMethodSuite,
+/// outcome reporting) never depends upward on embed/kernel/gnn/ml/hom.
+/// This is the dependency inversion the `layering` lint rule pins: core is
+/// layer 3, the method modules are layer 4, and api sits on top wiring
+/// them together.
+
+/// The default whole-graph method suite used by the classification
+/// benchmark (Section 4's hom vectors, Section 3.5's WL kernel at t = 5,
+/// the Section 2.4 kernels, GRAPH2VEC, and a random-weight GIN readout).
+std::vector<core::GraphKernelMethod> DefaultMethodSuite();
+
+/// Spectral (Fig. 2a/2b), DeepWalk, node2vec and rooted-hom-vector node
+/// embedders with library-default hyperparameters.
+std::vector<core::NodeEmbeddingMethod> DefaultNodeMethodSuite();
+
+}  // namespace x2vec::api

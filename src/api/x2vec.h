@@ -4,7 +4,12 @@
 /// graphs and relational structures, after Grohe's PODS 2020 keynote
 /// "word2vec, node2vec, graph2vec, X2vec". Include this to get the whole
 /// public API; fine-grained headers are available per module.
+///
+/// Lives in api — the one module above every other — because an umbrella
+/// necessarily includes the whole tree; core (layer 3) cannot, under the
+/// layering the `layering` lint rule enforces.
 
+#include "api/suite.h"             // IWYU pragma: export
 #include "base/budget.h"           // IWYU pragma: export
 #include "base/check.h"            // IWYU pragma: export
 #include "base/parallel.h"         // IWYU pragma: export
@@ -42,6 +47,7 @@
 #include "kernel/graph_kernels.h"  // IWYU pragma: export
 #include "kernel/node_kernels.h"   // IWYU pragma: export
 #include "kernel/wl_kernel.h"      // IWYU pragma: export
+#include "kg/datasets.h"           // IWYU pragma: export
 #include "kg/knowledge_graph.h"    // IWYU pragma: export
 #include "kg/rescal.h"             // IWYU pragma: export
 #include "kg/transe.h"             // IWYU pragma: export

@@ -1,50 +1,12 @@
 #include "core/registry.h"
 
 #include "base/trace.h"
-#include "embed/graph2vec.h"
-#include "embed/node_embeddings.h"
-#include "gnn/graphsage.h"
-#include "gnn/layers.h"
-#include "hom/embeddings.h"
-#include "kernel/graph_kernels.h"
-#include "kernel/kwl_kernel.h"
-#include "kernel/node_kernels.h"
-#include "kernel/wl_kernel.h"
-#include "ml/pca.h"
 
 namespace x2vec::core {
 namespace {
 
 using graph::Graph;
 using linalg::Matrix;
-
-Matrix GramFromRows(const Matrix& rows) {
-  return rows * rows.Transposed();
-}
-
-// Wraps a polynomial-time kernel computation with coarse budget
-// accounting: one work unit per input graph, charged up front. The
-// trainer-backed methods below charge much finer units instead.
-template <typename Compute>
-StatusOr<Matrix> ChargedPerGraph(const std::vector<Graph>& graphs,
-                                 Budget& budget, std::string_view operation,
-                                 Compute&& compute) {
-  if (!budget.Spend(static_cast<int64_t>(graphs.size()))) {
-    return budget.ExhaustedError(operation);
-  }
-  return compute();
-}
-
-// Node-method analogue: one work unit per vertex, charged up front.
-template <typename Compute>
-StatusOr<Matrix> ChargedPerVertex(const Graph& g, Budget& budget,
-                                  std::string_view operation,
-                                  Compute&& compute) {
-  if (!budget.Spend(g.NumVertices())) {
-    return budget.ExhaustedError(operation);
-  }
-  return compute();
-}
 
 }  // namespace
 
@@ -57,181 +19,6 @@ Matrix GraphKernelMethod::gram(const std::vector<Graph>& graphs,
 Matrix NodeEmbeddingMethod::embed(const Graph& g, Rng& rng) const {
   Budget unlimited;
   return *embed_budgeted(g, rng, unlimited);
-}
-
-std::vector<GraphKernelMethod> DefaultMethodSuite() {
-  std::vector<GraphKernelMethod> suite;
-
-  suite.push_back({"wl-subtree-t5",
-                   [](const std::vector<Graph>& graphs, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "wl-subtree-t5",
-                                            [&] {
-                       return kernel::WlSubtreeKernelMatrix(graphs, 5);
-                     });
-                   }});
-  suite.push_back({"wl2-folklore-t3",
-                   [](const std::vector<Graph>& graphs, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "wl2-folklore-t3",
-                                            [&] {
-                       return kernel::TwoWlKernelMatrix(graphs, 3);
-                     });
-                   }});
-  suite.push_back({"hom-20",
-                   [](const std::vector<Graph>& graphs, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "hom-20", [&] {
-                       return kernel::HomVectorKernelMatrix(
-                           graphs, hom::DefaultPatternFamily(20));
-                     });
-                   }});
-  suite.push_back({"graphlet-3",
-                   [](const std::vector<Graph>& graphs, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "graphlet-3",
-                                            [&] {
-                       return kernel::GraphletKernelMatrix(graphs);
-                     });
-                   }});
-  suite.push_back({"shortest-path",
-                   [](const std::vector<Graph>& graphs, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "shortest-path",
-                                            [&] {
-                       return kernel::ShortestPathKernelMatrix(graphs);
-                     });
-                   }});
-  suite.push_back({"random-walk",
-                   [](const std::vector<Graph>& graphs, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "random-walk",
-                                            [&] {
-                       return kernel::RandomWalkKernelMatrix(graphs, 0.1, 6);
-                     });
-                   }});
-  suite.push_back({"graph2vec",
-                   [](const std::vector<Graph>& graphs, Rng& rng,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     embed::Graph2VecOptions options;
-                     options.wl_rounds = 3;
-                     options.sgns.dimension = 32;
-                     options.sgns.epochs = 8;
-                     StatusOr<Matrix> rows = embed::Graph2VecEmbeddingBudgeted(
-                         graphs, options, rng, budget);
-                     if (!rows.ok()) return rows.status();
-                     return GramFromRows(*rows);
-                   }});
-  suite.push_back({"gin-random",
-                   [](const std::vector<Graph>& graphs, Rng& rng,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerGraph(graphs, budget, "gin-random",
-                                            [&] {
-                       const gnn::GinStack stack =
-                           gnn::GinStack::Random(3, 16, 1.0, rng());
-                       Matrix rows(static_cast<int>(graphs.size()), 16);
-                       for (size_t i = 0; i < graphs.size(); ++i) {
-                         rows.SetRow(static_cast<int>(i),
-                                     stack.EmbedGraph(graphs[i]));
-                       }
-                       // Log-compress: sum readouts grow with graph size.
-                       for (double& v : rows.mutable_data()) {
-                         v = std::log1p(std::max(0.0, v));
-                       }
-                       return GramFromRows(rows);
-                     });
-                   }});
-  return suite;
-}
-
-std::vector<NodeEmbeddingMethod> DefaultNodeMethodSuite() {
-  std::vector<NodeEmbeddingMethod> suite;
-  suite.push_back({"svd-adjacency",
-                   [](const Graph& g, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "svd-adjacency", [&] {
-                       return embed::SpectralAdjacencyEmbedding(
-                           g, std::min(8, g.NumVertices()));
-                     });
-                   }});
-  suite.push_back({"svd-expdist",
-                   [](const Graph& g, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "svd-expdist", [&] {
-                       return embed::SpectralSimilarityEmbedding(
-                           g, std::min(8, g.NumVertices()), 2.0);
-                     });
-                   }});
-  suite.push_back({"laplacian-eigenmap",
-                   [](const Graph& g, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "laplacian-eigenmap",
-                                             [&] {
-                       return embed::LaplacianEigenmapEmbedding(
-                           g, std::min(4, g.NumVertices() - 2));
-                     });
-                   }});
-  suite.push_back({"isomap",
-                   [](const Graph& g, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "isomap", [&] {
-                       return embed::IsomapEmbedding(
-                           g, std::min(4, g.NumVertices()));
-                     });
-                   }});
-  suite.push_back({"deepwalk",
-                   [](const Graph& g, Rng& rng,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     embed::Node2VecOptions options;
-                     options.sgns.dimension = 16;
-                     options.sgns.epochs = 3;
-                     return embed::DeepWalkEmbeddingBudgeted(g, options, rng,
-                                                             budget);
-                   }});
-  suite.push_back({"node2vec-p1-q0.5",
-                   [](const Graph& g, Rng& rng,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     embed::Node2VecOptions options;
-                     options.walks.p = 1.0;
-                     options.walks.q = 0.5;
-                     options.sgns.dimension = 16;
-                     options.sgns.epochs = 3;
-                     return embed::Node2VecEmbeddingBudgeted(g, options, rng,
-                                                             budget);
-                   }});
-  suite.push_back({"rooted-hom-trees",
-                   [](const Graph& g, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "rooted-hom-trees",
-                                             [&] {
-                       return hom::RootedHomNodeEmbedding(
-                           g, hom::RootedTreesUpTo(5));
-                     });
-                   }});
-  suite.push_back({"graphsage-random",
-                   [](const Graph& g, Rng& rng,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "graphsage-random",
-                                             [&] {
-                       const gnn::GraphSage model =
-                           gnn::GraphSage::Random(2, 16, 0.8, rng());
-                       return model.EmbedNodes(g);
-                     });
-                   }});
-  suite.push_back({"diffusion-kpca",
-                   [](const Graph& g, Rng&,
-                      Budget& budget) -> StatusOr<Matrix> {
-                     return ChargedPerVertex(g, budget, "diffusion-kpca",
-                                             [&] {
-                       // Node kernel (Section 2.4) turned into coordinates
-                       // via kernel PCA — kernels and embeddings are two
-                       // views of the same object.
-                       return ml::KernelPca(
-                           kernel::DiffusionKernel(g, 0.5),
-                           std::min(8, g.NumVertices()));
-                     });
-                   }});
-  return suite;
 }
 
 std::vector<MethodOutcome> RunMethodSuite(

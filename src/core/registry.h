@@ -35,10 +35,9 @@ struct GraphKernelMethod {
                       Rng& rng) const;
 };
 
-/// The default method suite used by the classification benchmark
-/// (Section 4's hom vectors, Section 3.5's WL kernel at t = 5, the
-/// Section 2.4 kernels, GRAPH2VEC, and a random-weight GIN readout).
-std::vector<GraphKernelMethod> DefaultMethodSuite();
+// The default suites (DefaultMethodSuite / DefaultNodeMethodSuite) live in
+// api/suite.h: they construct methods from every layer-4 module, which core
+// (layer 3) may not depend on. core keeps only the method *framework*.
 
 /// A named node-embedding method: graph -> one row per vertex.
 struct NodeEmbeddingMethod {
@@ -51,10 +50,6 @@ struct NodeEmbeddingMethod {
   /// Unlimited-budget convenience wrapper (crashes on non-budget errors).
   linalg::Matrix embed(const graph::Graph& g, Rng& rng) const;
 };
-
-/// Spectral (Fig. 2a/2b), DeepWalk, node2vec and rooted-hom-vector node
-/// embedders with library-default hyperparameters.
-std::vector<NodeEmbeddingMethod> DefaultNodeMethodSuite();
 
 /// One method's result in a budgeted suite sweep: either a Gram/embedding
 /// matrix (status OK) or the reason the method was skipped (budget blown,

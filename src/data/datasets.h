@@ -5,7 +5,6 @@
 
 #include "base/rng.h"
 #include "graph/graph.h"
-#include "kg/knowledge_graph.h"
 #include "linalg/matrix.h"
 
 namespace x2vec::data {
@@ -62,10 +61,7 @@ std::vector<std::vector<std::string>> TopicCorpus(int topics,
                                                   int sentence_length,
                                                   Rng& rng);
 
-/// The countries/capitals knowledge graph of the paper's introduction
-/// (Paris/France, Santiago/Chile, ...) with capital-of, in-continent and
-/// speaks relations over `num_countries` synthetic countries; the first
-/// four entities are the paper's own example.
-kg::KnowledgeGraph CountriesKnowledgeGraph(int num_countries, Rng& rng);
+// The countries/capitals knowledge graph lives in kg/datasets.h: it is
+// built from kg types, and data sits below kg in the module layering.
 
 }  // namespace x2vec::data

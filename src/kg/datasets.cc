@@ -1,0 +1,45 @@
+#include "kg/datasets.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+
+namespace x2vec::kg {
+
+KnowledgeGraph CountriesKnowledgeGraph(int num_countries, Rng& rng) {
+  X2VEC_CHECK_GE(num_countries, 4);
+  KnowledgeGraph kg;
+  // The paper's own example entities come first.
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"France", "Paris"},
+      {"Chile", "Santiago"},
+      {"Germany", "Berlin"},
+      {"Japan", "Tokyo"},
+  };
+  for (int i = static_cast<int>(pairs.size()); i < num_countries; ++i) {
+    pairs.emplace_back("country" + std::to_string(i),
+                       "capital" + std::to_string(i));
+  }
+  const std::vector<std::string> continents = {"Europe", "SouthAmerica",
+                                               "Asia", "Africa"};
+  const std::vector<std::string> languages = {"lang0", "lang1", "lang2"};
+  for (int i = 0; i < num_countries; ++i) {
+    const auto& [country, capital] = pairs[i];
+    kg.AddFact(capital, "capital-of", country);
+    kg.AddFact(capital, "city-in", country);
+    const std::string continent =
+        i == 0   ? "Europe"
+        : i == 1 ? "SouthAmerica"
+        : i == 2 ? "Europe"
+        : i == 3 ? "Asia"
+                 : continents[UniformInt(rng, 0, continents.size() - 1)];
+    kg.AddFact(country, "in-continent", continent);
+    kg.AddFact(country, "speaks",
+               languages[UniformInt(rng, 0, languages.size() - 1)]);
+  }
+  return kg;
+}
+
+}  // namespace x2vec::kg

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "base/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace x2vec::kg {
+
+/// The countries/capitals knowledge graph of the paper's introduction
+/// (Paris/France, Santiago/Chile, ...) with capital-of, in-continent and
+/// speaks relations over `num_countries` synthetic countries; the first
+/// four entities are the paper's own example.
+///
+/// Lives in kg (not data): data sits below kg in the module layering, so
+/// the one dataset built from kg types is declared next to those types.
+KnowledgeGraph CountriesKnowledgeGraph(int num_countries, Rng& rng);
+
+}  // namespace x2vec::kg

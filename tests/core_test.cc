@@ -1,5 +1,6 @@
 #include <vector>
 
+#include "api/suite.h"
 #include "base/rng.h"
 #include "core/compare.h"
 #include "core/registry.h"
@@ -72,7 +73,7 @@ TEST(CompareTest, ToStringMentionsLevels) {
 TEST(RegistryTest, MethodSuiteProducesSymmetricGrams) {
   Rng rng = MakeRng(82);
   const data::GraphDataset dataset = data::MotifDataset(3, 10, rng);
-  for (const GraphKernelMethod& method : DefaultMethodSuite()) {
+  for (const GraphKernelMethod& method : api::DefaultMethodSuite()) {
     Rng method_rng = MakeRng(83);
     const linalg::Matrix gram = method.gram(dataset.graphs, method_rng);
     EXPECT_EQ(gram.rows(), 6) << method.name;
@@ -83,7 +84,7 @@ TEST(RegistryTest, MethodSuiteProducesSymmetricGrams) {
 TEST(RegistryTest, NodeSuiteShapes) {
   Rng rng = MakeRng(84);
   const Graph g = graph::ConnectedGnp(10, 0.35, rng);
-  for (const NodeEmbeddingMethod& method : DefaultNodeMethodSuite()) {
+  for (const NodeEmbeddingMethod& method : api::DefaultNodeMethodSuite()) {
     Rng method_rng = MakeRng(85);
     const linalg::Matrix embedding = method.embed(g, method_rng);
     EXPECT_EQ(embedding.rows(), 10) << method.name;

@@ -5,6 +5,7 @@
 #include "base/rng.h"
 #include "base/status.h"
 #include "data/datasets.h"
+#include "kg/datasets.h"
 #include "data/io.h"
 #include "graph/graph.h"
 #include "gtest/gtest.h"
@@ -90,7 +91,7 @@ TEST(DatasetsTest, TopicCorpusTokens) {
 
 TEST(DatasetsTest, CountriesKgStructure) {
   Rng rng = MakeRng(77);
-  const kg::KnowledgeGraph kg = CountriesKnowledgeGraph(8, rng);
+  const kg::KnowledgeGraph kg = kg::CountriesKnowledgeGraph(8, rng);
   EXPECT_GE(kg.NumRelations(), 4);
   EXPECT_GE(kg.NumEntities(), 16);
   // Every country has a capital-of inverse fact.

@@ -26,6 +26,7 @@
 #include "base/parallel.h"
 #include "base/rng.h"
 #include "data/datasets.h"
+#include "kg/datasets.h"
 #include "embed/corpus.h"
 #include "embed/node_embeddings.h"
 #include "embed/sgns.h"
@@ -157,7 +158,7 @@ TEST(KernelBitIdentityTest, PvDbowShardedAtOneAndManyThreads) {
 
 TEST(KernelBitIdentityTest, TransEModelAndScores) {
   Rng data_rng = MakeRng(5);
-  const kg::KnowledgeGraph graph = data::CountriesKnowledgeGraph(12, data_rng);
+  const kg::KnowledgeGraph graph = kg::CountriesKnowledgeGraph(12, data_rng);
   kg::TransEOptions options;
   options.dimension = 8;
   options.epochs = 10;
@@ -178,7 +179,7 @@ TEST(KernelBitIdentityTest, TransEModelAndScores) {
 
 TEST(KernelBitIdentityTest, RescalModelAndScores) {
   Rng data_rng = MakeRng(5);
-  const kg::KnowledgeGraph graph = data::CountriesKnowledgeGraph(8, data_rng);
+  const kg::KnowledgeGraph graph = kg::CountriesKnowledgeGraph(8, data_rng);
   kg::RescalOptions options;
   options.dimension = 4;
   options.epochs = 5;

@@ -2,7 +2,7 @@
 #include <vector>
 
 #include "base/rng.h"
-#include "data/datasets.h"
+#include "kg/datasets.h"
 #include "gtest/gtest.h"
 #include "kg/knowledge_graph.h"
 #include "kg/rescal.h"
@@ -31,7 +31,7 @@ TEST(KnowledgeGraphTest, StoreAndQuery) {
 
 TEST(KnowledgeGraphTest, CountriesDatasetHasPaperExample) {
   Rng rng = MakeRng(33);
-  const KnowledgeGraph kg = data::CountriesKnowledgeGraph(10, rng);
+  const KnowledgeGraph kg = kg::CountriesKnowledgeGraph(10, rng);
   const int paris = kg.EntityId("Paris");
   const int france = kg.EntityId("France");
   const int santiago = kg.EntityId("Santiago");
@@ -45,7 +45,7 @@ TEST(KnowledgeGraphTest, CountriesDatasetHasPaperExample) {
 
 TEST(TransETest, TranslationGeometryEmerges) {
   Rng rng = MakeRng(34);
-  const KnowledgeGraph kg = data::CountriesKnowledgeGraph(12, rng);
+  const KnowledgeGraph kg = kg::CountriesKnowledgeGraph(12, rng);
   TransEOptions options;
   options.epochs = 400;
   options.dimension = 16;
@@ -79,7 +79,7 @@ TEST(TransETest, TranslationGeometryEmerges) {
 
 TEST(TransETest, LinkPredictionBeatsRandom) {
   Rng rng = MakeRng(35);
-  const KnowledgeGraph kg = data::CountriesKnowledgeGraph(15, rng);
+  const KnowledgeGraph kg = kg::CountriesKnowledgeGraph(15, rng);
   TransEOptions options;
   options.epochs = 300;
   const TransEModel model = TrainTransE(kg, options, rng);
@@ -94,7 +94,7 @@ TEST(TransETest, LinkPredictionBeatsRandom) {
 
 TEST(RescalTest, TrainingReducesReconstructionError) {
   Rng rng = MakeRng(36);
-  const KnowledgeGraph kg = data::CountriesKnowledgeGraph(8, rng);
+  const KnowledgeGraph kg = kg::CountriesKnowledgeGraph(8, rng);
   RescalOptions options;
   options.epochs = 0;
   const RescalModel untrained = TrainRescal(kg, options, rng);

@@ -1,0 +1,19 @@
+// Planted budget-gate violation: a raw Budget charged from inside a
+// ParallelFor body. Budget is single-use and not thread-safe; parallel
+// loops must meter spend through a BudgetGate constructed outside the
+// loop. The rule only applies in hot modules, so lint_test lints this
+// fixture under hypothetical src/embed/... style paths.
+#include "base/budget.h"
+#include "base/parallel.h"
+
+namespace x2vec {
+
+Status ChargePerItem(int n, Budget& budget) {
+  return ParallelFor(n, 1, [&](int i) {
+    (void)i;
+    return budget.Spend(1) ? Status::Ok()  // planted: raw Budget in body
+                           : budget.ExhaustedError("charge");
+  });
+}
+
+}  // namespace x2vec

@@ -1,0 +1,6 @@
+// Planted layering violation: lint_test lints this content under a
+// hypothetical src/base/... path alongside a planted src/embed/ header, so
+// the include below reaches from layer 0 up to layer 4.
+#include "embed/planted.h"
+
+int UsesEmbedFromBase() { return 0; }

@@ -1,0 +1,10 @@
+// Planted metric-registry violations: one name registered as both a
+// counter and a gauge, plus a near-duplicate (edit-distance-1) pair.
+#include "base/metrics.h"
+
+void RecordThings(double v) {
+  X2VEC_METRIC_COUNT("fixture.collide", 1);
+  X2VEC_METRIC_GAUGE("fixture.collide", v);  // planted: kind conflict
+  X2VEC_METRIC_COUNT("fixture.walks.steps", 1);
+  X2VEC_METRIC_COUNT("fixture.walks.step", 1);  // planted: 1-edit typo
+}

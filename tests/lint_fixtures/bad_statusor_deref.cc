@@ -1,0 +1,26 @@
+// Planted statusor-deref violations: a StatusOr local dereferenced with no
+// preceding ok()/status() check in its scope. Linted under this fixture
+// path by lint_test (the rule applies everywhere, no whitelist).
+#include "base/status.h"
+
+namespace x2vec {
+
+StatusOr<int> Parse(const char* s);
+
+int UncheckedValue(const char* s) {
+  StatusOr<int> parsed = Parse(s);
+  return parsed.value();  // planted: no ok() check before value()
+}
+
+int UncheckedStar(const char* s) {
+  StatusOr<int> parsed = Parse(s);
+  return *parsed + 1;  // planted: no ok() check before operator*
+}
+
+int CheckedIsClean(const char* s) {
+  StatusOr<int> parsed = Parse(s);
+  if (!parsed.ok()) return -1;
+  return *parsed;  // fine: guarded by the ok() check above
+}
+
+}  // namespace x2vec

@@ -1,0 +1,7 @@
+#pragma once
+// Half of a planted include cycle (with cycle_b.h) for the include-cycle
+// pass; lint_test feeds both files to AnalyzeProgram and expects the
+// cycle reported by name at the back edge.
+#include "cycle_b.h"
+
+inline int CycleA() { return 1; }

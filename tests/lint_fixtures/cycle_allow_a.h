@@ -1,0 +1,7 @@
+#pragma once
+// Suppression counterpart of the cycle_a/cycle_b pair: the same planted
+// cycle, with an allow(include-cycle) marker on the back-edge include in
+// cycle_allow_b.h. AnalyzeProgram must report nothing.
+#include "cycle_allow_b.h"
+
+inline int CycleAllowA() { return 1; }

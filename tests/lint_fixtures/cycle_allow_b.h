@@ -1,0 +1,5 @@
+#pragma once
+// See cycle_allow_a.h: the back edge below carries the suppression.
+#include "cycle_allow_a.h"  // x2vec-lint: allow(include-cycle)
+
+inline int CycleAllowB() { return 2; }

@@ -1,0 +1,5 @@
+#pragma once
+// Other half of the planted include cycle; see cycle_a.h.
+#include "cycle_a.h"
+
+inline int CycleB() { return 2; }

@@ -1,0 +1,19 @@
+// Regression fixture for the C++14 digit-separator bug: the ' in
+// 10'000'000 used to flip the blanking state machine into char-literal
+// state, blanking real code and hiding findings on following lines. The
+// srand() calls below must all be reported, and the genuine char literals
+// must still be blanked.
+#include <cstdlib>
+
+void DigitSeparators() {
+  const long long big = 10'000'000;
+  srand(static_cast<unsigned>(big));  // must be reported
+  const long long huge = 1'000'000'000;
+  const unsigned hex = 0x1F'2A;
+  srand(static_cast<unsigned>(huge + hex));  // must be reported
+  const char c = 'a';            // ordinary char literal: still blanked
+  const wchar_t w = L'b';        // prefixed char literal: still a literal
+  (void)c;
+  (void)w;
+  srand(42);  // must be reported
+}

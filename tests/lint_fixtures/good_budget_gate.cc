@@ -1,0 +1,26 @@
+// Clean counterparts for the budget-gate rule: the sanctioned BudgetGate
+// pattern, and the same raw-Budget charge carrying an allow marker. Both
+// must lint clean even under hot-module paths.
+#include "base/budget.h"
+#include "base/parallel.h"
+
+namespace x2vec {
+
+Status GatedChargePerItem(int n, Budget& budget) {
+  BudgetGate gate(budget);
+  return ParallelFor(n, 1, [&](int i) {
+    (void)i;
+    return gate.Spend(1) ? Status::Ok() : gate.ExhaustedError("charge");
+  });
+}
+
+Status SuppressedChargePerItem(int n, Budget& budget) {
+  return ParallelFor(n, 1, [&](int i) {
+    (void)i;
+    return budget.Spend(1)  // x2vec-lint: allow(budget-gate)
+               ? Status::Ok()
+               : budget.ExhaustedError("charge");
+  });
+}
+
+}  // namespace x2vec

@@ -1,0 +1,5 @@
+// Suppression counterpart of bad_layering.cc: the same upward include
+// carrying an allow(layering) marker must analyze clean.
+#include "embed/planted.h"  // x2vec-lint: allow(layering)
+
+int UsesEmbedFromBase() { return 0; }

@@ -1,0 +1,12 @@
+// Suppression counterpart of bad_metric_kind.cc: the conflicting and
+// near-duplicate uses carry allow(metric-name) markers and must analyze
+// clean. The near-duplicate diagnostic lands on the lexicographically
+// later name's first use, so both lines of the pair carry the marker.
+#include "base/metrics.h"
+
+void RecordThings(double v) {
+  X2VEC_METRIC_COUNT("fixture.collide", 1);
+  X2VEC_METRIC_GAUGE("fixture.collide", v);  // x2vec-lint: allow(metric-name)
+  X2VEC_METRIC_COUNT("fixture.walks.steps", 1);  // x2vec-lint: allow(metric-name)
+  X2VEC_METRIC_COUNT("fixture.walks.step", 1);  // x2vec-lint: allow(metric-name)
+}

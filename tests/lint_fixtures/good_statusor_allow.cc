@@ -1,0 +1,14 @@
+// Suppression counterpart of bad_statusor_deref.cc: the same unchecked
+// dereference carrying an allow(statusor-deref) marker must lint clean.
+#include "base/status.h"
+
+namespace x2vec {
+
+StatusOr<int> Parse(const char* s);
+
+int KnownInfallible(const char* s) {
+  StatusOr<int> parsed = Parse(s);
+  return parsed.value();  // x2vec-lint: allow(statusor-deref)
+}
+
+}  // namespace x2vec

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis.h"
 #include "gtest/gtest.h"
 
 namespace x2vec::lint {
@@ -358,6 +359,332 @@ TEST(LintSuppressionTest, AllowIntrinsicsSilencesTheLine) {
       "int F() { return __builtin_cpu_supports(\"avx2\"); }"
       "  // x2vec-lint: allow(intrinsics)\n";
   EXPECT_TRUE(LintFile("src/embed/sgns.cc", code).empty());
+}
+
+// -- Digit separators (string-blanking regression) ----------------------------
+
+TEST(LintStripTest, DigitSeparatorsDoNotOpenCharLiterals) {
+  const std::string code =
+      "const long long n = 10'000'000; srand(1);\n"
+      "const unsigned h = 0x1F'2A; srand(2);\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  // The separators must not flip the state machine into char-literal
+  // state: the srand calls stay visible.
+  EXPECT_NE(stripped.find("srand(1)"), std::string::npos);
+  EXPECT_NE(stripped.find("srand(2)"), std::string::npos);
+}
+
+TEST(LintStripTest, RealCharLiteralsAreStillBlanked) {
+  const std::string code =
+      "const char c = 'a'; const wchar_t w = L'b';\n"
+      "const char8_t u = u8'c';\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(stripped.find("'a'"), std::string::npos);
+  EXPECT_EQ(stripped.find("'b'"), std::string::npos);
+  EXPECT_EQ(stripped.find("'c'"), std::string::npos);
+}
+
+TEST(LintRuleTest, DigitSeparatorFixtureFindingsAreNotHidden) {
+  // Before the fix, the ' in 10'000'000 swallowed the rest of the file
+  // into char-literal state and the planted srand() calls went unreported.
+  const auto diags = LintFixture("digit_separators.cc");
+  ASSERT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "nondeterminism") << FormatDiagnostic(d);
+  }
+  EXPECT_EQ(diags[0].line, 10);
+  EXPECT_EQ(diags[1].line, 13);
+  EXPECT_EQ(diags[2].line, 18);
+}
+
+// -- Rule: statusor-deref -----------------------------------------------------
+
+TEST(LintRuleTest, UncheckedStatusOrDerefIsReported) {
+  const auto diags = LintFixture("bad_statusor_deref.cc");
+  ASSERT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "statusor-deref") << FormatDiagnostic(d);
+    EXPECT_NE(d.message.find("ok()"), std::string::npos);
+  }
+  EXPECT_EQ(diags[0].line, 12);  // parsed.value() with no check
+  EXPECT_EQ(diags[1].line, 17);  // *parsed with no check
+}
+
+TEST(LintRuleTest, CheckedStatusOrDerefIsClean) {
+  const std::string code =
+      "StatusOr<int> Get();\n"
+      "int F() {\n"
+      "  StatusOr<int> v = Get();\n"
+      "  if (!v.ok()) return -1;\n"
+      "  return *v;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/base/x.cc", code).empty());
+}
+
+TEST(LintRuleTest, StatusOrCheckInOuterScopeStillCounts) {
+  // status() propagation is also a check: returning early on !ok() via
+  // status() is the canonical pattern.
+  const std::string code =
+      "int F() {\n"
+      "  StatusOr<int> v = Get();\n"
+      "  if (!v.ok()) return Fail(v.status());\n"
+      "  return v.value();\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/base/x.cc", code).empty());
+}
+
+TEST(LintSuppressionTest, AllowStatusOrDerefSilencesTheLine) {
+  EXPECT_TRUE(LintFixture("good_statusor_allow.cc").empty());
+}
+
+// -- Rule: budget-gate --------------------------------------------------------
+
+TEST(LintRuleTest, RawBudgetInParallelBodyFiresInHotModules) {
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_budget_gate.cc"));
+  for (const std::string rel :
+       {"src/embed/sgns.cc", "src/kernel/graph_kernels.cc",
+        "src/wl/color_refinement.cc", "src/hom/embeddings.cc"}) {
+    const auto diags = LintFile(rel, code);
+    ASSERT_EQ(diags.size(), 1u) << rel;
+    EXPECT_EQ(diags[0].rule, "budget-gate") << FormatDiagnostic(diags[0]);
+    EXPECT_NE(diags[0].message.find("BudgetGate"), std::string::npos);
+  }
+}
+
+TEST(LintWhitelistTest, RawBudgetInParallelBodyIsLegalOutsideHotModules) {
+  EXPECT_TRUE(LintFixture("bad_budget_gate.cc").empty());
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_budget_gate.cc"));
+  EXPECT_TRUE(LintFile("src/base/parallel_extra.cc", code).empty());
+}
+
+TEST(LintRuleTest, BudgetGatePatternAndAllowMarkerAreClean) {
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/good_budget_gate.cc"));
+  EXPECT_TRUE(LintFile("src/embed/sgns_extra.cc", code).empty());
+}
+
+// -- Whole-program: include-cycle ---------------------------------------------
+
+std::vector<SourceFile> FixtureSources(
+    const std::vector<std::pair<std::string, std::string>>& name_as) {
+  // Reads fixtures from disk, analyzing each under the given path (the
+  // analysis is path-sensitive: layering depends on the module).
+  std::vector<SourceFile> files;
+  for (const auto& [name, as] : name_as) {
+    files.push_back(
+        {as, ReadFileOrDie(SourcePath("tests/lint_fixtures/" + name))});
+  }
+  return files;
+}
+
+TEST(LintAnalysisTest, PlantedIncludeCycleIsCaughtByName) {
+  const auto files = FixtureSources(
+      {{"cycle_a.h", "tests/lint_fixtures/cycle_a.h"},
+       {"cycle_b.h", "tests/lint_fixtures/cycle_b.h"}});
+  const auto diags = AnalyzeProgram(files, nullptr);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+  EXPECT_NE(diags[0].message.find("cycle_a.h"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("cycle_b.h"), std::string::npos);
+}
+
+TEST(LintAnalysisTest, AllowSuppressesIncludeCycle) {
+  const auto files = FixtureSources(
+      {{"cycle_allow_a.h", "tests/lint_fixtures/cycle_allow_a.h"},
+       {"cycle_allow_b.h", "tests/lint_fixtures/cycle_allow_b.h"}});
+  EXPECT_TRUE(AnalyzeProgram(files, nullptr).empty());
+}
+
+// -- Whole-program: layering --------------------------------------------------
+
+Layering RepoLayering() {
+  Layering layering;
+  std::string error;
+  EXPECT_TRUE(ParseLayering(ReadFileOrDie(SourcePath("tools/lint/layers.txt")),
+                            &layering, &error))
+      << error;
+  return layering;
+}
+
+TEST(LintAnalysisTest, LayeringParsesTheCheckedInDeclaration) {
+  const Layering layering = RepoLayering();
+  ASSERT_GE(layering.layers.size(), 6u);
+  EXPECT_EQ(layering.layer_of.at("base"), 0);
+  EXPECT_LT(layering.layer_of.at("core"), layering.layer_of.at("embed"));
+  EXPECT_LT(layering.layer_of.at("data"), layering.layer_of.at("kg"));
+  EXPECT_EQ(layering.layer_of.at("api"), layering.layer_of.at("tools"));
+}
+
+TEST(LintAnalysisTest, PlantedLayeringViolationIsCaughtByName) {
+  auto files = FixtureSources(
+      {{"bad_layering.cc", "src/base/bad_layering.cc"}});
+  files.push_back({"src/embed/planted.h", "#pragma once\n"});
+  const Layering layering = RepoLayering();
+  const auto diags = AnalyzeProgram(files, &layering);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_EQ(diags[0].file, "src/base/bad_layering.cc");
+  EXPECT_NE(diags[0].message.find("'base'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'embed'"), std::string::npos);
+}
+
+TEST(LintAnalysisTest, AllowSuppressesLayeringViolation) {
+  auto files = FixtureSources(
+      {{"good_layering_allow.cc", "src/base/good_layering_allow.cc"}});
+  files.push_back({"src/embed/planted.h", "#pragma once\n"});
+  const Layering layering = RepoLayering();
+  EXPECT_TRUE(AnalyzeProgram(files, &layering).empty());
+}
+
+TEST(LintAnalysisTest, SameLayerIncludesAreLegal) {
+  std::vector<SourceFile> files = {
+      {"src/hom/uses_wl.cc", "#include \"wl/colors.h\"\n"},
+      {"src/wl/colors.h", "#pragma once\n"},
+  };
+  const Layering layering = RepoLayering();
+  EXPECT_TRUE(AnalyzeProgram(files, &layering).empty());
+}
+
+TEST(LintAnalysisTest, UndeclaredModuleIsReported) {
+  std::vector<SourceFile> files = {
+      {"src/newmod/thing.cc", "#include \"base/planted.h\"\n"},
+      {"src/base/planted.h", "#pragma once\n"},
+  };
+  const Layering layering = RepoLayering();
+  const auto diags = AnalyzeProgram(files, &layering);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_NE(diags[0].message.find("'newmod'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LintAnalysisTest, ModuleOfClassifiesPaths) {
+  EXPECT_EQ(ModuleOf("src/embed/sgns.cc"), "embed");
+  EXPECT_EQ(ModuleOf("/abs/repo/src/base/rng.h"), "base");
+  EXPECT_EQ(ModuleOf("tools/lint/lint.cc"), "tools");
+  EXPECT_EQ(ModuleOf("tests/lint_test.cc"), "tests");
+  EXPECT_EQ(ModuleOf("bench/tab_word2vec.cc"), "bench");
+  EXPECT_EQ(ModuleOf("examples/quickstart.cpp"), "examples");
+  EXPECT_EQ(ModuleOf("README.md"), "");
+}
+
+TEST(LintAnalysisTest, DuplicateLayerDeclarationIsAnError) {
+  Layering layering;
+  std::string error;
+  EXPECT_FALSE(ParseLayering("base\nlinalg base\n", &layering, &error));
+  EXPECT_NE(error.find("two layers"), std::string::npos);
+}
+
+TEST(LintAnalysisTest, DepsJsonNamesModulesAndLayers) {
+  std::vector<SourceFile> files = {
+      {"src/wl/refine.cc", "#include \"graph/graph.h\"\n"},
+      {"src/graph/graph.h", "#pragma once\n"},
+  };
+  const IncludeGraph graph = BuildIncludeGraph(files);
+  const std::string json = DepsJson(graph, RepoLayering());
+  EXPECT_NE(json.find("\"wl\": {\"layer\": 3, \"deps\": [\"graph\"]}"),
+            std::string::npos)
+      << json;
+}
+
+// -- Whole-program: metric-name -----------------------------------------------
+
+TEST(LintAnalysisTest, MetricKindConflictAndTypoAreCaught) {
+  const auto files = FixtureSources(
+      {{"bad_metric_kind.cc", "tests/lint_fixtures/bad_metric_kind.cc"}});
+  const auto diags = AnalyzeProgram(files, nullptr);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "metric-name");
+  EXPECT_EQ(diags[1].rule, "metric-name");
+  // One finding is the counter/gauge collision, the other the 1-edit typo.
+  const std::string all = diags[0].message + " | " + diags[1].message;
+  EXPECT_NE(all.find("registered as"), std::string::npos) << all;
+  EXPECT_NE(all.find("one edit away"), std::string::npos) << all;
+}
+
+TEST(LintAnalysisTest, AllowSuppressesMetricFindings) {
+  const auto files = FixtureSources(
+      {{"good_metric_allow.cc", "tests/lint_fixtures/good_metric_allow.cc"}});
+  EXPECT_TRUE(AnalyzeProgram(files, nullptr).empty());
+}
+
+TEST(LintAnalysisTest, MultiLineMetricCallSitesAreCollected) {
+  const std::string code =
+      "void F() {\n"
+      "  X2VEC_METRIC_COUNT(\n"
+      "      \"split.across.lines\", 1);\n"
+      "}\n";
+  const auto uses = CollectMetricUses({{"src/base/x.cc", code}});
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].name, "split.across.lines");
+  EXPECT_EQ(uses[0].kind, "counter");
+  EXPECT_EQ(uses[0].line, 2);  // attributed to the macro, not the literal
+}
+
+TEST(LintAnalysisTest, MetricsMarkdownListsEveryName) {
+  const auto files = FixtureSources(
+      {{"bad_metric_kind.cc", "tests/lint_fixtures/bad_metric_kind.cc"}});
+  const std::string md = MetricsMarkdown(CollectMetricUses(files));
+  EXPECT_NE(md.find("| `fixture.collide` | counter |"), std::string::npos)
+      << md;
+  EXPECT_NE(md.find("fixture.walks.steps"), std::string::npos);
+}
+
+// -- Baseline -----------------------------------------------------------------
+
+TEST(LintBaselineTest, BaselineRoundTripSuppressesPerFilePerRule) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.cc", 3, "statusor-deref", "unchecked"},
+      {"src/a.cc", 9, "statusor-deref", "unchecked again"},
+      {"src/a.cc", 12, "budget-gate", "raw budget"},
+      {"src/b.cc", 1, "statusor-deref", "unchecked"},
+  };
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(BaselineText(diags), &baseline, &error)) << error;
+  EXPECT_EQ(baseline.size(), 3u);  // (a, statusor), (a, budget), (b, statusor)
+
+  // A baseline entry suppresses exactly its (file, rule) pair — both
+  // statusor findings in a.cc, but not the budget-gate one and not b.cc.
+  Baseline partial;
+  ASSERT_TRUE(
+      ParseBaseline("src/a.cc: statusor-deref\n", &partial, &error));
+  int baselined = 0;
+  const auto remaining = ApplyBaseline(diags, partial, &baselined);
+  EXPECT_EQ(baselined, 2);
+  ASSERT_EQ(remaining.size(), 2u);
+  EXPECT_EQ(remaining[0].rule, "budget-gate");
+  EXPECT_EQ(remaining[1].file, "src/b.cc");
+}
+
+TEST(LintBaselineTest, MalformedBaselineLineIsAnError) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(ParseBaseline("not a baseline line\n", &baseline, &error));
+  EXPECT_NE(error.find("expected"), std::string::npos);
+  // Comments and blanks are fine.
+  EXPECT_TRUE(ParseBaseline("# header\n\nsrc/a.cc: chrono\n", &baseline,
+                            &error));
+  EXPECT_EQ(baseline.size(), 1u);
+}
+
+TEST(LintTreeTest, WholeTreeAnalyzesClean) {
+  // The whole-program analogue of WholeTreeIsClean: the include graph of
+  // src/, tests/, bench/ and tools/ must be acyclic, respect the declared
+  // layering, and carry a collision-free metric registry — with zero
+  // unsuppressed findings.
+  const auto paths = CollectFiles(
+      {SourcePath("src"), SourcePath("tests"), SourcePath("bench"),
+       SourcePath("tools")},
+      /*include_fixtures=*/false);
+  std::vector<SourceFile> files;
+  for (const auto& p : paths) files.push_back({p, ReadFileOrDie(p)});
+  const Layering layering = RepoLayering();
+  for (const auto& d : AnalyzeProgram(files, &layering)) {
+    ADD_FAILURE() << FormatDiagnostic(d);
+  }
 }
 
 TEST(LintTreeTest, WholeTreeIsClean) {

@@ -25,6 +25,7 @@
 #include "base/rng.h"
 #include "base/status.h"
 #include "data/datasets.h"
+#include "kg/datasets.h"
 #include "embed/checkpoint.h"
 #include "embed/corpus.h"
 #include "embed/sgns.h"
@@ -562,7 +563,7 @@ TEST(ResumeTest, StaleOptionsCheckpointIsSkippedNotResumed) {
 
 TEST(ResumeTest, TransEResumeIsBitIdenticalToGolden) {
   Rng data_rng = MakeRng(5);
-  const kg::KnowledgeGraph graph = data::CountriesKnowledgeGraph(12, data_rng);
+  const kg::KnowledgeGraph graph = kg::CountriesKnowledgeGraph(12, data_rng);
   kg::TransEOptions options;
   options.dimension = 8;
   options.epochs = 10;
@@ -590,7 +591,7 @@ TEST(ResumeTest, TransEResumeIsBitIdenticalToGolden) {
 
 TEST(ResumeTest, RescalResumeIsBitIdenticalToGolden) {
   Rng data_rng = MakeRng(5);
-  const kg::KnowledgeGraph graph = data::CountriesKnowledgeGraph(8, data_rng);
+  const kg::KnowledgeGraph graph = kg::CountriesKnowledgeGraph(8, data_rng);
   kg::RescalOptions options;
   options.dimension = 4;
   options.epochs = 5;

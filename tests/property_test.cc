@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/budget.h"
+#include "api/suite.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "core/registry.h"
@@ -251,7 +252,7 @@ std::vector<Graph> SuiteGraphs() {
 
 TEST(MethodSuitePropertyTest, EveryMethodProducesAllFiniteGrams) {
   const std::vector<Graph> graphs = SuiteGraphs();
-  for (const core::GraphKernelMethod& method : core::DefaultMethodSuite()) {
+  for (const core::GraphKernelMethod& method : api::DefaultMethodSuite()) {
     Rng rng = MakeRng(502);
     const linalg::Matrix gram = method.gram(graphs, rng);
     EXPECT_EQ(gram.rows(), static_cast<int>(graphs.size())) << method.name;
@@ -263,7 +264,7 @@ TEST(MethodSuitePropertyTest, EveryMethodProducesAllFiniteGrams) {
 TEST(MethodSuitePropertyTest, EveryNodeMethodProducesAllFiniteRows) {
   const Graph g = Graph::Cycle(12);  // Connected, as Isomap requires.
   for (const core::NodeEmbeddingMethod& method :
-       core::DefaultNodeMethodSuite()) {
+       api::DefaultNodeMethodSuite()) {
     Rng rng = MakeRng(503);
     const linalg::Matrix embedding = method.embed(g, rng);
     EXPECT_EQ(embedding.rows(), g.NumVertices()) << method.name;
@@ -275,9 +276,9 @@ TEST(MethodSuitePropertyTest, ZeroBudgetSkipsEveryMethodGracefully) {
   BudgetSpec spec;
   spec.work_units = 0;
   const std::vector<core::MethodOutcome> outcomes =
-      core::RunMethodSuite(core::DefaultMethodSuite(), SuiteGraphs(),
+      core::RunMethodSuite(api::DefaultMethodSuite(), SuiteGraphs(),
                            /*seed=*/7, spec);
-  ASSERT_EQ(outcomes.size(), core::DefaultMethodSuite().size());
+  ASSERT_EQ(outcomes.size(), api::DefaultMethodSuite().size());
   for (const core::MethodOutcome& outcome : outcomes) {
     EXPECT_FALSE(outcome.status.ok()) << outcome.name;
     EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted)
@@ -290,8 +291,8 @@ TEST(MethodSuitePropertyTest, ZeroBudgetSkipsEveryNodeMethodGracefully) {
   BudgetSpec spec;
   spec.work_units = 0;
   const std::vector<core::MethodOutcome> outcomes = core::RunNodeMethodSuite(
-      core::DefaultNodeMethodSuite(), Graph::Cycle(12), /*seed=*/7, spec);
-  ASSERT_EQ(outcomes.size(), core::DefaultNodeMethodSuite().size());
+      api::DefaultNodeMethodSuite(), Graph::Cycle(12), /*seed=*/7, spec);
+  ASSERT_EQ(outcomes.size(), api::DefaultNodeMethodSuite().size());
   for (const core::MethodOutcome& outcome : outcomes) {
     EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted)
         << outcome.name << ": " << outcome.status.ToString();
@@ -301,7 +302,7 @@ TEST(MethodSuitePropertyTest, ZeroBudgetSkipsEveryNodeMethodGracefully) {
 TEST(MethodSuitePropertyTest, UnlimitedSpecMatchesConvenienceWrappers) {
   const std::vector<Graph> graphs = SuiteGraphs();
   const std::vector<core::GraphKernelMethod> suite =
-      core::DefaultMethodSuite();
+      api::DefaultMethodSuite();
   const BudgetSpec unlimited;  // No limits: every method must succeed.
   const std::vector<core::MethodOutcome> outcomes =
       core::RunMethodSuite(suite, graphs, /*seed=*/7, unlimited);

@@ -1,0 +1,474 @@
+#include "analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+namespace x2vec::lint {
+namespace {
+
+/// Normalises Windows separators (mirrors lint.cc's Normalise; duplicated
+/// so the two translation units stay independently testable).
+std::string NormalisePath(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+std::string DirName(std::string_view path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+/// Collapses "a/b/../c" and "a/./b" segments so same-directory include
+/// resolution produces paths that match the scanned set verbatim.
+std::string CollapseDots(const std::string& path) {
+  std::vector<std::string> parts;
+  std::stringstream stream(path);
+  std::string part;
+  const bool absolute = !path.empty() && path[0] == '/';
+  while (std::getline(stream, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+  }
+  std::string out = absolute ? "/" : "";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+int LevenshteinDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::sort(diags->begin(), diags->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace
+
+bool ParseLayering(std::string_view content, Layering* out,
+                   std::string* error) {
+  *out = Layering();
+  std::stringstream stream{std::string(content)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::stringstream tokens(line);
+    std::vector<std::string> names;
+    std::string name;
+    while (tokens >> name) names.push_back(name);
+    if (names.empty()) continue;
+    if (names[0] == "exempt") {
+      if (names.size() != 2) {
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": exempt takes exactly one path substring";
+        return false;
+      }
+      out->exempt.push_back(names[1]);
+      continue;
+    }
+    const int layer = static_cast<int>(out->layers.size());
+    for (const std::string& module : names) {
+      if (!out->layer_of.emplace(module, layer).second) {
+        *error = "layers.txt:" + std::to_string(line_no) + ": module '" +
+                 module + "' declared in two layers";
+        return false;
+      }
+    }
+    out->layers.push_back(names);
+  }
+  if (out->layers.empty()) {
+    *error = "layers.txt declares no layers";
+    return false;
+  }
+  return true;
+}
+
+std::string ModuleOf(std::string_view path) {
+  const std::string p = NormalisePath(path);
+  // Match on the repo-relative tail so absolute paths (as used by unit
+  // tests) classify the same as relative ones.
+  for (const std::string_view top : {"tools/", "bench/", "tests/",
+                                     "examples/"}) {
+    const size_t at = p.rfind(top);
+    if (at != std::string::npos && (at == 0 || p[at - 1] == '/')) {
+      return std::string(top.substr(0, top.size() - 1));
+    }
+  }
+  const size_t at = p.rfind("src/");
+  if (at != std::string::npos && (at == 0 || p[at - 1] == '/')) {
+    const size_t start = at + 4;
+    const size_t slash = p.find('/', start);
+    if (slash != std::string::npos) return p.substr(start, slash - start);
+  }
+  return std::string();
+}
+
+IncludeGraph BuildIncludeGraph(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  // Path-suffix index: "base/status.h" -> every scanned file ending in
+  // "/base/status.h" (or equal to it). Unique matches resolve.
+  std::map<std::string, std::vector<const SourceFile*>> by_suffix;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) {
+    const std::string p = NormalisePath(f.path);
+    by_path[p] = &f;
+    std::string suffix = p;
+    for (;;) {
+      by_suffix[suffix].push_back(&f);
+      const size_t slash = suffix.find('/');
+      if (slash == std::string::npos) break;
+      suffix = suffix.substr(slash + 1);
+    }
+  }
+  static const std::regex kInclude(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+  for (const SourceFile& f : files) {
+    const std::string from = NormalisePath(f.path);
+    // Comments are blanked so a commented-out #include is not an edge;
+    // string literals are kept — the include path is one.
+    const std::string code = StripComments(f.content);
+    std::stringstream stream(code);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      std::smatch m;
+      if (!std::regex_search(line, m, kInclude)) continue;
+      const std::string spelled = NormalisePath(m[1].str());
+      std::string target;
+      // Same-directory resolution first (tools/lint/lint.cc -> "lint.h").
+      const std::string dir = DirName(from);
+      const std::string sibling =
+          CollapseDots(dir.empty() ? spelled : dir + "/" + spelled);
+      if (const auto it = by_path.find(sibling); it != by_path.end()) {
+        target = NormalisePath(it->second->path);
+      } else if (const auto suf = by_suffix.find(spelled);
+                 suf != by_suffix.end() && suf->second.size() == 1) {
+        target = NormalisePath(suf->second.front()->path);
+      } else {
+        continue;  // system / third-party / ambiguous: not a project edge
+      }
+      graph.edges.push_back({from, line_no, target, spelled});
+      const std::string from_mod = ModuleOf(from);
+      const std::string to_mod = ModuleOf(target);
+      if (!from_mod.empty() && !to_mod.empty() && from_mod != to_mod) {
+        graph.module_deps[from_mod].insert(to_mod);
+      }
+      // Modules with no cross-module includes still appear in the DAG.
+      if (!from_mod.empty()) graph.module_deps[from_mod];
+      if (!to_mod.empty()) graph.module_deps[to_mod];
+    }
+  }
+  return graph;
+}
+
+std::vector<Diagnostic> CheckIncludeCycles(const IncludeGraph& graph) {
+  // Deterministic DFS over the file-level graph: nodes and edges visited
+  // in sorted order, so the back edge that reports a cycle is stable.
+  std::map<std::string, std::vector<const IncludeGraph::Edge*>> adjacency;
+  for (const IncludeGraph::Edge& e : graph.edges) {
+    adjacency[e.from].push_back(&e);
+  }
+  for (auto& [node, edges] : adjacency) {
+    std::sort(edges.begin(), edges.end(),
+              [](const IncludeGraph::Edge* a, const IncludeGraph::Edge* b) {
+                return std::tie(a->line, a->target) <
+                       std::tie(b->line, b->target);
+              });
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+  std::vector<Diagnostic> out;
+
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = Color::kGray;
+        stack.push_back(node);
+        const auto it = adjacency.find(node);
+        if (it != adjacency.end()) {
+          for (const IncludeGraph::Edge* e : it->second) {
+            const Color c = color.count(e->target)
+                                ? color[e->target]
+                                : Color::kWhite;
+            if (c == Color::kGray) {
+              // Back edge: the cycle is the stack suffix from the target.
+              std::string path;
+              const auto begin =
+                  std::find(stack.begin(), stack.end(), e->target);
+              for (auto at = begin; at != stack.end(); ++at) {
+                path += *at + " -> ";
+              }
+              path += e->target;
+              out.push_back({e->from, e->line, "include-cycle",
+                             "include cycle: " + path});
+            } else if (c == Color::kWhite) {
+              visit(e->target);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = Color::kBlack;
+      };
+  for (const auto& [node, edges] : adjacency) {
+    if (!color.count(node) || color[node] == Color::kWhite) visit(node);
+  }
+  SortDiagnostics(&out);
+  return out;
+}
+
+std::vector<Diagnostic> CheckLayering(const IncludeGraph& graph,
+                                      const Layering& layering) {
+  std::vector<Diagnostic> out;
+  std::set<std::string> undeclared_reported;
+  const auto exempt = [&](const std::string& path) {
+    return std::any_of(layering.exempt.begin(), layering.exempt.end(),
+                       [&](const std::string& sub) {
+                         return path.find(sub) != std::string::npos;
+                       });
+  };
+  const auto report_undeclared = [&](const IncludeGraph::Edge& e,
+                                     const std::string& module) {
+    if (!undeclared_reported.insert(module).second) return;
+    out.push_back({e.from, e.line, "layering",
+                   "module '" + module +
+                       "' is not declared in tools/lint/layers.txt; add it "
+                       "to its layer"});
+  };
+  for (const IncludeGraph::Edge& e : graph.edges) {
+    const std::string from_mod = ModuleOf(e.from);
+    const std::string to_mod = ModuleOf(e.target);
+    if (from_mod.empty() || to_mod.empty() || from_mod == to_mod) continue;
+    if (exempt(e.from)) continue;
+    const auto from_layer = layering.layer_of.find(from_mod);
+    const auto to_layer = layering.layer_of.find(to_mod);
+    if (from_layer == layering.layer_of.end()) {
+      report_undeclared(e, from_mod);
+      continue;
+    }
+    if (to_layer == layering.layer_of.end()) {
+      report_undeclared(e, to_mod);
+      continue;
+    }
+    if (to_layer->second > from_layer->second) {
+      out.push_back(
+          {e.from, e.line, "layering",
+           "module '" + from_mod + "' (layer " +
+               std::to_string(from_layer->second) + ") may not include '" +
+               e.spelled + "' from module '" + to_mod + "' (layer " +
+               std::to_string(to_layer->second) +
+               "); see the declared layering in tools/lint/layers.txt"});
+    }
+  }
+  SortDiagnostics(&out);
+  return out;
+}
+
+std::string DepsJson(const IncludeGraph& graph, const Layering& layering) {
+  std::ostringstream json;
+  json << "{\n  \"layers\": [";
+  for (size_t i = 0; i < layering.layers.size(); ++i) {
+    if (i) json << ", ";
+    json << "[";
+    for (size_t j = 0; j < layering.layers[i].size(); ++j) {
+      if (j) json << ", ";
+      json << "\"" << layering.layers[i][j] << "\"";
+    }
+    json << "]";
+  }
+  json << "],\n  \"modules\": {\n";
+  bool first = true;
+  for (const auto& [module, deps] : graph.module_deps) {
+    if (!first) json << ",\n";
+    first = false;
+    json << "    \"" << module << "\": {\"layer\": ";
+    const auto layer = layering.layer_of.find(module);
+    if (layer != layering.layer_of.end()) {
+      json << layer->second;
+    } else {
+      json << -1;
+    }
+    json << ", \"deps\": [";
+    bool first_dep = true;
+    for (const std::string& dep : deps) {
+      if (!first_dep) json << ", ";
+      first_dep = false;
+      json << "\"" << dep << "\"";
+    }
+    json << "]}";
+  }
+  json << "\n  }\n}\n";
+  return json.str();
+}
+
+std::vector<MetricUse> CollectMetricUses(const std::vector<SourceFile>& files) {
+  // Comments are blanked but string literals kept: the names live in
+  // them. The regex spans lines, so a call site split across lines (the
+  // common clang-format shape) still collects.
+  static const std::regex kUse(
+      R"(X2VEC_METRIC_(COUNT|GAUGE|OBSERVE)\s*\(\s*\"([^\"]*)\")");
+  std::vector<MetricUse> uses;
+  for (const SourceFile& f : files) {
+    const std::string code = StripComments(f.content);
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kUse);
+         it != std::sregex_iterator(); ++it) {
+      const std::string macro = (*it)[1].str();
+      const std::string kind = macro == "COUNT"   ? "counter"
+                               : macro == "GAUGE" ? "gauge"
+                                                  : "histogram";
+      const int line =
+          1 + static_cast<int>(std::count(
+                  code.begin(), code.begin() + it->position(), '\n'));
+      uses.push_back({(*it)[2].str(), kind, NormalisePath(f.path), line});
+    }
+  }
+  std::sort(uses.begin(), uses.end(),
+            [](const MetricUse& a, const MetricUse& b) {
+              return std::tie(a.name, a.file, a.line) <
+                     std::tie(b.name, b.file, b.line);
+            });
+  return uses;
+}
+
+std::vector<Diagnostic> CheckMetricRegistry(
+    const std::vector<MetricUse>& uses) {
+  std::vector<Diagnostic> out;
+  // (a) One name, conflicting kinds: the registry hands every caller the
+  // object the first registration created, so the losers silently record
+  // into the wrong instrument.
+  std::map<std::string, const MetricUse*> first_of;
+  for (const MetricUse& use : uses) {
+    const auto [it, inserted] = first_of.emplace(use.name, &use);
+    if (inserted || it->second->kind == use.kind) continue;
+    out.push_back({use.file, use.line, "metric-name",
+                   "metric '" + use.name + "' used as " + use.kind +
+                       " here but registered as " + it->second->kind +
+                       " at " + it->second->file + ":" +
+                       std::to_string(it->second->line)});
+  }
+  // (b) Distinct names at edit distance 1: almost always a typo that
+  // splits one logical metric into two series.
+  std::vector<const MetricUse*> canonical;
+  for (const auto& [name, use] : first_of) {
+    (void)name;
+    canonical.push_back(use);
+  }
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    for (size_t j = i + 1; j < canonical.size(); ++j) {
+      if (std::abs(static_cast<int>(canonical[i]->name.size()) -
+                   static_cast<int>(canonical[j]->name.size())) > 1) {
+        continue;
+      }
+      if (LevenshteinDistance(canonical[i]->name, canonical[j]->name) != 1) {
+        continue;
+      }
+      out.push_back(
+          {canonical[j]->file, canonical[j]->line, "metric-name",
+           "metric '" + canonical[j]->name + "' is one edit away from '" +
+               canonical[i]->name + "' (" + canonical[i]->file + ":" +
+               std::to_string(canonical[i]->line) +
+               "); unify the names or suppress the deliberate near-match"});
+    }
+  }
+  SortDiagnostics(&out);
+  return out;
+}
+
+std::string MetricsMarkdown(const std::vector<MetricUse>& uses) {
+  // name -> kind -> sorted "file:line" sites. CollectMetricUses already
+  // sorted by (name, file, line), so iteration order is deterministic.
+  std::map<std::string, std::pair<std::string, std::vector<std::string>>> rows;
+  for (const MetricUse& use : uses) {
+    auto& row = rows[use.name];
+    if (row.first.empty()) row.first = use.kind;
+    row.second.push_back(use.file + ":" + std::to_string(use.line));
+  }
+  std::ostringstream md;
+  md << "# Metric inventory\n\n"
+     << "<!-- Generated by `x2vec_lint --metrics-doc=docs/metrics.md`; do\n"
+     << "     not edit by hand. Regenerate after adding or renaming any\n"
+     << "     X2VEC_METRIC_* call site. -->\n\n"
+     << "Every `X2VEC_METRIC_*` name in the tree, its kind, and the call\n"
+     << "sites that record it. The `metric-name` lint rule rejects a name\n"
+     << "registered under two kinds and near-duplicate (edit-distance-1)\n"
+     << "names, so this table is also the collision-free registry.\n\n"
+     << "| Metric | Kind | Recorded at |\n|---|---|---|\n";
+  for (const auto& [name, row] : rows) {
+    md << "| `" << name << "` | " << row.first << " | ";
+    for (size_t i = 0; i < row.second.size(); ++i) {
+      if (i) md << ", ";
+      md << "`" << row.second[i] << "`";
+    }
+    md << " |\n";
+  }
+  return md.str();
+}
+
+std::vector<Diagnostic> AnalyzeProgram(const std::vector<SourceFile>& files,
+                                       const Layering* layering) {
+  const IncludeGraph graph = BuildIncludeGraph(files);
+  std::vector<Diagnostic> found = CheckIncludeCycles(graph);
+  if (layering != nullptr) {
+    std::vector<Diagnostic> layer_diags = CheckLayering(graph, *layering);
+    found.insert(found.end(), layer_diags.begin(), layer_diags.end());
+  }
+  std::vector<Diagnostic> metric_diags =
+      CheckMetricRegistry(CollectMetricUses(files));
+  found.insert(found.end(), metric_diags.begin(), metric_diags.end());
+
+  // Apply per-line allow() markers from the file each diagnostic lands in.
+  std::map<std::string, const std::string*> content_of;
+  for (const SourceFile& f : files) {
+    content_of[NormalisePath(f.path)] = &f.content;
+  }
+  std::map<std::string, std::vector<std::set<std::string>>> allowed_cache;
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : found) {
+    const auto content = content_of.find(NormalisePath(d.file));
+    if (content != content_of.end()) {
+      auto [it, inserted] = allowed_cache.try_emplace(content->first);
+      if (inserted) it->second = AllowedRulesByLine(*content->second);
+      const size_t idx = static_cast<size_t>(d.line - 1);
+      if (idx < it->second.size() && it->second[idx].count(d.rule) > 0) {
+        continue;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  SortDiagnostics(&out);
+  return out;
+}
+
+}  // namespace x2vec::lint

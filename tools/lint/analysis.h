@@ -1,0 +1,111 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+namespace x2vec::lint {
+
+/// Whole-program analysis over the scanned file set: the include-graph
+/// pass (cycle rejection, layering enforcement, deps.json emission) and
+/// the metric-registry pass (duplicate/near-duplicate X2VEC_METRIC_*
+/// names). Per-file rules stay in lint.h; everything here needs the whole
+/// tree in hand.
+
+/// One scanned file: repo-relative (or absolute) path plus raw contents.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// The declared module layering, parsed from tools/lint/layers.txt.
+///
+/// File format: one layer per non-comment line, lowest layer first, as
+/// whitespace-separated module names; '#' starts a comment. A line
+/// "exempt <path-substring>" declares a file exemption from the layering
+/// rule (the include-cycle rule still applies) — used for deliberate,
+/// documented exceptions, each carrying a justifying comment.
+struct Layering {
+  std::vector<std::vector<std::string>> layers;  ///< layers[i] = modules at layer i.
+  std::map<std::string, int> layer_of;           ///< module -> layer index.
+  std::vector<std::string> exempt;               ///< path substrings exempt.
+};
+
+/// Parses layers.txt content. Returns false (with a message in *error) on
+/// a malformed line or a module declared in two layers.
+bool ParseLayering(std::string_view content, Layering* out, std::string* error);
+
+/// Module a project path belongs to: "src/<mod>/..." -> "<mod>";
+/// "tools/...", "bench/...", "tests/...", "examples/..." -> that top
+/// directory; "" when the path fits neither shape. Absolute paths are
+/// matched on their repo-relative tail.
+std::string ModuleOf(std::string_view path);
+
+/// The project include graph: one edge per resolved project #include.
+struct IncludeGraph {
+  struct Edge {
+    std::string from;    ///< Path of the including file.
+    int line = 0;        ///< 1-based line of the #include.
+    std::string target;  ///< Resolved path of the included file.
+    std::string spelled; ///< The include string as written.
+  };
+  std::vector<Edge> edges;
+  /// Module-level dependency map (self-edges omitted).
+  std::map<std::string, std::set<std::string>> module_deps;
+};
+
+/// Parses every `#include "..."` in `files` and resolves it against the
+/// scanned set (same-directory first, then unique path-suffix match).
+/// Unresolvable includes (system headers, third-party) are dropped.
+IncludeGraph BuildIncludeGraph(const std::vector<SourceFile>& files);
+
+/// Rejects cycles in the file-level include graph (rule `include-cycle`).
+/// Each cycle is reported once, at the #include line of the back edge
+/// that closes it, naming the full cycle path.
+std::vector<Diagnostic> CheckIncludeCycles(const IncludeGraph& graph);
+
+/// Enforces the declared layering (rule `layering`): a file in module A
+/// may include module B only when layer(B) <= layer(A). Files matching an
+/// exempt substring are skipped; a module missing from layers.txt is
+/// itself reported (once) so new modules must be declared.
+std::vector<Diagnostic> CheckLayering(const IncludeGraph& graph,
+                                      const Layering& layering);
+
+/// Machine-readable module DAG:
+/// {"layers":[[...],...],"modules":{"<mod>":{"layer":N,"deps":[...]}}}.
+std::string DepsJson(const IncludeGraph& graph, const Layering& layering);
+
+/// One X2VEC_METRIC_COUNT/GAUGE/OBSERVE call site.
+struct MetricUse {
+  std::string name;  ///< The metric name literal.
+  std::string kind;  ///< "counter", "gauge" or "histogram".
+  std::string file;
+  int line = 0;
+};
+
+/// Collects every X2VEC_METRIC_* call site tree-wide (comments blanked,
+/// string literals kept — the names live in them). Multi-line call sites
+/// are handled; dynamically-built names cannot be and are ignored.
+std::vector<MetricUse> CollectMetricUses(const std::vector<SourceFile>& files);
+
+/// Rule `metric-name`: rejects (a) one name registered under conflicting
+/// kinds (the registry would silently hand back the first kind) and
+/// (b) pairs of distinct names at Levenshtein distance 1 (almost always a
+/// typo splitting one logical metric into two series).
+std::vector<Diagnostic> CheckMetricRegistry(const std::vector<MetricUse>& uses);
+
+/// Markdown inventory of every metric (name, kind, defining files) —
+/// the generator behind the committed docs/metrics.md.
+std::string MetricsMarkdown(const std::vector<MetricUse>& uses);
+
+/// Runs every whole-program pass over `files` and applies the per-line
+/// allow-marker suppressions. `layering` may be null to skip the layering
+/// check (no layers.txt available).
+std::vector<Diagnostic> AnalyzeProgram(const std::vector<SourceFile>& files,
+                                       const Layering* layering);
+
+}  // namespace x2vec::lint

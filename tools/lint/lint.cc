@@ -11,8 +11,10 @@ namespace x2vec::lint {
 namespace {
 
 constexpr std::string_view kRules[] = {
-    "nondeterminism", "chrono",          "rng-fork",    "pragma-once",
-    "using-namespace", "row-copy",       "raw-file-io", "intrinsics",
+    "nondeterminism",  "chrono",   "rng-fork",       "pragma-once",
+    "using-namespace", "row-copy", "raw-file-io",    "intrinsics",
+    "statusor-deref",  "budget-gate", "include-cycle", "layering",
+    "metric-name",
 };
 
 bool EndsWith(std::string_view s, std::string_view suffix) {
@@ -55,8 +57,9 @@ std::vector<std::string> SplitLines(std::string_view text) {
   return lines;
 }
 
-/// Per-line suppressions parsed from "// x2vec-lint: allow(rule[, rule])".
-/// A suppression silences its own physical line only.
+/// Per-line suppressions parsed from the comment-trailer allow markers
+/// (rule names comma-separated). A suppression silences its own physical
+/// line only.
 struct Suppressions {
   std::vector<std::set<std::string>> allowed_by_line;  // index = line - 1
   std::vector<Diagnostic> errors;  // malformed / unknown-rule markers
@@ -168,11 +171,14 @@ size_t MatchFrom(std::string_view text, size_t open, char open_c, char close_c) 
   return std::string_view::npos;
 }
 
-void CheckRngFork(const std::string& path, std::string_view code,
-                  std::vector<Diagnostic>* out) {
+/// Calls `visit(body_open, body)` for the inline lambda body of every
+/// ParallelFor/ParallelMap call in the blanked code view. `body_open` is
+/// the offset of the body's '{' in `code`; `body` spans '{' to '}'
+/// inclusive. Loop bodies are always written inline as lambdas in this
+/// codebase, so calls without one are skipped.
+template <typename Visitor>
+void ForEachParallelBody(std::string_view code, const Visitor& visit) {
   static const std::regex kCall(R"(\b(ParallelFor|ParallelMap)\b)");
-  static const std::regex kRngUse(R"([A-Za-z_][A-Za-z0-9_]*)");
-  static const std::regex kFork(R"(\b(Fork|MixSeed)\s*\()");
   const std::string code_str(code);
   for (auto it = std::sregex_iterator(code_str.begin(), code_str.end(), kCall);
        it != std::sregex_iterator(); ++it) {
@@ -184,8 +190,7 @@ void CheckRngFork(const std::string& path, std::string_view code,
     if (pos >= code.size() || code[pos] != '(') continue;  // not a call
     const size_t args_end = MatchFrom(code, pos, '(', ')');
     if (args_end == std::string_view::npos) continue;
-    // First '[' at argument depth is the lambda introducer (loop bodies are
-    // always written inline as lambdas in this codebase).
+    // First '[' at argument depth is the lambda introducer.
     size_t intro = std::string_view::npos;
     int depth = 0;
     for (size_t i = pos; i < args_end; ++i) {
@@ -201,9 +206,17 @@ void CheckRngFork(const std::string& path, std::string_view code,
     if (body_open == std::string_view::npos || body_open > args_end) continue;
     const size_t body_end = MatchFrom(code, body_open, '{', '}');
     if (body_end == std::string_view::npos) continue;
-    const std::string body(
-        code.substr(body_open, body_end - body_open));
-    if (std::regex_search(body, kFork)) continue;  // forks per work item
+    visit(body_open, code.substr(body_open, body_end - body_open));
+  }
+}
+
+void CheckRngFork(const std::string& path, std::string_view code,
+                  std::vector<Diagnostic>* out) {
+  static const std::regex kRngUse(R"([A-Za-z_][A-Za-z0-9_]*)");
+  static const std::regex kFork(R"(\b(Fork|MixSeed)\s*\()");
+  ForEachParallelBody(code, [&](size_t body_open, std::string_view body_view) {
+    const std::string body(body_view);
+    if (std::regex_search(body, kFork)) return;  // forks per work item
     // Any identifier mentioning an rng inside the body now means a shared
     // stream captured into parallel work — draws would depend on thread
     // interleaving.
@@ -220,6 +233,112 @@ void CheckRngFork(const std::string& path, std::string_view code,
                           "without a per-work-item Rng::Fork/MixSeed stream"});
       break;  // one diagnostic per lambda body
     }
+  });
+}
+
+// -- Rule: budget-gate --------------------------------------------------------
+
+void CheckBudgetGate(const std::string& path, std::string_view code,
+                     std::vector<Diagnostic>* out) {
+  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+  ForEachParallelBody(code, [&](size_t body_open, std::string_view body_view) {
+    const std::string body(body_view);
+    // A budget-flavoured identifier inside the body means the loop charges
+    // a raw Budget from worker threads; Budget is single-use and not
+    // thread-safe. The sanctioned pattern constructs a BudgetGate outside
+    // the loop and calls gate.Spend() inside, so gate-flavoured names
+    // (BudgetGate itself, budget_gate locals) are the fix, not a finding.
+    for (auto id = std::sregex_iterator(body.begin(), body.end(), kIdent);
+         id != std::sregex_iterator(); ++id) {
+      std::string name = id->str();
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name.find("budget") == std::string::npos ||
+          name.find("gate") != std::string::npos) {
+        continue;
+      }
+      const size_t off = body_open + static_cast<size_t>(id->position());
+      out->push_back(
+          {path, LineOf(code, off), "budget-gate",
+           "'" + id->str() +
+               "' charged inside a ParallelFor/ParallelMap body; Budget is "
+               "not thread-safe — construct a BudgetGate outside the loop "
+               "and Spend() through it, or suppress with "
+               "allow(budget-gate)"});
+      break;  // one diagnostic per lambda body
+    }
+  });
+}
+
+// -- Rule: statusor-deref -----------------------------------------------------
+
+void CheckStatusOrDeref(const std::string& path, std::string_view code,
+                        std::vector<Diagnostic>* out) {
+  // Finds `StatusOr<...> name = ...;` local declarations (the `=` keeps
+  // function declarations out) and scans the rest of the enclosing scope:
+  // the first dereference must come after an ok()/status() check. Derefs
+  // of temporaries (`*Foo(...)`) are out of scope for this pass — there is
+  // no name to track.
+  static const std::regex kDecl(R"(\bStatusOr\s*<)");
+  const std::string code_str(code);
+  for (auto it = std::sregex_iterator(code_str.begin(), code_str.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    // Skip the template argument list (angle depth; >> closes two).
+    size_t pos = static_cast<size_t>(it->position()) + it->length();
+    int angle = 1;
+    while (pos < code.size() && angle > 0) {
+      if (code[pos] == '<') ++angle;
+      if (code[pos] == '>') --angle;
+      ++pos;
+    }
+    if (angle != 0) continue;
+    while (pos < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[pos]))) {
+      ++pos;
+    }
+    size_t name_end = pos;
+    while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
+    if (name_end == pos) continue;  // no declared name (return type etc.)
+    const std::string name(code.substr(pos, name_end - pos));
+    size_t after = name_end;
+    while (after < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[after]))) {
+      ++after;
+    }
+    if (after >= code.size() || code[after] != '=') continue;  // not a decl
+
+    // The enclosing scope ends where brace depth drops below the decl's.
+    size_t scope_end = code.size();
+    int depth = 0;
+    for (size_t i = after; i < code.size(); ++i) {
+      if (code[i] == '{') ++depth;
+      if (code[i] == '}' && --depth < 0) {
+        scope_end = i;
+        break;
+      }
+    }
+    const std::string scope(code.substr(after, scope_end - after));
+
+    const std::regex deref(
+        R"((\b)" + name + R"(\s*(\.\s*value\s*\(|->)|\b)" + name +
+        R"(\s*\)\s*\.\s*value\s*\(|(^|[^\w\)\]])\*\s*)" + name + R"(\b))");
+    const std::regex check(R"(\b)" + name + R"(\s*(\.|\))\s*\s*)"
+                           R"((ok|status)\s*\()");
+    std::smatch deref_m;
+    if (!std::regex_search(scope, deref_m, deref)) continue;
+    std::smatch check_m;
+    const bool checked = std::regex_search(scope, check_m, check) &&
+                         check_m.position() < deref_m.position();
+    if (checked) continue;
+    // Report at the first group that actually matched text.
+    size_t deref_off = static_cast<size_t>(deref_m.position());
+    out->push_back(
+        {path, LineOf(code, after + deref_off), "statusor-deref",
+         "'" + name +
+             "' dereferenced before any ok()/status() check in this scope; "
+             "on error paths value()/operator* aborts via X2VEC_CHECK "
+             "instead of propagating the Status — check " + name +
+             ".ok() first, or suppress with allow(statusor-deref)"});
   }
 }
 
@@ -364,13 +483,42 @@ bool IsRowCopyHotPath(std::string_view path) {
          p.find("src/gnn/") != std::string::npos;
 }
 
+bool IsBudgetGateHotPath(std::string_view path) {
+  const std::string p = Normalise(path);
+  return IsRowCopyHotPath(path) ||
+         p.find("src/wl/") != std::string::npos ||
+         p.find("src/hom/") != std::string::npos;
+}
+
 namespace {
 
-/// Shared blanking pass. Strings/char literals are always blanked;
-/// comments only when `strip_comments` is set — suppression markers live
-/// in comments, so the suppression parser keeps them while still ignoring
-/// markers quoted inside string literals.
-std::string StripImpl(std::string_view content, bool strip_comments) {
+/// True when the ' at offset `pos` is a C++14 digit separator (10'000,
+/// 0x1F'2A) rather than the opening quote of a char literal. Walk back
+/// over the numeric-literal alphabet: the quote is a separator exactly
+/// when that walk is non-empty, lands on a digit, and the character before
+/// the literal is not an identifier char (which rules out L'a', u8'a' and
+/// identifier''-suffix forms).
+bool IsDigitSeparator(std::string_view content, size_t pos) {
+  size_t j = pos;
+  while (j > 0) {
+    const char p = content[j - 1];
+    const bool literal_char =
+        std::isxdigit(static_cast<unsigned char>(p)) != 0 || p == '\'' ||
+        p == 'x' || p == 'X' || p == '.';
+    if (!literal_char) break;
+    --j;
+  }
+  return j < pos && std::isdigit(static_cast<unsigned char>(content[j])) != 0 &&
+         (j == 0 || !IsIdentChar(content[j - 1]));
+}
+
+/// Shared blanking pass. `strip_comments` blanks comment text (off for the
+/// suppression parser — markers live in comments); `strip_strings` blanks
+/// string/char literal contents (off for the metric scan — names live in
+/// string literals). State is tracked either way so the modes agree on
+/// where code is.
+std::string StripImpl(std::string_view content, bool strip_comments,
+                      bool strip_strings) {
   std::string out(content);
   enum class State {
     kCode,
@@ -404,14 +552,16 @@ std::string StripImpl(std::string_view content, bool strip_comments) {
           }
           state = State::kRawString;
           // Keep the R" prefix blanked from the opening quote onwards.
-          for (size_t k = i + 1; k <= j && k < content.size(); ++k) {
-            if (content[k] != '\n') out[k] = ' ';
+          if (strip_strings) {
+            for (size_t k = i + 1; k <= j && k < content.size(); ++k) {
+              if (content[k] != '\n') out[k] = ' ';
+            }
           }
           i = j;  // resume after '('
         } else if (c == '"') {
           state = State::kString;
           // Leave the quote; blank the contents.
-        } else if (c == '\'') {
+        } else if (c == '\'' && !IsDigitSeparator(content, i)) {
           state = State::kChar;
         }
         break;
@@ -436,33 +586,39 @@ std::string StripImpl(std::string_view content, bool strip_comments) {
         break;
       case State::kString:
         if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
           ++i;
         } else if (c == '"') {
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (c != '\n' && strip_strings) {
           out[i] = ' ';
         }
         break;
       case State::kChar:
         if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
           ++i;
         } else if (c == '\'') {
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (c != '\n' && strip_strings) {
           out[i] = ' ';
         }
         break;
       case State::kRawString: {
         const std::string closer = ")" + raw_delim + "\"";
         if (content.compare(i, closer.size(), closer) == 0) {
-          for (size_t k = i; k < i + closer.size(); ++k) out[k] = ' ';
+          if (strip_strings) {
+            for (size_t k = i; k < i + closer.size(); ++k) out[k] = ' ';
+          }
           i += closer.size() - 1;
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (c != '\n' && strip_strings) {
           out[i] = ' ';
         }
         break;
@@ -475,7 +631,19 @@ std::string StripImpl(std::string_view content, bool strip_comments) {
 }  // namespace
 
 std::string StripCommentsAndStrings(std::string_view content) {
-  return StripImpl(content, /*strip_comments=*/true);
+  return StripImpl(content, /*strip_comments=*/true, /*strip_strings=*/true);
+}
+
+std::string StripComments(std::string_view content) {
+  return StripImpl(content, /*strip_comments=*/true, /*strip_strings=*/false);
+}
+
+std::vector<std::set<std::string>> AllowedRulesByLine(
+    std::string_view content) {
+  const std::vector<std::string> raw_lines =
+      SplitLines(StripImpl(content, /*strip_comments=*/false,
+                           /*strip_strings=*/true));
+  return ParseSuppressions("", raw_lines).allowed_by_line;
 }
 
 std::vector<Diagnostic> LintFile(const std::string& path,
@@ -484,8 +652,8 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   // Suppression markers live in comments; blanking only the string
   // literals means a marker quoted in code (e.g. in the linter's own
   // tests) is not mistaken for a real suppression.
-  const std::vector<std::string> raw_lines =
-      SplitLines(StripImpl(content, /*strip_comments=*/false));
+  const std::vector<std::string> raw_lines = SplitLines(
+      StripImpl(content, /*strip_comments=*/false, /*strip_strings=*/true));
   const std::vector<std::string> code_lines = SplitLines(code);
 
   std::vector<Diagnostic> found;
@@ -494,6 +662,8 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   if (!IsFileIoWhitelisted(path)) CheckRawFileIo(path, code_lines, &found);
   if (!IsIntrinsicsWhitelisted(path)) CheckIntrinsics(path, code_lines, &found);
   CheckRngFork(path, code, &found);
+  CheckStatusOrDeref(path, code, &found);
+  if (IsBudgetGateHotPath(path)) CheckBudgetGate(path, code, &found);
   if (IsRowCopyHotPath(path)) CheckRowCopy(path, code_lines, &found);
   if (IsHeaderPath(path)) CheckHeaderHygiene(path, code_lines, &found);
 
@@ -540,6 +710,57 @@ std::vector<std::string> CollectFiles(const std::vector<std::string>& roots,
 std::string FormatDiagnostic(const Diagnostic& d) {
   return d.file + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
          d.message;
+}
+
+bool ParseBaseline(std::string_view content, Baseline* out,
+                   std::string* error) {
+  std::stringstream stream{std::string(content)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    const size_t colon = line.rfind(": ");
+    if (colon == std::string::npos) {
+      *error = "baseline line " + std::to_string(line_no) +
+               ": expected '<path>: <rule>'";
+      return false;
+    }
+    out->emplace(line.substr(0, colon), line.substr(colon + 2));
+  }
+  return true;
+}
+
+std::string BaselineText(const std::vector<Diagnostic>& diags) {
+  Baseline entries;
+  for (const auto& d : diags) entries.emplace(d.file, d.rule);
+  std::ostringstream out;
+  out << "# x2vec_lint baseline: grandfathered findings, one '<path>: "
+         "<rule>'\n# per line. Regenerate with --write-baseline=FILE; "
+         "shrink it as\n# findings are fixed.\n";
+  for (const auto& [file, rule] : entries) out << file << ": " << rule << "\n";
+  return out.str();
+}
+
+std::vector<Diagnostic> ApplyBaseline(std::vector<Diagnostic> diags,
+                                      const Baseline& baseline,
+                                      int* baselined) {
+  std::vector<Diagnostic> out;
+  int dropped = 0;
+  for (Diagnostic& d : diags) {
+    if (baseline.count({d.file, d.rule}) > 0) {
+      ++dropped;
+    } else {
+      out.push_back(std::move(d));
+    }
+  }
+  if (baselined != nullptr) *baselined = dropped;
+  return out;
 }
 
 }  // namespace x2vec::lint

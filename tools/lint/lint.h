@@ -1,7 +1,9 @@
 #pragma once
 
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace x2vec::lint {
@@ -44,6 +46,21 @@ struct Diagnostic {
 ///                    builtins) outside the linalg/kernels_* backend
 ///                    files — numeric code calls through linalg/kernels so
 ///                    the generic golden path stays the reference.
+///   statusor-deref   a StatusOr<T> local dereferenced (.value(), *x,
+///                    x->) before any ok()/status() check in the same
+///                    scope — the deref X2VEC_CHECK-aborts on error paths
+///                    instead of propagating the Status
+///   budget-gate      a budget-aware identifier used inside a
+///                    ParallelFor/ParallelMap body in a hot module with
+///                    no BudgetGate — Budget is single-threaded; construct
+///                    a BudgetGate outside the loop and Spend() through it
+///   include-cycle    (whole-program) a cycle in the project #include
+///                    graph
+///   layering         (whole-program) an include that violates the module
+///                    layering declared in tools/lint/layers.txt, or a
+///                    module missing from that file
+///   metric-name      (whole-program) one X2VEC_METRIC_* name registered
+///                    under conflicting kinds, or two names one edit apart
 std::vector<std::string> RuleNames();
 
 /// True for the file extensions the linter scans (.h, .cc, .cpp).
@@ -74,16 +91,35 @@ bool IsIntrinsicsWhitelisted(std::string_view path);
 /// tests) a copy is often the right call and stays legal.
 bool IsRowCopyHotPath(std::string_view path);
 
+/// True when `path` is a module whose parallel loops must meter budget
+/// spend through a BudgetGate (the budget-gate rule): the row-copy hot set
+/// plus src/wl and src/hom — everywhere ParallelFor bodies do real work
+/// against a budget.
+bool IsBudgetGateHotPath(std::string_view path);
+
 /// Returns `content` with comments and string/char literals blanked out
 /// (newlines preserved), so token rules never fire on prose or literals.
-/// Exposed for tests.
+/// C++14 digit separators (10'000'000) are recognised and do not open a
+/// char literal. Exposed for tests.
 std::string StripCommentsAndStrings(std::string_view content);
+
+/// Returns `content` with comments blanked but string/char literals kept —
+/// the view the metric-registry pass scans, since metric names live inside
+/// string literals.
+std::string StripComments(std::string_view content);
+
+/// Per-line allow() sets parsed from the comment-trailer allow markers:
+/// result[line - 1] holds the rules allowed on that line. Unknown
+/// rule names are skipped here (LintFile reports them); markers quoted
+/// inside string literals are ignored. Used by the whole-program passes to
+/// honour suppressions in files they did not lint line-by-line.
+std::vector<std::set<std::string>> AllowedRulesByLine(std::string_view content);
 
 /// Lints one file's contents. `path` decides header-only rules (by
 /// extension) and whitelist membership (by substring), so callers may pass
-/// hypothetical paths to probe whitelist behaviour. Lines carrying
-/// "// x2vec-lint: allow(<rule>)" are exempt from exactly that rule on
-/// exactly that line.
+/// hypothetical paths to probe whitelist behaviour. Lines carrying an
+/// allow marker are exempt from exactly the named rules on exactly that
+/// line.
 std::vector<Diagnostic> LintFile(const std::string& path,
                                  std::string_view content);
 
@@ -96,5 +132,26 @@ std::vector<std::string> CollectFiles(const std::vector<std::string>& roots,
 
 /// "file:line: rule: message".
 std::string FormatDiagnostic(const Diagnostic& d);
+
+/// A baseline of grandfathered findings: (path, rule) pairs. A finding
+/// matching an entry is suppressed (reported as a baselined count, not a
+/// failure) so new rules can land before every pre-existing violation is
+/// fixed. Line numbers are deliberately absent — they drift.
+using Baseline = std::set<std::pair<std::string, std::string>>;
+
+/// Parses baseline text: one "<path>: <rule>" per line, '#' comments and
+/// blank lines skipped. Returns false with *error set on a malformed line.
+bool ParseBaseline(std::string_view content, Baseline* out,
+                   std::string* error);
+
+/// Serialises `diags` as baseline text (sorted, deduplicated, commented) —
+/// what `x2vec_lint --write-baseline=FILE` writes.
+std::string BaselineText(const std::vector<Diagnostic>& diags);
+
+/// Drops diagnostics matching a baseline entry. `baselined` (may be null)
+/// receives how many were dropped.
+std::vector<Diagnostic> ApplyBaseline(std::vector<Diagnostic> diags,
+                                      const Baseline& baseline,
+                                      int* baselined);
 
 }  // namespace x2vec::lint

@@ -1,24 +1,66 @@
-// x2vec_lint — project invariant linter.
+// x2vec_lint — project invariant linter and whole-program analyzer.
 //
-// Scans C++ sources for violations of the library's determinism and status
-// contracts (see DESIGN.md section 7 for the rule table):
+// Scans C++ sources for violations of the library's determinism, status,
+// budget and layering contracts (see DESIGN.md section 8 for the rule
+// table):
 //
-//   usage: x2vec_lint [--list-rules] [--include-fixtures] [path...]
+//   usage: x2vec_lint [flags] [path...]
 //
 // Paths may be files or directories (recursed for .h/.cc/.cpp); with no
 // paths it scans src/, tests/ and bench/ relative to the working directory.
-// Diagnostics go to stdout as "file:line: rule: message"; the exit code is
-// 0 when clean, 1 when violations were found, 2 on usage or I/O errors.
+// Per-file token rules run on each file; the whole-program passes
+// (include-cycle, layering, metric-name) run over the full scanned set.
+// Diagnostics go to stdout as "file:line: rule: message" (or JSON with
+// --json); the exit code is 0 when clean, 1 when findings remain, 2 on
+// usage or I/O errors.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "analysis.h"
 #include "lint.h"
 
 namespace {
+
+constexpr std::string_view kHelp =
+    R"(usage: x2vec_lint [flags] [path...]
+
+Scans the given files/directories (default: src tests bench) with the
+per-file token rules, then runs the whole-program passes (include-cycle,
+layering, metric-name) over the full scanned set.
+
+flags:
+  --list-rules          print every rule name and exit 0
+  --include-fixtures    also scan paths containing "lint_fixtures"
+                        (planted violations; skipped by default)
+  --json                emit diagnostics as a JSON array instead of text
+  --baseline=FILE       suppress findings listed in FILE (lines of
+                        "<path>: <rule>"; '#' comments); grandfathered
+                        findings are reported as a count, not failures
+  --write-baseline=FILE write the current findings to FILE in baseline
+                        format and exit 0
+  --layers=FILE         module layering declaration for the layering pass
+                        (default: tools/lint/layers.txt; the pass is
+                        skipped if the default is absent, but an explicit
+                        FILE that cannot be read is an error)
+  --graph[=FILE]        emit the module dependency DAG as JSON to FILE
+                        (default: deps.json)
+  --metrics-doc=FILE    write the X2VEC_METRIC_* inventory as Markdown to
+                        FILE (the generator behind docs/metrics.md)
+  --help, -h            this text
+
+exit codes:
+  0  clean (no findings, or every finding suppressed/baselined)
+  1  findings were reported
+  2  usage or I/O error (unknown flag, unreadable file, bad layers file)
+)";
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
@@ -29,11 +71,60 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+// The linter is developer tooling, not library code: its outputs (baseline,
+// deps.json, metrics doc) are plain generated files with no durability
+// contract, so raw ofstream is fine here.
+// x2vec-lint: allow(raw-file-io)
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);  // x2vec-lint: allow(raw-file-io)
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out.flush());
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   bool include_fixtures = false;
+  bool json = false;
+  bool emit_graph = false;
+  std::string graph_file = "deps.json";
+  std::string baseline_file;
+  std::string write_baseline_file;
+  std::string layers_file = "tools/lint/layers.txt";
+  bool layers_explicit = false;
+  std::string metrics_doc_file;
+
+  const auto flag_value = [](const std::string& arg, std::string_view flag,
+                             std::string* value) {
+    const std::string prefix = std::string(flag) + "=";
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *value = arg.substr(prefix.size());
+    return true;
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -44,41 +135,146 @@ int main(int argc, char** argv) {
     }
     if (arg == "--include-fixtures") {
       include_fixtures = true;
-      continue;
-    }
-    if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: x2vec_lint [--list-rules] [--include-fixtures] "
-                   "[path...]\n";
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--graph") {
+      emit_graph = true;
+    } else if (flag_value(arg, "--graph", &graph_file)) {
+      emit_graph = true;
+    } else if (flag_value(arg, "--baseline", &baseline_file)) {
+    } else if (flag_value(arg, "--write-baseline", &write_baseline_file)) {
+    } else if (flag_value(arg, "--layers", &layers_file)) {
+      layers_explicit = true;
+    } else if (flag_value(arg, "--metrics-doc", &metrics_doc_file)) {
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kHelp;
       return 0;
-    }
-    if (arg.rfind("--", 0) == 0) {
-      std::cerr << "x2vec_lint: unknown flag " << arg << "\n";
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "x2vec_lint: unknown flag " << arg << " (see --help)\n";
       return 2;
+    } else {
+      roots.push_back(arg);
     }
-    roots.push_back(arg);
   }
   if (roots.empty()) roots = {"src", "tests", "bench"};
 
-  const std::vector<std::string> files =
+  const std::vector<std::string> paths =
       x2vec::lint::CollectFiles(roots, include_fixtures);
-  if (files.empty()) {
+  if (paths.empty()) {
     std::cerr << "x2vec_lint: no lintable files under given paths\n";
     return 2;
   }
 
-  int issues = 0;
-  for (const std::string& file : files) {
+  std::vector<x2vec::lint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
     std::string content;
-    if (!ReadFile(file, &content)) {
-      std::cerr << "x2vec_lint: cannot read " << file << "\n";
+    if (!ReadFile(path, &content)) {
+      std::cerr << "x2vec_lint: cannot read " << path << "\n";
       return 2;
     }
-    for (const auto& d : x2vec::lint::LintFile(file, content)) {
-      std::cout << x2vec::lint::FormatDiagnostic(d) << "\n";
-      ++issues;
+    files.push_back({path, std::move(content)});
+  }
+
+  // Layering declaration: required when explicitly named, optional (the
+  // pass is skipped) when the checked-in default is absent — so the tool
+  // still works from a bare file list outside the repo root.
+  x2vec::lint::Layering layering;
+  bool have_layering = false;
+  {
+    std::string content;
+    if (ReadFile(layers_file, &content)) {
+      std::string error;
+      if (!x2vec::lint::ParseLayering(content, &layering, &error)) {
+        std::cerr << "x2vec_lint: " << layers_file << ": " << error << "\n";
+        return 2;
+      }
+      have_layering = true;
+    } else if (layers_explicit) {
+      std::cerr << "x2vec_lint: cannot read layers file " << layers_file
+                << "\n";
+      return 2;
     }
   }
-  std::cerr << "x2vec_lint: " << issues << " issue(s) in " << files.size()
-            << " file(s) scanned\n";
-  return issues == 0 ? 0 : 1;
+
+  std::vector<x2vec::lint::Diagnostic> diags;
+  for (const auto& file : files) {
+    for (auto& d : x2vec::lint::LintFile(file.path, file.content)) {
+      diags.push_back(std::move(d));
+    }
+  }
+  for (auto& d : x2vec::lint::AnalyzeProgram(
+           files, have_layering ? &layering : nullptr)) {
+    diags.push_back(std::move(d));
+  }
+
+  if (emit_graph) {
+    const x2vec::lint::IncludeGraph graph = x2vec::lint::BuildIncludeGraph(files);
+    if (!WriteFile(graph_file, x2vec::lint::DepsJson(graph, layering))) {
+      std::cerr << "x2vec_lint: cannot write " << graph_file << "\n";
+      return 2;
+    }
+    std::cerr << "x2vec_lint: wrote module DAG to " << graph_file << "\n";
+  }
+  if (!metrics_doc_file.empty()) {
+    const std::string md =
+        x2vec::lint::MetricsMarkdown(x2vec::lint::CollectMetricUses(files));
+    if (!WriteFile(metrics_doc_file, md)) {
+      std::cerr << "x2vec_lint: cannot write " << metrics_doc_file << "\n";
+      return 2;
+    }
+    std::cerr << "x2vec_lint: wrote metric inventory to " << metrics_doc_file
+              << "\n";
+  }
+
+  if (!write_baseline_file.empty()) {
+    if (!WriteFile(write_baseline_file, x2vec::lint::BaselineText(diags))) {
+      std::cerr << "x2vec_lint: cannot write " << write_baseline_file << "\n";
+      return 2;
+    }
+    std::cerr << "x2vec_lint: wrote " << diags.size()
+              << " finding(s) to baseline " << write_baseline_file << "\n";
+    return 0;
+  }
+
+  x2vec::lint::Baseline baseline;
+  if (!baseline_file.empty()) {
+    std::string content;
+    if (!ReadFile(baseline_file, &content)) {
+      std::cerr << "x2vec_lint: cannot read baseline " << baseline_file
+                << "\n";
+      return 2;
+    }
+    std::string error;
+    if (!x2vec::lint::ParseBaseline(content, &baseline, &error)) {
+      std::cerr << "x2vec_lint: " << baseline_file << ": " << error << "\n";
+      return 2;
+    }
+  }
+
+  int baselined = 0;
+  diags = x2vec::lint::ApplyBaseline(std::move(diags), baseline, &baselined);
+  int reported = 0;
+  std::ostringstream json_out;
+  json_out << "[";
+  for (const auto& d : diags) {
+    if (json) {
+      if (reported) json_out << ",";
+      json_out << "\n  {\"file\": \"" << JsonEscape(d.file)
+               << "\", \"line\": " << d.line << ", \"rule\": \""
+               << JsonEscape(d.rule) << "\", \"message\": \""
+               << JsonEscape(d.message) << "\"}";
+    } else {
+      std::cout << x2vec::lint::FormatDiagnostic(d) << "\n";
+    }
+    ++reported;
+  }
+  if (json) {
+    json_out << (reported ? "\n" : "") << "]\n";
+    std::cout << json_out.str();
+  }
+  std::cerr << "x2vec_lint: " << reported << " issue(s)";
+  if (baselined) std::cerr << " (+" << baselined << " baselined)";
+  std::cerr << " in " << files.size() << " file(s) scanned\n";
+  return reported == 0 ? 0 : 1;
 }
