@@ -14,12 +14,16 @@
 #   7. ctest -L persist (durable I/O + checkpoint/resume crash-safety
 #      suite, re-run on its own so a persistence regression is called out
 #      by name)
-#   8. x2vec_lint over src/ tests/ bench/ tools/ examples/ — per-file
+#   8. ctest -L serve (embedding-serving suite: index backends, query
+#      engine, admission control, batch-replay determinism) followed by a
+#      tab_serving smoke replay, which must report every batch
+#      bit-identical and write run_report.json
+#   9. x2vec_lint over src/ tests/ bench/ tools/ examples/ — per-file
 #      rules plus the whole-program passes (include cycles, layering
 #      against tools/lint/layers.txt, metric registry); also exports the
 #      module dependency DAG to $BUILD_DIR/deps.json and fails if the
 #      checked-in docs/metrics.md is stale
-#   9. clang-tidy over src/ — skipped with a notice when not installed
+#  10. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
 #   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
@@ -89,6 +93,23 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L parity
 
 step "ctest -L persist (durable I/O + checkpoint/resume)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L persist
+
+step "ctest -L serve (embedding serving: index, engine, admission)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L serve
+
+step "tab_serving smoke replay (batch determinism + run_report.json)"
+SERVE_SMOKE_DIR="$BUILD_DIR/serve-smoke"
+mkdir -p "$SERVE_SMOKE_DIR"
+SERVE_SMOKE_OUT="$(cd "$SERVE_SMOKE_DIR" && "../bench/tab_serving")"
+echo "$SERVE_SMOKE_OUT" | tail -n 12
+if echo "$SERVE_SMOKE_OUT" | grep -q "DIVERGED"; then
+  echo "check.sh: tab_serving replay diverged across thread counts" >&2
+  exit 1
+fi
+if [[ ! -f "$SERVE_SMOKE_DIR/run_report.json" ]]; then
+  echo "check.sh: tab_serving did not write run_report.json" >&2
+  exit 1
+fi
 
 step "x2vec_lint src/ tests/ bench/ tools/ examples/"
 "$BUILD_DIR/tools/lint/x2vec_lint" --graph="$BUILD_DIR/deps.json" \

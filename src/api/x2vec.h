@@ -65,6 +65,8 @@
 #include "ml/svm.h"                // IWYU pragma: export
 #include "ml/validation.h"         // IWYU pragma: export
 #include "relational/structure.h"  // IWYU pragma: export
+#include "serve/engine.h"          // IWYU pragma: export
+#include "serve/index.h"           // IWYU pragma: export
 #include "sim/graph_distance.h"    // IWYU pragma: export
 #include "sim/matrix_norms.h"      // IWYU pragma: export
 #include "wl/cfi.h"                // IWYU pragma: export

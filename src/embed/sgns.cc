@@ -705,10 +705,7 @@ StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
                /*skipgram_window=*/true, options, rng, budget);
 }
 
-namespace {
-
-// Shared PV-DBOW input validation + unigram^power noise table.
-StatusOr<std::vector<double>> PvDbowNoiseCounts(
+StatusOr<std::vector<double>> PvDbowNoiseDistribution(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     double noise_power) {
   if (vocab_size <= 0) {
@@ -720,24 +717,34 @@ StatusOr<std::vector<double>> PvDbowNoiseCounts(
         "PV-DBOW training needs at least one document");
   }
   std::vector<double> counts(vocab_size, 0.0);
+  int64_t total_tokens = 0;
   for (const auto& doc : documents) {
     for (int token : doc) {
       X2VEC_CHECK(token >= 0 && token < vocab_size);
       counts[token] += 1.0;
+      ++total_tokens;
     }
   }
-  // Noise power applied to raw counts.
-  for (double& c : counts) c = std::pow(std::max(c, 1e-9), noise_power);
+  if (total_tokens == 0) {
+    // All documents empty: an all-zero noise table cannot be sampled from,
+    // and there are no positive pairs to train on either.
+    return Status::InvalidArgument(
+        "PV-DBOW training needs at least one token across the documents");
+  }
+  // Unigram^power on the raw counts — the same convention as
+  // Vocabulary::NoiseDistribution: pow(0, power) == 0, so a token with no
+  // occurrences has zero probability of being drawn as a negative. (The
+  // historical clamp max(c, 1e-9) gave never-observed tokens nonzero noise
+  // weight, silently diverging from the SGNS path.)
+  for (double& c : counts) c = std::pow(c, noise_power);
   return counts;
 }
-
-}  // namespace
 
 StatusOr<SgnsModel> TrainPvDbowBudgeted(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     const SgnsOptions& options, Rng& rng, Budget& budget) {
   StatusOr<std::vector<double>> counts =
-      PvDbowNoiseCounts(documents, vocab_size, options.noise_power);
+      PvDbowNoiseDistribution(documents, vocab_size, options.noise_power);
   if (!counts.ok()) return counts.status();
   return Train(documents, *counts, static_cast<int>(documents.size()),
                vocab_size, /*skipgram_window=*/false, options, rng, budget);
@@ -759,7 +766,7 @@ StatusOr<SgnsModel> TrainPvDbowSharded(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     const SgnsOptions& options, uint64_t seed, Budget& budget) {
   StatusOr<std::vector<double>> counts =
-      PvDbowNoiseCounts(documents, vocab_size, options.noise_power);
+      PvDbowNoiseDistribution(documents, vocab_size, options.noise_power);
   if (!counts.ok()) return counts.status();
   return TrainSharded(documents, *counts, static_cast<int>(documents.size()),
                       vocab_size, /*skipgram_window=*/false, options, seed,

@@ -61,6 +61,19 @@ struct SgnsModel {
 /// untrained (randomly initialised) baseline.
 [[nodiscard]] Status ValidateSgnsOptions(const SgnsOptions& options);
 
+/// The PV-DBOW negative-sampling table: per-token occurrence counts over
+/// `documents` raised to `noise_power`, the same unigram^power convention
+/// as Vocabulary::NoiseDistribution — in particular a token that never
+/// occurs keeps weight exactly 0 and is never drawn as a negative (both
+/// trainer families share this contract; see tests/sampling_test.cc).
+/// kInvalidArgument for a non-positive vocab_size, no documents, or the
+/// degenerate all-empty case where no token occurs at all (an all-zero
+/// table cannot be sampled from). Exposed for the sampling-fidelity tests
+/// and the serving layer's workload generators.
+[[nodiscard]] StatusOr<std::vector<double>> PvDbowNoiseDistribution(
+    const std::vector<std::vector<int>>& documents, int vocab_size,
+    double noise_power);
+
 /// Trains skip-gram with negative sampling on a corpus: for each token
 /// occurrence, each context token within the window is a positive pair and
 /// `negatives` noise tokens are sampled from the unigram^power table. A

@@ -14,7 +14,7 @@ namespace x2vec::ml {
 void KnnClassifier::Fit(const linalg::Matrix& features,
                         const std::vector<int>& labels) {
   X2VEC_CHECK_EQ(features.rows(), static_cast<int>(labels.size()));
-  X2VEC_CHECK_GE(features.rows(), k_);
+  X2VEC_CHECK_GT(features.rows(), 0) << "Fit needs at least one row";
   X2VEC_METRIC_GAUGE("kernels.backend",
                      static_cast<double>(linalg::ActiveKernelBackend()));
   features_ = features;
@@ -22,16 +22,27 @@ void KnnClassifier::Fit(const linalg::Matrix& features,
 }
 
 int KnnClassifier::Predict(std::span<const double> point) const {
+  Scratch scratch;
+  return Predict(point, scratch);
+}
+
+int KnnClassifier::Predict(std::span<const double> point,
+                           Scratch& scratch) const {
   X2VEC_CHECK_GT(features_.rows(), 0) << "Fit before Predict";
-  scratch_.clear();
-  scratch_.reserve(features_.rows());
+  std::vector<std::pair<double, int>>& distances = scratch.distances;
+  distances.clear();
+  distances.reserve(features_.rows());
   for (int i = 0; i < features_.rows(); ++i) {
-    scratch_.emplace_back(linalg::Distance2(features_.ConstRowSpan(i), point),
-                          i);
+    distances.emplace_back(linalg::Distance2(features_.ConstRowSpan(i), point),
+                           i);
   }
-  std::partial_sort(scratch_.begin(), scratch_.begin() + k_, scratch_.end());
+  // Fewer fitted rows than k means every row votes; sorting to k_ would
+  // walk past the end of the buffer.
+  const int voters = std::min<int>(k_, features_.rows());
+  std::partial_sort(distances.begin(), distances.begin() + voters,
+                    distances.end());
   std::map<int, int> votes;
-  for (int i = 0; i < k_; ++i) ++votes[labels_[scratch_[i].second]];
+  for (int i = 0; i < voters; ++i) ++votes[labels_[distances[i].second]];
   int best_label = votes.begin()->first;
   int best_votes = 0;
   for (const auto& [label, count] : votes) {
@@ -44,9 +55,10 @@ int KnnClassifier::Predict(std::span<const double> point) const {
 }
 
 std::vector<int> KnnClassifier::PredictAll(const linalg::Matrix& points) const {
+  Scratch scratch;
   std::vector<int> out(points.rows());
   for (int i = 0; i < points.rows(); ++i) {
-    out[i] = Predict(points.ConstRowSpan(i));
+    out[i] = Predict(points.ConstRowSpan(i), scratch);
   }
   return out;
 }

@@ -12,15 +12,29 @@ namespace x2vec::ml {
 /// k-nearest-neighbour classifier on dense feature vectors (Euclidean
 /// metric) — the "nearest-neighbour based classification on the embedding"
 /// probe from the paper's introduction. The distance scan runs on row
-/// views and a reused scratch buffer, so serving a query allocates nothing
-/// in steady state; as a consequence a single instance must not serve
-/// concurrent Predict calls.
+/// views; Predict is const and touches no shared mutable state, so one
+/// fitted instance may serve any number of concurrent Predict calls (the
+/// shape the serving layer relies on). Callers that want the
+/// allocation-free steady state pass an explicit Scratch — one per thread,
+/// reused across queries — instead of sharing hidden internal storage.
+///
+/// `k` larger than the fitted row count is legal: the vote runs over every
+/// fitted row (there is nothing else to rank).
 class KnnClassifier {
  public:
+  /// Per-caller distance buffer for the allocation-free Predict overload.
+  /// Reuse one per thread; never share one Scratch across threads.
+  struct Scratch {
+    std::vector<std::pair<double, int>> distances;
+  };
+
   explicit KnnClassifier(int k) : k_(k) { X2VEC_CHECK_GE(k, 1); }
 
   void Fit(const linalg::Matrix& features, const std::vector<int>& labels);
+  /// Convenience overload; allocates a fresh Scratch per call.
   int Predict(std::span<const double> point) const;
+  /// Allocation-free in steady state when `scratch` is reused.
+  int Predict(std::span<const double> point, Scratch& scratch) const;
   /// Overload so call sites can pass a braced initializer list.
   int Predict(const std::vector<double>& point) const {
     return Predict(std::span<const double>(point));
@@ -31,8 +45,6 @@ class KnnClassifier {
   int k_;
   linalg::Matrix features_;
   std::vector<int> labels_;
-  // (distance, training row) per training row, reused across queries.
-  mutable std::vector<std::pair<double, int>> scratch_;
 };
 
 /// Lloyd's k-means with k-means++ seeding on rows of `features`.

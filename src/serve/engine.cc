@@ -1,0 +1,202 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "base/metrics.h"
+#include "base/parallel.h"
+#include "base/trace.h"
+#include "embed/checkpoint.h"
+#include "embed/sgns.h"
+#include "kg/persist.h"
+#include "linalg/kernels.h"
+
+namespace x2vec::serve {
+namespace {
+
+bool Contains(std::span<const int> ids, int id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+}  // namespace
+
+StatusOr<QueryEngine> QueryEngine::Build(const linalg::Matrix& embeddings,
+                                         const ServeOptions& options) {
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(embeddings, IndexMetric::kCosine, options.index);
+  if (!index.ok()) return index.status();
+  return QueryEngine(std::move(index).value(), linalg::Matrix(), options);
+}
+
+StatusOr<QueryEngine> QueryEngine::BuildTransE(const kg::TransEModel& model,
+                                               const ServeOptions& options) {
+  if (model.relations.rows() == 0) {
+    return Status::InvalidArgument(
+        "TransE serving needs at least one relation translation");
+  }
+  if (model.relations.cols() != model.entities.cols()) {
+    return Status::InvalidArgument(
+        "TransE relation dimension does not match the entity dimension");
+  }
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(model.entities, IndexMetric::kL2, options.index);
+  if (!index.ok()) return index.status();
+  return QueryEngine(std::move(index).value(), model.relations, options);
+}
+
+StatusOr<QueryEngine> QueryEngine::LoadEmbeddingMatrix(
+    Fs& fs, const std::string& path, const ServeOptions& options) {
+  StatusOr<linalg::Matrix> matrix = embed::LoadEmbeddingMatrix(fs, path);
+  if (!matrix.ok()) return matrix.status();
+  return Build(*matrix, options);
+}
+
+StatusOr<QueryEngine> QueryEngine::LoadSgnsModel(Fs& fs,
+                                                 const std::string& path,
+                                                 const ServeOptions& options) {
+  StatusOr<embed::SgnsModel> model = embed::LoadSgnsModel(fs, path);
+  if (!model.ok()) return model.status();
+  return Build(model->input, options);
+}
+
+StatusOr<QueryEngine> QueryEngine::LoadTransEModel(
+    Fs& fs, const std::string& path, const ServeOptions& options) {
+  StatusOr<kg::TransEModel> model = kg::LoadTransEModel(fs, path);
+  if (!model.ok()) return model.status();
+  return BuildTransE(*model, options);
+}
+
+Status QueryEngine::CheckRowId(int id, const char* what) const {
+  if (id < 0 || id >= index_->rows()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " id is outside the indexed rows");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::TopKExcluding(
+    std::span<const double> query, int k, std::span<const int> excludes,
+    const char* operation) const {
+  if (k < 1) {
+    return Status::InvalidArgument(std::string(operation) + " needs k >= 1");
+  }
+  // Over-ask by the exclusion count (capped at the row count — no index
+  // can return more) so the final answer still holds k rows.
+  const int64_t wanted = static_cast<int64_t>(k) +
+                         static_cast<int64_t>(excludes.size());
+  const int ask =
+      static_cast<int>(std::min<int64_t>(wanted, index_->rows()));
+  Budget quota = options_.admission.MakeBudget();
+  StatusOr<std::vector<Neighbor>> ranked =
+      index_->TopK(query, std::max(ask, 1), quota);
+  if (!ranked.ok()) return ranked.status();
+  std::vector<Neighbor> answer;
+  answer.reserve(static_cast<size_t>(std::min<int64_t>(k, index_->rows())));
+  for (const Neighbor& candidate : *ranked) {
+    if (Contains(excludes, candidate.id)) continue;
+    answer.push_back(candidate);
+    if (static_cast<int>(answer.size()) == k) break;
+  }
+  return answer;
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::Nearest(int id, int k) const {
+  if (Status status = CheckRowId(id, "query row"); !status.ok()) {
+    return status;
+  }
+  const int excludes[] = {id};
+  return TopKExcluding(index_->StoredRow(id), k, excludes, "Nearest");
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::NearestTo(
+    std::span<const double> query, int k) const {
+  return TopKExcluding(query, k, {}, "NearestTo");
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::Analogy(int a, int b, int c,
+                                                     int k) const {
+  if (Status status = CheckRowId(a, "analogy a"); !status.ok()) return status;
+  if (Status status = CheckRowId(b, "analogy b"); !status.ok()) return status;
+  if (Status status = CheckRowId(c, "analogy c"); !status.ok()) return status;
+  // stored(a) - stored(b) + stored(c): under cosine the operands are the
+  // unit-normalized rows, the word2vec 3COSADD convention.
+  std::vector<double> query(static_cast<size_t>(index_->dim()));
+  linalg::Copy(index_->StoredRow(a), query);
+  linalg::Axpy(-1.0, index_->StoredRow(b), query);
+  linalg::Axpy(1.0, index_->StoredRow(c), query);
+  const int excludes[] = {a, b, c};
+  return TopKExcluding(query, k, excludes, "Analogy");
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::LinkPredict(int head,
+                                                         int relation,
+                                                         int k) const {
+  if (relations_.rows() == 0) {
+    return Status::FailedPrecondition(
+        "link prediction needs an engine built from a TransE model");
+  }
+  if (Status status = CheckRowId(head, "head entity"); !status.ok()) {
+    return status;
+  }
+  if (relation < 0 || relation >= relations_.rows()) {
+    return Status::InvalidArgument("relation id is outside the model");
+  }
+  // Candidate tails minimise ||x_head + t_rel - x_tail||; the L2 index
+  // ranks by negated squared distance to x_head + t_rel.
+  std::vector<double> query(static_cast<size_t>(index_->dim()));
+  linalg::Copy(index_->StoredRow(head), query);
+  linalg::Axpy(1.0, relations_.ConstRowSpan(relation), query);
+  const int excludes[] = {head};
+  return TopKExcluding(query, k, excludes, "LinkPredict");
+}
+
+ServeOutcome QueryEngine::Serve(const ServeRequest& request) const {
+  const trace::StopWatch watch;
+  StatusOr<std::vector<Neighbor>> result = [&]() {
+    switch (request.kind) {
+      case ServeRequest::Kind::kNearest:
+        return Nearest(request.a, request.k);
+      case ServeRequest::Kind::kAnalogy:
+        return Analogy(request.a, request.b, request.c, request.k);
+      case ServeRequest::Kind::kLinkPredict:
+        return LinkPredict(request.a, request.b, request.k);
+    }
+    return StatusOr<std::vector<Neighbor>>(
+        Status::InvalidArgument("unknown request kind"));
+  }();
+  ServeOutcome outcome;
+  if (result.ok()) {
+    outcome.neighbors = std::move(result).value();
+  } else {
+    outcome.status = result.status();
+  }
+  X2VEC_METRIC_COUNT("serve.queries", 1);
+  if (outcome.status.code() == StatusCode::kResourceExhausted) {
+    X2VEC_METRIC_COUNT("serve.rejected", 1);
+  }
+  // Bounds in microseconds: sub-hundred-us pruned probes up through
+  // multi-ms full scans.
+  X2VEC_METRIC_OBSERVE(
+      "serve.latency_us",
+      ({50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 50000.0}),
+      watch.Seconds() * 1e6);
+  return outcome;
+}
+
+std::vector<ServeOutcome> QueryEngine::ServeAll(
+    const std::vector<ServeRequest>& requests) const {
+  const trace::StopWatch watch;
+  std::vector<ServeOutcome> outcomes = ParallelMap(
+      static_cast<int64_t>(requests.size()),
+      [&](int64_t i) { return Serve(requests[static_cast<size_t>(i)]); });
+  // Gauges are serial-only; this runs after the batch barrier.
+  const double seconds = watch.Seconds();
+  if (seconds > 0.0 && !requests.empty()) {
+    X2VEC_METRIC_GAUGE("serve.qps",
+                       static_cast<double>(requests.size()) / seconds);
+  }
+  return outcomes;
+}
+
+}  // namespace x2vec::serve

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "base/fs.h"
+#include "base/status.h"
+#include "kg/transe.h"
+#include "linalg/matrix.h"
+#include "serve/index.h"
+
+namespace x2vec::serve {
+
+/// The embedding query engine — the serving layer's front door (DESIGN.md
+/// §12). A QueryEngine loads a trained model exactly once (from an
+/// in-memory matrix or a persisted artifact), builds a read-only
+/// EmbeddingIndex over its rows, and then answers nearest-neighbor,
+/// analogy and TransE link-prediction queries from any number of
+/// concurrent callers:
+///
+///   - every query mints its own admission Budget from the engine's
+///     BudgetSpec, so one over-quota request is rejected with
+///     kResourceExhausted without starving its neighbors;
+///   - ServeAll batches a request list through base/parallel, so a replay
+///     is bit-identical at any thread count;
+///   - served / rejected counts and a latency histogram flow into
+///     base/metrics (serve.queries, serve.rejected, serve.latency_us,
+///     serve.probes, serve.qps) and from there into run_report.json.
+
+/// Engine construction knobs: which index backend to build and the
+/// per-request admission quota (work units are rows/centroids scored; an
+/// empty BudgetSpec admits everything).
+struct ServeOptions {
+  IndexOptions index;
+  BudgetSpec admission;
+};
+
+/// One query in a batch. `a` is the primary id (query row / analogy `a` /
+/// TransE head), `b` and `c` the analogy operands (`b` is also the TransE
+/// relation id), `k` the answer size.
+struct ServeRequest {
+  enum class Kind {
+    kNearest = 0,      ///< k nearest rows to row `a` (excluding `a`).
+    kAnalogy = 1,      ///< a - b + c in the stored space, excluding a/b/c.
+    kLinkPredict = 2,  ///< Tails ranked for (head=a, relation=b, ?).
+  };
+
+  Kind kind = Kind::kNearest;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  int k = 10;
+};
+
+/// Per-request result slot for batched serving. Default-constructible so
+/// ServeAll can run under ParallelMap; `status` is Ok exactly when
+/// `neighbors` is meaningful.
+struct ServeOutcome {
+  Status status;
+  std::vector<Neighbor> neighbors;
+};
+
+/// Loaded-model query front end. Move-only; after construction every
+/// member is read-only, so a single engine serves concurrent callers
+/// without locks (each caller's scratch lives on its own stack, each
+/// request spends its own Budget).
+class QueryEngine {
+ public:
+  /// Cosine engine over one embedding matrix (word/node/graph vectors).
+  [[nodiscard]] static StatusOr<QueryEngine> Build(
+      const linalg::Matrix& embeddings, const ServeOptions& options);
+
+  /// L2 engine over a TransE model: the index holds the entity rows, the
+  /// relation translations stay available for LinkPredict.
+  [[nodiscard]] static StatusOr<QueryEngine> BuildTransE(
+      const kg::TransEModel& model, const ServeOptions& options);
+
+  /// Build() over an artifact written by embed::SaveEmbeddingMatrix.
+  [[nodiscard]] static StatusOr<QueryEngine> LoadEmbeddingMatrix(
+      Fs& fs, const std::string& path, const ServeOptions& options);
+
+  /// Build() over the input matrix of an artifact written by
+  /// embed::SaveSgnsModel (the input rows are the word vectors).
+  [[nodiscard]] static StatusOr<QueryEngine> LoadSgnsModel(
+      Fs& fs, const std::string& path, const ServeOptions& options);
+
+  /// BuildTransE() over an artifact written by kg::SaveTransEModel.
+  [[nodiscard]] static StatusOr<QueryEngine> LoadTransEModel(
+      Fs& fs, const std::string& path, const ServeOptions& options);
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  [[nodiscard]] int rows() const { return index_->rows(); }
+  [[nodiscard]] int dim() const { return index_->dim(); }
+  [[nodiscard]] const EmbeddingIndex& index() const { return *index_; }
+
+  /// k nearest rows to row `id`, excluding `id` itself.
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> Nearest(int id, int k) const;
+
+  /// k nearest rows to an arbitrary caller-supplied query vector.
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> NearestTo(
+      std::span<const double> query, int k) const;
+
+  /// word2vec analogy: ranks rows by similarity to stored(a) - stored(b) +
+  /// stored(c), excluding a, b and c from the answer.
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> Analogy(int a, int b, int c,
+                                                        int k) const;
+
+  /// TransE link prediction: ranks candidate tails for (head, relation, ?)
+  /// by -||x_head + t_relation - x_tail||^2, excluding `head`. Only
+  /// available on engines built from a TransE model.
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> LinkPredict(int head,
+                                                            int relation,
+                                                            int k) const;
+
+  /// Dispatches one request to the query above it names, under that
+  /// request's own admission budget, and records the serving metrics.
+  /// Errors land in the outcome's status (never thrown/aborted).
+  [[nodiscard]] ServeOutcome Serve(const ServeRequest& request) const;
+
+  /// Serves a whole batch through base/parallel — outcome i belongs to
+  /// request i, and the batch is bit-identical at any thread count. Sets
+  /// the serve.qps gauge from the batch wall time.
+  [[nodiscard]] std::vector<ServeOutcome> ServeAll(
+      const std::vector<ServeRequest>& requests) const;
+
+ private:
+  QueryEngine(std::unique_ptr<EmbeddingIndex> index, linalg::Matrix relations,
+              ServeOptions options)
+      : index_(std::move(index)),
+        relations_(std::move(relations)),
+        options_(std::move(options)) {}
+
+  /// Shared query tail: mints the admission budget, runs TopK asking for
+  /// `k + excludes.size()` answers, then filters the excluded ids out and
+  /// truncates to `k`.
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> TopKExcluding(
+      std::span<const double> query, int k, std::span<const int> excludes,
+      const char* operation) const;
+
+  [[nodiscard]] Status CheckRowId(int id, const char* what) const;
+
+  std::unique_ptr<EmbeddingIndex> index_;
+  linalg::Matrix relations_;  ///< TransE translations; 0x0 otherwise.
+  ServeOptions options_;
+};
+
+}  // namespace x2vec::serve

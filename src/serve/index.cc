@@ -1,0 +1,224 @@
+#include "serve/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "base/metrics.h"
+#include "base/rng.h"
+#include "linalg/kernels.h"
+#include "ml/neighbors.h"
+
+namespace x2vec::serve {
+namespace {
+
+/// Score of `row` for `query` under `metric`. `inv_query_norm` is the
+/// cosine query scale (0.0 for an all-zero query — every score collapses
+/// to 0.0, the CosineSimilarity convention); ignored under kL2.
+double ScoreRow(IndexMetric metric, std::span<const double> row,
+                std::span<const double> query, double inv_query_norm) {
+  if (metric == IndexMetric::kCosine) {
+    return linalg::Dot(row, query) * inv_query_norm;
+  }
+  return -linalg::SquaredDistance(row, query);
+}
+
+/// 1/||query|| for cosine scoring, 0.0 for the all-zero query, 1.0 under
+/// kL2 (unused there).
+double InverseQueryNorm(IndexMetric metric, std::span<const double> query) {
+  if (metric != IndexMetric::kCosine) return 1.0;
+  const double norm = linalg::Norm2(query);
+  return norm > 0.0 ? 1.0 / norm : 0.0;
+}
+
+/// Keeps the best `k` of `candidates` in ranking order (RanksBefore).
+void RankTopK(std::vector<Neighbor>& candidates, int k) {
+  const int kept = std::min<int>(k, static_cast<int>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + kept,
+                    candidates.end(), RanksBefore);
+  candidates.resize(kept);
+}
+
+Status ValidateQuery(std::span<const double> query, int k, int dim) {
+  if (k < 1) return Status::InvalidArgument("TopK needs k >= 1");
+  if (static_cast<int>(query.size()) != dim) {
+    return Status::InvalidArgument("query dimension does not match the index");
+  }
+  return Status::Ok();
+}
+
+/// Full scan over the stored rows — the exact backend, and the ground
+/// truth the cluster-pruned one is measured against.
+class ExactScanIndex final : public EmbeddingIndex {
+ public:
+  ExactScanIndex(linalg::Matrix stored, IndexMetric metric)
+      : stored_(std::move(stored)), metric_(metric) {}
+
+  int rows() const override { return stored_.rows(); }
+  int dim() const override { return stored_.cols(); }
+  IndexMetric metric() const override { return metric_; }
+  std::span<const double> StoredRow(int id) const override {
+    return stored_.ConstRowSpan(id);
+  }
+
+  StatusOr<std::vector<Neighbor>> TopK(std::span<const double> query, int k,
+                                       Budget& budget) const override {
+    if (Status status = ValidateQuery(query, k, dim()); !status.ok()) {
+      return status;
+    }
+    if (!budget.Spend(stored_.rows())) {
+      return budget.ExhaustedError("serve exact scan");
+    }
+    const double inv_query_norm = InverseQueryNorm(metric_, query);
+    std::vector<Neighbor> candidates(stored_.rows());
+    for (int i = 0; i < stored_.rows(); ++i) {
+      candidates[i] = {
+          i, ScoreRow(metric_, stored_.ConstRowSpan(i), query, inv_query_norm)};
+    }
+    RankTopK(candidates, k);
+    return candidates;
+  }
+
+ private:
+  linalg::Matrix stored_;
+  IndexMetric metric_;
+};
+
+/// k-means-cell backend: scores the centroids, exact-ranks the members of
+/// the top-P cells. Every structure is frozen at build time.
+class ClusterPrunedIndex final : public EmbeddingIndex {
+ public:
+  ClusterPrunedIndex(linalg::Matrix stored, IndexMetric metric,
+                     linalg::Matrix centroids,
+                     std::vector<std::vector<int>> members, int probes)
+      : stored_(std::move(stored)),
+        metric_(metric),
+        centroids_(std::move(centroids)),
+        members_(std::move(members)),
+        probes_(probes) {}
+
+  int rows() const override { return stored_.rows(); }
+  int dim() const override { return stored_.cols(); }
+  IndexMetric metric() const override { return metric_; }
+  std::span<const double> StoredRow(int id) const override {
+    return stored_.ConstRowSpan(id);
+  }
+
+  StatusOr<std::vector<Neighbor>> TopK(std::span<const double> query, int k,
+                                       Budget& budget) const override {
+    if (Status status = ValidateQuery(query, k, dim()); !status.ok()) {
+      return status;
+    }
+    if (!budget.Spend(centroids_.rows())) {
+      return budget.ExhaustedError("serve centroid scan");
+    }
+    const double inv_query_norm = InverseQueryNorm(metric_, query);
+    // Stage 1: rank the cells by centroid score; keep the top probes_.
+    std::vector<Neighbor> cells(centroids_.rows());
+    for (int c = 0; c < centroids_.rows(); ++c) {
+      cells[c] = {c, ScoreRow(metric_, centroids_.ConstRowSpan(c), query,
+                              inv_query_norm)};
+    }
+    RankTopK(cells, probes_);
+    // Stage 2: exact-rank the members of the probed cells. The whole
+    // member scan is charged up front so an over-quota request is
+    // rejected, never part-served.
+    int64_t member_count = 0;
+    for (const Neighbor& cell : cells) {
+      member_count += static_cast<int64_t>(members_[cell.id].size());
+    }
+    if (!budget.Spend(member_count)) {
+      return budget.ExhaustedError("serve probed-cell scan");
+    }
+    X2VEC_METRIC_COUNT("serve.probes", static_cast<int64_t>(cells.size()));
+    std::vector<Neighbor> candidates;
+    candidates.reserve(static_cast<size_t>(member_count));
+    for (const Neighbor& cell : cells) {
+      for (int id : members_[cell.id]) {
+        candidates.push_back({id, ScoreRow(metric_, stored_.ConstRowSpan(id),
+                                           query, inv_query_norm)});
+      }
+    }
+    RankTopK(candidates, k);
+    return candidates;
+  }
+
+ private:
+  linalg::Matrix stored_;
+  IndexMetric metric_;
+  linalg::Matrix centroids_;           ///< clusters x dim cell centers.
+  std::vector<std::vector<int>> members_;  ///< Row ids per cell, ascending.
+  int probes_;
+};
+
+}  // namespace
+
+linalg::Matrix NormalizedRows(const linalg::Matrix& rows) {
+  linalg::Matrix normalized = rows;
+  for (int i = 0; i < normalized.rows(); ++i) {
+    const double norm = linalg::Norm2(normalized.ConstRowSpan(i));
+    if (norm > 0.0) linalg::Scale(normalized.RowSpan(i), 1.0 / norm);
+  }
+  return normalized;
+}
+
+bool RanksBefore(const Neighbor& a, const Neighbor& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+StatusOr<std::unique_ptr<EmbeddingIndex>> BuildIndex(
+    const linalg::Matrix& rows, IndexMetric metric,
+    const IndexOptions& options) {
+  if (rows.rows() == 0 || rows.cols() == 0) {
+    return Status::InvalidArgument("serving index needs a non-empty matrix");
+  }
+  linalg::Matrix stored =
+      metric == IndexMetric::kCosine ? NormalizedRows(rows) : rows;
+  if (options.kind == IndexKind::kExactScan) {
+    return std::unique_ptr<EmbeddingIndex>(
+        new ExactScanIndex(std::move(stored), metric));
+  }
+  if (options.kmeans_iterations < 1) {
+    return Status::InvalidArgument("kmeans_iterations must be >= 1");
+  }
+  int clusters = options.clusters;
+  if (clusters <= 0) {
+    clusters = static_cast<int>(std::sqrt(static_cast<double>(rows.rows())));
+  }
+  clusters = std::clamp(clusters, 1, rows.rows());
+  int probes = options.probes;
+  if (probes <= 0) probes = std::max(1, clusters / 8);
+  probes = std::clamp(probes, 1, clusters);
+  // The cells are built over the *stored* rows (unit-normalized under
+  // cosine), so centroid distance prunes in the same space queries are
+  // scored in.
+  Rng rng = MakeRng(options.seed);
+  const ml::KMeansResult clustering =
+      ml::KMeans(stored, clusters, rng, options.kmeans_iterations);
+  std::vector<std::vector<int>> members(clusters);
+  for (int i = 0; i < stored.rows(); ++i) {
+    members[clustering.assignment[i]].push_back(i);
+  }
+  return std::unique_ptr<EmbeddingIndex>(new ClusterPrunedIndex(
+      std::move(stored), metric, clustering.centroids, std::move(members),
+      probes));
+}
+
+double RecallAgainstExact(const std::vector<Neighbor>& exact,
+                          const std::vector<Neighbor>& approx) {
+  if (exact.empty()) return 1.0;
+  int hits = 0;
+  for (const Neighbor& truth : exact) {
+    for (const Neighbor& candidate : approx) {
+      if (candidate.id == truth.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+}  // namespace x2vec::serve

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/budget.h"
+#include "base/status.h"
+#include "linalg/matrix.h"
+
+namespace x2vec::serve {
+
+/// Read-only nearest-neighbor indexes over trained embedding rows — the
+/// query-side data structure of the serving layer (DESIGN.md §12). An
+/// index is built once from a model's embedding matrix and then answers
+/// TopK scans from any number of concurrent callers: every member is
+/// immutable after construction and TopK keeps all scratch on the caller's
+/// stack, so a single index instance is safe to share across threads
+/// without locks.
+///
+/// Two backends implement the same interface:
+///
+///   kExactScan      scores every row with the linalg span kernels — the
+///                   ground truth every approximate answer is measured
+///                   against.
+///   kClusterPruned  k-means cells (ml::KMeans) over the rows; a query
+///                   scores the centroids, probes the top-P cells and
+///                   exact-ranks only their members. Scans a fraction of
+///                   the rows at a measured recall cost
+///                   (tests/serve_test.cc pins recall@10 >= 0.95 on
+///                   clustered data; BENCH_serving.json commits the
+///                   throughput win).
+///
+/// Determinism contract: results are a pure function of (index rows,
+/// options, query, k). Scores tie-break on ascending row id, so orderings
+/// are stable across thread counts and — for rows that are bit-identical —
+/// across kernel backends (tests/backend_parity_test.cc).
+
+/// One ranked answer: a row id and its score under the index metric
+/// (higher is always better; see IndexMetric).
+struct Neighbor {
+  int id = -1;
+  double score = 0.0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// The score an index ranks by. Higher is better under both metrics so
+/// one ranking rule serves both:
+///
+///   kCosine  cosine similarity. The index stores unit-normalized row
+///            copies and normalizes each query once, so a candidate's
+///            score is one Dot; all-zero rows (and queries) keep norm 0
+///            and score 0.0 against everything — the CosineSimilarity
+///            convention.
+///   kL2      negated squared Euclidean distance (no square root; the
+///            ranking is the same and the scan cheaper). The metric for
+///            TransE link prediction, where low ||h + r - t|| means
+///            plausible.
+enum class IndexMetric {
+  kCosine = 0,
+  kL2 = 1,
+};
+
+/// Which backend BuildIndex constructs.
+enum class IndexKind {
+  kExactScan = 0,
+  kClusterPruned = 1,
+};
+
+/// Construction-time knobs. The defaults size the cluster-pruned index by
+/// the usual sqrt heuristic; `seed` is part of the index identity (two
+/// builds from the same rows, options and seed are bit-identical).
+struct IndexOptions {
+  IndexKind kind = IndexKind::kExactScan;
+  /// k-means cell count; <= 0 picks floor(sqrt(rows)), clamped to
+  /// [1, rows].
+  int clusters = 0;
+  /// Cells exact-ranked per query; <= 0 picks max(1, clusters / 8),
+  /// always clamped to [1, clusters].
+  int probes = 0;
+  /// Lloyd iterations for the one-off build.
+  int kmeans_iterations = 25;
+  /// Seed for the k-means++ seeding of the cell build.
+  uint64_t seed = 0x5e7;
+};
+
+/// Read-only top-k scorer over fixed embedding rows. Thread-safe by
+/// immutability; see the file comment for the determinism contract.
+class EmbeddingIndex {
+ public:
+  virtual ~EmbeddingIndex() = default;
+
+  [[nodiscard]] virtual int rows() const = 0;
+  [[nodiscard]] virtual int dim() const = 0;
+  [[nodiscard]] virtual IndexMetric metric() const = 0;
+
+  /// The stored representation of row `id` — unit-normalized under
+  /// kCosine, the raw embedding under kL2. Query composition (analogy
+  /// offsets, TransE h + r) builds on these so composed queries live in
+  /// the same space the index scores in.
+  [[nodiscard]] virtual std::span<const double> StoredRow(int id) const = 0;
+
+  /// The `k` best rows for `query` under metric(), ranked by (score
+  /// descending, id ascending). k larger than the candidate count returns
+  /// every candidate ranked; k < 1 and dimension mismatches are
+  /// kInvalidArgument. `budget` is the per-request admission quota: one
+  /// work unit per row (and, for the pruned backend, per centroid) this
+  /// call scores, charged *before* the scan so an over-quota request is
+  /// rejected with kResourceExhausted instead of part-served.
+  [[nodiscard]] virtual StatusOr<std::vector<Neighbor>> TopK(
+      std::span<const double> query, int k, Budget& budget) const = 0;
+};
+
+/// Copy of `rows` with every row scaled to unit l2 norm (all-zero rows
+/// stay zero — the CosineSimilarity convention). The cosine backends store
+/// exactly this.
+[[nodiscard]] linalg::Matrix NormalizedRows(const linalg::Matrix& rows);
+
+/// True when `a` ranks strictly before `b`: higher score first, ties on
+/// ascending id. The single ordering rule every serving ranking uses.
+[[nodiscard]] bool RanksBefore(const Neighbor& a, const Neighbor& b);
+
+/// Builds the backend `options.kind` over a private copy of `rows`.
+/// kInvalidArgument for an empty matrix or non-positive options fields.
+[[nodiscard]] StatusOr<std::unique_ptr<EmbeddingIndex>> BuildIndex(
+    const linalg::Matrix& rows, IndexMetric metric,
+    const IndexOptions& options);
+
+/// recall@k of an approximate answer against the exact one: the fraction
+/// of `exact` ids that also appear in `approx`. 1.0 when `exact` is empty.
+[[nodiscard]] double RecallAgainstExact(const std::vector<Neighbor>& exact,
+                                        const std::vector<Neighbor>& approx);
+
+}  // namespace x2vec::serve

@@ -41,6 +41,8 @@
 #include "linalg/kernels_backend.h"
 #include "linalg/matrix.h"
 #include "ml/neighbors.h"
+#include "serve/engine.h"
+#include "serve/index.h"
 
 namespace x2vec {
 namespace {
@@ -597,6 +599,74 @@ TEST(BackendGoldenGuaranteeTest, GenericStaysGoldenAfterBackendRoundTrip) {
   }
   EXPECT_EQ(Digest(kernel::GraphletKernelMatrix(graphs)),
             11022058731005599074ull);
+}
+
+// ---- Serving-index determinism across backends and threads ------------------
+//
+// The serving TopK contract (serve/index.h): ties break on ascending id,
+// and the ranking is a pure function of the query — so over rows whose
+// distinct directions are well separated and whose duplicates are
+// bit-identical, the returned *id sequence* must agree across every
+// kernel backend (scores drift within tolerance; the order may not) and
+// every thread count.
+TEST(BackendServingParityTest, TopKIdsAgreeAcrossBackendsAndThreads) {
+  // 4 distinct well-separated directions, each duplicated 3 times:
+  // duplicates tie exactly under any one backend and must come back in id
+  // order; the across-group order is tolerance-proof by separation.
+  const Matrix directions = {
+      {1.0, 0.0, 0.0, 0.0}, {0.0, 1.0, 0.0, 0.0},
+      {0.0, 0.0, 1.0, 0.0}, {0.70, 0.70, 0.0, 0.14}};
+  Matrix rows(12, 4);
+  for (int i = 0; i < 12; ++i) {
+    linalg::Copy(directions.ConstRowSpan(i % 4), rows.RowSpan(i));
+  }
+
+  std::vector<serve::ServeRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    serve::ServeRequest request;
+    request.kind = serve::ServeRequest::Kind::kNearest;
+    request.a = i;
+    request.k = 6;
+    requests.push_back(request);
+  }
+
+  auto id_table = [&requests](const serve::QueryEngine& engine) {
+    std::vector<std::vector<int>> table;
+    for (const serve::ServeOutcome& outcome : engine.ServeAll(requests)) {
+      EXPECT_TRUE(outcome.status.ok());
+      std::vector<int> ids;
+      for (const serve::Neighbor& n : outcome.neighbors) ids.push_back(n.id);
+      table.push_back(std::move(ids));
+    }
+    return table;
+  };
+
+  const StatusOr<serve::QueryEngine> generic_engine =
+      serve::QueryEngine::Build(rows, serve::ServeOptions{});
+  ASSERT_TRUE(generic_engine.ok());
+  SetThreadCount(1);
+  const std::vector<std::vector<int>> reference = id_table(*generic_engine);
+  SetThreadCount(0);
+  // Duplicates of the query's own direction lead, in id order, with the
+  // query row itself excluded (row 0's duplicates are 4 and 8).
+  ASSERT_EQ(reference[0][0], 4);
+  ASSERT_EQ(reference[0][1], 8);
+
+  for (const KernelBackend backend : kFastBackends) {
+    BackendGuard guard(backend);
+    // The engine is rebuilt under the fast backend, so normalization,
+    // index build and query scoring all run through it.
+    const StatusOr<serve::QueryEngine> engine =
+        serve::QueryEngine::Build(rows, serve::ServeOptions{});
+    ASSERT_TRUE(engine.ok());
+    for (const int threads : {1, 4, 8}) {
+      SetThreadCount(threads);
+      EXPECT_EQ(id_table(*engine), reference)
+          << linalg::KernelBackendName(backend) << " at " << threads
+          << " threads";
+    }
+    SetThreadCount(0);
+  }
 }
 
 // The dispatch itself: the public kernels must follow SetKernelBackend.

@@ -30,6 +30,7 @@
 #include "kernel/node_kernels.h"
 #include "kernel/wl_kernel.h"
 #include "linalg/matrix.h"
+#include "ml/neighbors.h"
 
 namespace x2vec {
 namespace {
@@ -274,6 +275,40 @@ TEST(PipelineDeterminismTest, Graph2VecParallelBitIdentical) {
     Budget unlimited;
     return *embed::Graph2VecEmbeddingParallel(graphs, options, 91, unlimited);
   });
+}
+
+TEST(SharedClassifierDeterminismTest, ConcurrentKnnPredictBitIdentical) {
+  // Regression for the shared mutable scratch_ race: Predict was const but
+  // wrote a classifier-owned buffer, so two threads sharing one fitted
+  // KnnClassifier raced silently. Predict now takes per-call (here:
+  // per-work-item) scratch, so one instance serves concurrent queries —
+  // this test runs under -L parallel and therefore under the tsan gate.
+  Rng rng = MakeRng(77);
+  const int kRows = 64;
+  const int kQueries = 256;
+  linalg::Matrix features(kRows, 8);
+  std::vector<int> labels(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    labels[i] = i % 3;
+    for (int j = 0; j < 8; ++j) features(i, j) = Gaussian(rng);
+  }
+  linalg::Matrix queries(kQueries, 8);
+  for (int i = 0; i < kQueries; ++i) {
+    for (int j = 0; j < 8; ++j) queries(i, j) = Gaussian(rng);
+  }
+  ml::KnnClassifier knn(5);
+  knn.Fit(features, labels);
+  ExpectThreadCountInvariant(
+      [&] {
+        return ParallelMap(kQueries, [&](int64_t q) {
+          ml::KnnClassifier::Scratch scratch;
+          return knn.Predict(queries.ConstRowSpan(static_cast<int>(q)),
+                             scratch);
+        });
+      },
+      [](const std::vector<int>& a, const std::vector<int>& b) {
+        return a == b;
+      });
 }
 
 TEST(PipelineDeterminismTest, SequentialEmbeddersThreadCountInvariant) {

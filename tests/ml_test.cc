@@ -131,6 +131,38 @@ TEST(KnnTest, MajorityVote) {
   EXPECT_EQ(knn.Predict({0.05, 0.0}), 0);
 }
 
+TEST(KnnTest, KLargerThanFittedRowsVotesOverWhatExists) {
+  // Regression: Predict used to partial_sort to scratch.begin() + k with no
+  // guard, walking past the end of the distance buffer whenever k exceeded
+  // the fitted row count (UB). Now every fitted row votes.
+  linalg::Matrix features = {{0, 0}, {10, 10}};
+  KnnClassifier knn(5);
+  knn.Fit(features, {0, 1});
+  // Both rows vote; ties resolve to the smallest label, so the nearer row
+  // only decides the vote when k covers a strict majority of one class.
+  EXPECT_EQ(knn.Predict({0.1, 0.1}), 0);
+  EXPECT_EQ(knn.Predict({9.9, 9.9}), 0);  // 1 vote each; tie -> label 0.
+
+  // One-row classifier: k=5 over a single fitted row is that row's label.
+  linalg::Matrix one = {{3.0, 4.0}};
+  KnnClassifier single(5);
+  single.Fit(one, {7});
+  EXPECT_EQ(single.Predict({0.0, 0.0}), 7);
+}
+
+TEST(KnnTest, ExplicitScratchMatchesConvenienceOverload) {
+  Rng rng = MakeRng(41);
+  std::vector<int> labels;
+  const linalg::Matrix features = TwoBlobs(20, 5.0, rng, &labels);
+  KnnClassifier knn(3);
+  knn.Fit(features, labels);
+  KnnClassifier::Scratch scratch;
+  for (int i = 0; i < features.rows(); ++i) {
+    EXPECT_EQ(knn.Predict(features.ConstRowSpan(i), scratch),
+              knn.Predict(features.ConstRowSpan(i)));
+  }
+}
+
 TEST(KnnTest, BlobsAccuracy) {
   Rng rng = MakeRng(26);
   std::vector<int> labels;

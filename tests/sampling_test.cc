@@ -236,6 +236,78 @@ TEST(Node2VecStepTest, RouletteMatchesTheNode2VecDistribution) {
   EXPECT_LT(chi_square, 16.27) << "chi-square " << chi_square;
 }
 
+TEST(NoiseDistributionTest, ZeroCountTokensAreNeverDrawn) {
+  // Regression: PV-DBOW's noise table used to clamp counts to
+  // max(c, 1e-9) before pow, giving never-observed tokens nonzero
+  // negative-sampling probability — diverging from the SGNS path, which
+  // leaves them at exactly 0. Both paths now share the un-clamped
+  // unigram^power convention.
+  const int kVocab = 10;
+  // Tokens 5..9 never occur.
+  const std::vector<std::vector<int>> documents = {
+      {0, 1, 2, 0, 3}, {4, 4, 1}, {2, 0}};
+  const StatusOr<std::vector<double>> weights =
+      embed::PvDbowNoiseDistribution(documents, kVocab, /*noise_power=*/0.75);
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), static_cast<size_t>(kVocab));
+  for (int token = 5; token < kVocab; ++token) {
+    EXPECT_EQ((*weights)[token], 0.0) << token;
+  }
+  const AliasTable noise(*weights);
+  Rng rng = MakeRng(17);
+  std::vector<int> observed(kVocab, 0);
+  for (int draw = 0; draw < 20000; ++draw) ++observed[noise.Sample(rng)];
+  for (int token = 0; token < 5; ++token) {
+    EXPECT_GT(observed[token], 0) << token;
+  }
+  for (int token = 5; token < kVocab; ++token) {
+    EXPECT_EQ(observed[token], 0) << "zero-count token drawn: " << token;
+  }
+}
+
+TEST(NoiseDistributionTest, PvDbowMatchesVocabularyConvention) {
+  // The same token counts must give the same noise weights through both
+  // entry points (SGNS builds from Vocabulary counts, PV-DBOW from raw
+  // token-id documents).
+  const std::vector<std::vector<std::string>> sentences = {
+      {"a", "b", "a"}, {"c", "a", "b"}};
+  const embed::Corpus corpus = embed::Corpus::FromSentences(sentences);
+  std::vector<std::vector<int>> documents(sentences.size());
+  for (size_t s = 0; s < sentences.size(); ++s) {
+    for (const std::string& token : sentences[s]) {
+      documents[s].push_back(corpus.vocab.Lookup(token));
+    }
+  }
+  const std::vector<double> from_vocab =
+      corpus.vocab.NoiseDistribution(/*power=*/0.75);
+  const StatusOr<std::vector<double>> from_documents =
+      embed::PvDbowNoiseDistribution(documents, corpus.vocab.size(),
+                                     /*noise_power=*/0.75);
+  ASSERT_TRUE(from_documents.ok());
+  EXPECT_EQ(from_vocab, *from_documents);
+}
+
+TEST(NoiseDistributionTest, AllEmptyDocumentsAreAnExplicitError) {
+  // The degenerate all-zero table is rejected up front (it cannot be
+  // sampled from), instead of being silently clamped into a uniform one.
+  const StatusOr<std::vector<double>> weights =
+      embed::PvDbowNoiseDistribution({{}, {}}, /*vocab_size=*/4,
+                                     /*noise_power=*/0.75);
+  EXPECT_FALSE(weights.ok());
+  EXPECT_EQ(weights.status().code(), StatusCode::kInvalidArgument);
+
+  embed::SgnsOptions options;
+  options.dimension = 4;
+  options.epochs = 1;
+  Rng rng = MakeRng(3);
+  Budget unlimited;
+  const StatusOr<embed::SgnsModel> model =
+      embed::TrainPvDbowBudgeted({{}, {}}, /*vocab_size=*/4, options, rng,
+                                 unlimited);
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Node2VecStepTest, UniformFastPathCoversAllNeighbors) {
   // p = q = 1 (and the first step of any walk) takes the single-UniformInt
   // path; every neighbor must stay reachable with roughly equal mass.

@@ -1,0 +1,517 @@
+// Embedding-serving suite (ctest label: serve): the read-only index
+// backends (exact scan + cluster-pruned) and the QueryEngine front end —
+// correctness and tie-break determinism of TopK, budget admission,
+// recall@10 of the pruned backend against the exact scan, N-thread batch
+// replay bit-identity, persistence loaders, and the serving metrics.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/budget.h"
+#include "base/fs.h"
+#include "base/metrics.h"
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "embed/checkpoint.h"
+#include "kg/persist.h"
+#include "kg/transe.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "serve/engine.h"
+#include "serve/index.h"
+
+namespace x2vec::serve {
+namespace {
+
+using linalg::Matrix;
+
+Budget UnlimitedBudget() { return Budget::Unlimited(); }
+
+std::vector<int> Ids(const std::vector<Neighbor>& neighbors) {
+  std::vector<int> ids;
+  ids.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) ids.push_back(n.id);
+  return ids;
+}
+
+/// Gaussian blobs around `centers` rows: `per_center` points each, spread
+/// sigma — the clustered workload the pruned backend is designed for.
+Matrix BlobRows(const Matrix& centers, int per_center, double sigma,
+                uint64_t seed) {
+  Rng rng = MakeRng(seed);
+  Matrix rows(centers.rows() * per_center, centers.cols());
+  for (int i = 0; i < rows.rows(); ++i) {
+    const int c = i / per_center;
+    for (int j = 0; j < rows.cols(); ++j) {
+      rows(i, j) = centers(c, j) + Gaussian(rng) * sigma;
+    }
+  }
+  return rows;
+}
+
+// Scratch directory that is removed on scope exit (persist_test idiom).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(::testing::TempDir() + "x2vec_serve_" + name) {
+    (void)DefaultFs().RemoveTree(path_);
+  }
+  ~ScratchDir() { (void)DefaultFs().RemoveTree(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- Index: exact scan ------------------------------------------------------
+
+TEST(ExactScanIndexTest, RanksByCosineSimilarity) {
+  // Rows along distinct directions; the query points near row 0.
+  const Matrix rows = {{1.0, 0.0}, {0.9, 0.1}, {0.0, 1.0}, {-1.0, 0.0}};
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Budget budget = UnlimitedBudget();
+  const std::vector<double> query = {1.0, 0.05};
+  const StatusOr<std::vector<Neighbor>> top =
+      (*index)->TopK(query, 3, budget);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Ids(*top), (std::vector<int>{0, 1, 2}));
+  // Scores are true cosine similarities: row 0 nearly parallel.
+  EXPECT_NEAR((*top)[0].score,
+              linalg::CosineSimilarity(rows.ConstRowSpan(0), query), 1e-12);
+}
+
+TEST(ExactScanIndexTest, L2MetricRanksByDistance) {
+  const Matrix rows = {{0.0, 0.0}, {1.0, 0.0}, {5.0, 5.0}};
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kL2, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Budget budget = UnlimitedBudget();
+  const std::vector<double> query = {0.9, 0.0};
+  const StatusOr<std::vector<Neighbor>> top =
+      (*index)->TopK(query, 3, budget);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Ids(*top), (std::vector<int>{1, 0, 2}));
+  // Score is the negated squared distance.
+  EXPECT_NEAR((*top)[0].score, -0.01, 1e-12);
+}
+
+TEST(ExactScanIndexTest, TieBreaksOnAscendingId) {
+  // Rows 1, 2 and 3 are bit-identical, so their scores tie exactly; the
+  // ranking must list them in id order every time.
+  const Matrix rows = {{0.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Budget budget = UnlimitedBudget();
+  const std::vector<double> query = {1.0, 1.0};
+  const StatusOr<std::vector<Neighbor>> top =
+      (*index)->TopK(query, 4, budget);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Ids(*top), (std::vector<int>{1, 2, 3, 0}));
+  EXPECT_EQ((*top)[0].score, (*top)[1].score);
+  EXPECT_EQ((*top)[1].score, (*top)[2].score);
+}
+
+TEST(ExactScanIndexTest, ZeroNormRowsAndQueriesScoreZero) {
+  // The CosineSimilarity convention carried into the index: an all-zero
+  // row scores 0 against everything, and an all-zero query makes every
+  // score 0 (ranking collapses to id order).
+  const std::vector<double> zero = {0.0, 0.0};
+  const std::vector<double> unit = {1.0, 0.0};
+  EXPECT_EQ(linalg::CosineSimilarity(zero, unit), 0.0);
+  EXPECT_EQ(linalg::CosineSimilarity(zero, zero), 0.0);
+
+  const Matrix rows = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 2.0}};
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Budget budget = UnlimitedBudget();
+  const StatusOr<std::vector<Neighbor>> top =
+      (*index)->TopK(unit, 3, budget);
+  ASSERT_TRUE(top.ok());
+  // Row 1 is parallel; rows 0 and 2 tie at exactly 0 (the zero row by
+  // convention, row 2 by orthogonality), so ids break the tie.
+  EXPECT_EQ(Ids(*top), (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ((*top)[1].score, 0.0);
+  EXPECT_EQ((*top)[2].score, 0.0);
+
+  Budget budget2 = UnlimitedBudget();
+  const StatusOr<std::vector<Neighbor>> zero_query =
+      (*index)->TopK(zero, 3, budget2);
+  ASSERT_TRUE(zero_query.ok());
+  EXPECT_EQ(Ids(*zero_query), (std::vector<int>{0, 1, 2}));
+  for (const Neighbor& n : *zero_query) EXPECT_EQ(n.score, 0.0);
+}
+
+TEST(ExactScanIndexTest, KLargerThanRowsReturnsEveryRow) {
+  const Matrix rows = {{1.0, 0.0}, {0.0, 1.0}};
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Budget budget = UnlimitedBudget();
+  const std::vector<double> query = {1.0, 0.0};
+  const StatusOr<std::vector<Neighbor>> top =
+      (*index)->TopK(query, 100, budget);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 2u);
+}
+
+TEST(ExactScanIndexTest, RejectsBadArguments) {
+  const Matrix rows = {{1.0, 0.0}};
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Budget budget = UnlimitedBudget();
+  const std::vector<double> query = {1.0, 0.0};
+  EXPECT_EQ((*index)->TopK(query, 0, budget).status().code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<double> wrong_dim = {1.0, 0.0, 0.0};
+  EXPECT_EQ((*index)->TopK(wrong_dim, 1, budget).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BuildIndex(Matrix(), IndexMetric::kCosine, IndexOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactScanIndexTest, BudgetChargesOneUnitPerRowUpFront) {
+  const Matrix rows = BlobRows(Matrix{{0.0, 0.0}}, 16, 1.0, 5);
+  StatusOr<std::unique_ptr<EmbeddingIndex>> index =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  const std::vector<double> query = {1.0, 0.0};
+
+  Budget enough = Budget::WorkUnits(16);
+  EXPECT_TRUE((*index)->TopK(query, 3, enough).ok());
+  EXPECT_EQ(enough.work_spent(), 16);
+
+  Budget short_budget = Budget::WorkUnits(15);
+  const StatusOr<std::vector<Neighbor>> rejected =
+      (*index)->TopK(query, 3, short_budget);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---- Index: cluster-pruned --------------------------------------------------
+
+TEST(ClusterPrunedIndexTest, ExactWithinProbedCellsAndHighRecall) {
+  // 8 well-separated blob centers; probing a few cells must recover the
+  // true neighborhood of almost every query.
+  const Matrix centers = Matrix::Random(8, 6, 10.0, /*seed=*/11);
+  const Matrix rows = BlobRows(centers, 40, 0.5, 12);
+
+  IndexOptions exact_options;
+  StatusOr<std::unique_ptr<EmbeddingIndex>> exact =
+      BuildIndex(rows, IndexMetric::kCosine, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  IndexOptions pruned_options;
+  pruned_options.kind = IndexKind::kClusterPruned;
+  pruned_options.clusters = 16;
+  pruned_options.probes = 4;
+  StatusOr<std::unique_ptr<EmbeddingIndex>> pruned =
+      BuildIndex(rows, IndexMetric::kCosine, pruned_options);
+  ASSERT_TRUE(pruned.ok());
+
+  double recall_sum = 0.0;
+  const int queries = 64;
+  for (int q = 0; q < queries; ++q) {
+    const int row = (q * 37) % rows.rows();
+    // Finite (roomy) quotas so work_spent() records the scan cost — the
+    // unlimited fast path skips accounting entirely.
+    Budget b1 = Budget::WorkUnits(1 << 20);
+    Budget b2 = Budget::WorkUnits(1 << 20);
+    const StatusOr<std::vector<Neighbor>> truth =
+        (*exact)->TopK(rows.ConstRowSpan(row), 10, b1);
+    const StatusOr<std::vector<Neighbor>> approx =
+        (*pruned)->TopK(rows.ConstRowSpan(row), 10, b2);
+    ASSERT_TRUE(truth.ok());
+    ASSERT_TRUE(approx.ok());
+    recall_sum += RecallAgainstExact(*truth, *approx);
+    // Pruning must never scan the whole index on this workload.
+    EXPECT_LT(b2.work_spent(), b1.work_spent());
+  }
+  EXPECT_GE(recall_sum / queries, 0.95);
+}
+
+TEST(ClusterPrunedIndexTest, ProbingEveryCellMatchesExactScan) {
+  const Matrix rows = BlobRows(Matrix::Random(4, 4, 5.0, 21), 25, 1.0, 22);
+  IndexOptions pruned_options;
+  pruned_options.kind = IndexKind::kClusterPruned;
+  pruned_options.clusters = 8;
+  pruned_options.probes = 8;  // Probe everything: zero pruning error.
+  StatusOr<std::unique_ptr<EmbeddingIndex>> pruned =
+      BuildIndex(rows, IndexMetric::kCosine, pruned_options);
+  ASSERT_TRUE(pruned.ok());
+  StatusOr<std::unique_ptr<EmbeddingIndex>> exact =
+      BuildIndex(rows, IndexMetric::kCosine, IndexOptions{});
+  ASSERT_TRUE(exact.ok());
+
+  for (int q = 0; q < 10; ++q) {
+    Budget b1 = UnlimitedBudget();
+    Budget b2 = UnlimitedBudget();
+    const StatusOr<std::vector<Neighbor>> a =
+        (*exact)->TopK(rows.ConstRowSpan(q * 9), 5, b1);
+    const StatusOr<std::vector<Neighbor>> b =
+        (*pruned)->TopK(rows.ConstRowSpan(q * 9), 5, b2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "query " << q;
+  }
+}
+
+TEST(ClusterPrunedIndexTest, BuildIsDeterministicInItsSeed) {
+  const Matrix rows = BlobRows(Matrix::Random(3, 4, 5.0, 31), 20, 1.0, 32);
+  IndexOptions options;
+  options.kind = IndexKind::kClusterPruned;
+  options.clusters = 6;
+  options.probes = 2;
+  StatusOr<std::unique_ptr<EmbeddingIndex>> a =
+      BuildIndex(rows, IndexMetric::kCosine, options);
+  StatusOr<std::unique_ptr<EmbeddingIndex>> b =
+      BuildIndex(rows, IndexMetric::kCosine, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int q = 0; q < rows.rows(); q += 7) {
+    Budget b1 = UnlimitedBudget();
+    Budget b2 = UnlimitedBudget();
+    const StatusOr<std::vector<Neighbor>> ra =
+        (*a)->TopK(rows.ConstRowSpan(q), 5, b1);
+    const StatusOr<std::vector<Neighbor>> rb =
+        (*b)->TopK(rows.ConstRowSpan(q), 5, b2);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(*ra, *rb);
+  }
+}
+
+// ---- QueryEngine ------------------------------------------------------------
+
+TEST(QueryEngineTest, NearestExcludesTheQueryRow) {
+  const Matrix rows = {{1.0, 0.0}, {0.99, 0.01}, {0.0, 1.0}};
+  StatusOr<QueryEngine> engine = QueryEngine::Build(rows, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  const StatusOr<std::vector<Neighbor>> top = engine->Nearest(0, 2);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Ids(*top), (std::vector<int>{1, 2}));
+}
+
+TEST(QueryEngineTest, AnalogyRecoversTheParallelOffset) {
+  // Classic parallelogram: king - man + woman = queen, embedded literally.
+  const Matrix rows = {
+      {2.0, 2.0, 0.0},   // 0: king  = royal + male
+      {1.0, 2.0, 0.0},   // 1: man   = male
+      {1.0, 0.0, 2.0},   // 2: woman = female
+      {2.0, 0.0, 2.0},   // 3: queen = royal + female
+      {0.3, 0.3, 0.3},   // 4: filler
+  };
+  StatusOr<QueryEngine> engine = QueryEngine::Build(rows, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  const StatusOr<std::vector<Neighbor>> top = engine->Analogy(0, 1, 2, 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ((*top)[0].id, 3);
+}
+
+TEST(QueryEngineTest, LinkPredictRanksTheTranslatedTail) {
+  kg::TransEModel model;
+  model.entities = Matrix{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  model.relations = Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  StatusOr<QueryEngine> engine =
+      QueryEngine::BuildTransE(model, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  // head 0 + relation 0 = (1, 0) -> entity 1 (head excluded).
+  const StatusOr<std::vector<Neighbor>> r0 = engine->LinkPredict(0, 0, 1);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ((*r0)[0].id, 1);
+  // head 1 + relation 1 = (1, 1) -> entity 3.
+  const StatusOr<std::vector<Neighbor>> r1 = engine->LinkPredict(1, 1, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)[0].id, 3);
+  // The engine's L2 score agrees with TransEModel::Score up to the sign
+  // and the square root.
+  EXPECT_NEAR(std::sqrt(-(*r1)[0].score), model.Score(1, 1, 3), 1e-12);
+}
+
+TEST(QueryEngineTest, LinkPredictNeedsATransEEngine) {
+  const Matrix rows = {{1.0, 0.0}, {0.0, 1.0}};
+  StatusOr<QueryEngine> engine = QueryEngine::Build(rows, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->LinkPredict(0, 0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryEngineTest, RejectsOutOfRangeIds) {
+  const Matrix rows = {{1.0, 0.0}, {0.0, 1.0}};
+  StatusOr<QueryEngine> engine = QueryEngine::Build(rows, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->Nearest(2, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->Nearest(-1, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->Analogy(0, 1, 9, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->Nearest(0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, AdmissionQuotaRejectsOverBudgetRequests) {
+  metrics::SetEnabled(true);
+  const Matrix rows = BlobRows(Matrix{{0.0, 0.0}}, 64, 1.0, 41);
+  ServeOptions options;
+  options.admission.work_units = 32;  // Half the scan cost: always rejected.
+  StatusOr<QueryEngine> engine = QueryEngine::Build(rows, options);
+  ASSERT_TRUE(engine.ok());
+
+  const metrics::Snapshot before = metrics::GlobalSnapshot();
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kNearest;
+  request.a = 0;
+  request.k = 5;
+  const ServeOutcome outcome = engine->Serve(request);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(outcome.neighbors.empty());
+  const metrics::Snapshot delta =
+      metrics::Delta(before, metrics::GlobalSnapshot());
+  EXPECT_EQ(delta.counter("serve.queries"), 1);
+  EXPECT_EQ(delta.counter("serve.rejected"), 1);
+
+  // Each request mints its own quota: a cheaper engine admits the same
+  // request without the previous rejection having consumed anything.
+  ServeOptions roomy;
+  roomy.admission.work_units = 64;
+  StatusOr<QueryEngine> admitting = QueryEngine::Build(rows, roomy);
+  ASSERT_TRUE(admitting.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(admitting->Serve(request).status.ok()) << "request " << i;
+  }
+}
+
+TEST(QueryEngineTest, ServeAllIsBitIdenticalAtAnyThreadCount) {
+  const Matrix centers = Matrix::Random(4, 8, 8.0, /*seed=*/51);
+  const Matrix rows = BlobRows(centers, 30, 0.6, 52);
+  ServeOptions options;
+  options.index.kind = IndexKind::kClusterPruned;
+  options.index.clusters = 8;
+  options.index.probes = 3;
+  StatusOr<QueryEngine> engine = QueryEngine::Build(rows, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<ServeRequest> requests;
+  for (int i = 0; i < 96; ++i) {
+    ServeRequest r;
+    switch (i % 3) {
+      case 0:
+        r.kind = ServeRequest::Kind::kNearest;
+        r.a = (i * 29) % rows.rows();
+        break;
+      case 1:
+        r.kind = ServeRequest::Kind::kAnalogy;
+        r.a = (i * 7) % rows.rows();
+        r.b = (i * 13) % rows.rows();
+        r.c = (i * 17) % rows.rows();
+        break;
+      default:
+        r.kind = ServeRequest::Kind::kNearest;
+        r.a = rows.rows() + i;  // Out of range: deterministic error slot.
+        break;
+    }
+    r.k = 5;
+    requests.push_back(r);
+  }
+
+  SetThreadCount(1);
+  const std::vector<ServeOutcome> reference = engine->ServeAll(requests);
+  // The serial reference agrees with one-at-a-time serving.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServeOutcome direct = engine->Serve(requests[i]);
+    EXPECT_EQ(direct.status.code(), reference[i].status.code());
+    EXPECT_EQ(direct.neighbors, reference[i].neighbors);
+  }
+  for (const int threads : {2, 4, 8}) {
+    SetThreadCount(threads);
+    const std::vector<ServeOutcome> replay = engine->ServeAll(requests);
+    ASSERT_EQ(replay.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(replay[i].status.code(), reference[i].status.code())
+          << threads << " threads, request " << i;
+      EXPECT_EQ(replay[i].neighbors, reference[i].neighbors)
+          << threads << " threads, request " << i;
+    }
+  }
+  SetThreadCount(0);
+}
+
+// ---- Persistence loaders ----------------------------------------------------
+
+TEST(QueryEngineTest, LoadsAnEmbeddingMatrixArtifact) {
+  ScratchDir scratch("matrix");
+  Fs& fs = DefaultFs();
+  ASSERT_TRUE(fs.CreateDirs(scratch.path()).ok());
+  const std::string path = scratch.path() + "/embeddings.x2v";
+  const Matrix rows = Matrix::Random(12, 4, 1.0, /*seed=*/61);
+  ASSERT_TRUE(embed::SaveEmbeddingMatrix(fs, path, rows).ok());
+
+  StatusOr<QueryEngine> engine =
+      QueryEngine::LoadEmbeddingMatrix(fs, path, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->rows(), 12);
+  EXPECT_EQ(engine->dim(), 4);
+
+  // The loaded engine answers identically to one built from the matrix.
+  StatusOr<QueryEngine> direct = QueryEngine::Build(rows, ServeOptions{});
+  ASSERT_TRUE(direct.ok());
+  const StatusOr<std::vector<Neighbor>> a = engine->Nearest(3, 4);
+  const StatusOr<std::vector<Neighbor>> b = direct->Nearest(3, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+
+  EXPECT_EQ(QueryEngine::LoadEmbeddingMatrix(fs, scratch.path() + "/absent",
+                                             ServeOptions{})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QueryEngineTest, LoadsATransEModelArtifact) {
+  ScratchDir scratch("transe");
+  Fs& fs = DefaultFs();
+  ASSERT_TRUE(fs.CreateDirs(scratch.path()).ok());
+  const std::string path = scratch.path() + "/transe.x2v";
+  kg::TransEModel model;
+  model.entities = Matrix::Random(10, 4, 1.0, /*seed=*/71);
+  model.relations = Matrix::Random(3, 4, 1.0, /*seed=*/72);
+  ASSERT_TRUE(kg::SaveTransEModel(fs, path, model).ok());
+
+  StatusOr<QueryEngine> engine =
+      QueryEngine::LoadTransEModel(fs, path, ServeOptions{});
+  ASSERT_TRUE(engine.ok());
+  StatusOr<QueryEngine> direct =
+      QueryEngine::BuildTransE(model, ServeOptions{});
+  ASSERT_TRUE(direct.ok());
+  const StatusOr<std::vector<Neighbor>> a = engine->LinkPredict(2, 1, 3);
+  const StatusOr<std::vector<Neighbor>> b = direct->LinkPredict(2, 1, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+// ---- Recall helper ----------------------------------------------------------
+
+TEST(RecallTest, CountsOverlapAgainstTheExactAnswer) {
+  const std::vector<Neighbor> exact = {{1, 0.9}, {2, 0.8}, {3, 0.7}};
+  const std::vector<Neighbor> approx = {{1, 0.9}, {3, 0.7}, {9, 0.5}};
+  EXPECT_NEAR(RecallAgainstExact(exact, approx), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(RecallAgainstExact({}, approx), 1.0);
+  EXPECT_EQ(RecallAgainstExact(exact, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace x2vec::serve

@@ -480,7 +480,8 @@ bool IsRowCopyHotPath(std::string_view path) {
          p.find("src/ml/") != std::string::npos ||
          p.find("src/kernel/") != std::string::npos ||
          p.find("src/sim/") != std::string::npos ||
-         p.find("src/gnn/") != std::string::npos;
+         p.find("src/gnn/") != std::string::npos ||
+         p.find("src/serve/") != std::string::npos;
 }
 
 bool IsBudgetGateHotPath(std::string_view path) {
