@@ -1,0 +1,227 @@
+// Out-of-core streaming-pipeline bench (DESIGN.md §13): streaming DeepWalk
+// over a generated 1M-vertex / 10M-edge CSR graph, where the walk corpus
+// is regenerated on the fly and never materialised, against the
+// materialised baseline that first builds the full walk corpus in RAM and
+// then trains over it. Both paths drive the identical sharded trainer with
+// the identical seed scheme, so they produce the same model; the bench
+// measures what differs — wall-clock and peak resident set per phase.
+//
+// Output is one BENCH-style JSON object on stdout with a trailing "meta"
+// block, committed as BENCH_stream.json. The committed numbers are the
+// acceptance evidence that the streaming pipeline removes the corpus from
+// residency (peak-RSS reduction), not just that it type-checks.
+//
+// `--smoke` runs only the streaming phase with a shorter walk length —
+// the scripts/check.sh gate that a ≥10M-edge graph trains end to end
+// without a materialised corpus — and prints a one-line summary.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/budget.h"
+#include "base/rng.h"
+#include "base/trace.h"
+#include "bench_meta.h"
+#include "embed/node_embeddings.h"
+#include "embed/sgns.h"
+#include "embed/stream.h"
+#include "embed/walks.h"
+#include "graph/csr.h"
+#include "linalg/matrix.h"
+
+namespace {
+
+using x2vec::Budget;
+using x2vec::MixSeed;
+using x2vec::graph::CsrGraph;
+using x2vec::graph::GraphView;
+
+constexpr int64_t kVertices = 1'000'000;
+constexpr int kDegree = 10;  // 10M generated edges, 20M CSR entries.
+constexpr uint64_t kSeed = 2024;
+
+// splitmix64 finalizer: deterministic per-edge hash, identical on both
+// FromEdgeGenerator passes.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Ring edge plus kDegree-1 hashed long-range edges per vertex: connected
+// (the ring guarantees degree >= 2, so walks never dead-end), self-loop
+// free, and generated — no edge list or adjacency Graph ever exists.
+CsrGraph BuildGraph(int64_t n) {
+  return CsrGraph::FromEdgeGenerator(
+      n, n * kDegree, [n](int64_t i) -> std::pair<int, int> {
+        const int64_t v = i / kDegree;
+        const int64_t h = i % kDegree;
+        if (h == 0) return {static_cast<int>(v), static_cast<int>((v + 1) % n)};
+        const int64_t offset = 1 + static_cast<int64_t>(
+                                       Mix(static_cast<uint64_t>(i)) %
+                                       static_cast<uint64_t>(n - 1));
+        return {static_cast<int>(v), static_cast<int>((v + offset) % n)};
+      });
+}
+
+// Peak resident set (VmHWM) in KiB from /proc/self/status.
+int64_t PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoll(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return -1;
+}
+
+// Resets VmHWM to the current RSS so each phase reports its own peak.
+// Writing "5" to clear_refs is the documented peak-reset knob; this is a
+// process-introspection poke, not durable file I/O, hence the suppression.
+bool ResetPeakRss() {
+  std::ofstream refs("/proc/self/clear_refs");  // x2vec-lint: allow(raw-file-io)
+  refs << "5";
+  refs.flush();
+  return refs.good();
+}
+
+struct PhaseRun {
+  double seconds = 0.0;
+  int64_t peak_rss_kb = -1;
+  int64_t corpus_bytes = 0;  // Materialised phase only.
+};
+
+x2vec::embed::Node2VecOptions Workload(bool smoke) {
+  x2vec::embed::Node2VecOptions options;
+  options.walks.walks_per_node = 1;
+  options.walks.walk_length = smoke ? 5 : 40;
+  options.sgns.dimension = smoke ? 8 : 16;
+  options.sgns.epochs = 1;
+  options.sgns.window = 2;
+  options.sgns.negatives = 2;
+  return options;
+}
+
+PhaseRun StreamingPhase(const CsrGraph& csr,
+                        const x2vec::embed::Node2VecOptions& options) {
+  PhaseRun run;
+  ResetPeakRss();
+  const x2vec::trace::StopWatch watch;
+  Budget budget;
+  auto embedding = x2vec::embed::DeepWalkEmbeddingStreaming(
+      GraphView(csr), options, kSeed, budget);
+  run.seconds = watch.Seconds();
+  run.peak_rss_kb = PeakRssKb();
+  if (!embedding.ok()) {
+    std::fprintf(stderr, "streaming run failed: %s\n",
+                 embedding.status().ToString().c_str());
+    std::exit(1);
+  }
+  return run;
+}
+
+// The historical shape: generate and hold the full walk corpus, then feed
+// it to the same sharded trainer through the in-memory adapter with the
+// same per-stage seeds DeepWalkEmbeddingStreaming derives.
+PhaseRun MaterializedPhase(const CsrGraph& csr,
+                           const x2vec::embed::Node2VecOptions& options) {
+  PhaseRun run;
+  ResetPeakRss();
+  const x2vec::trace::StopWatch watch;
+  const std::vector<std::vector<int>> corpus =
+      x2vec::embed::GenerateWalksParallel(GraphView(csr), options.walks,
+                                          MixSeed(kSeed, 0));
+  for (const std::vector<int>& walk : corpus) {
+    run.corpus_bytes += static_cast<int64_t>(sizeof(walk)) +
+                        static_cast<int64_t>(walk.capacity() * sizeof(int));
+  }
+  x2vec::embed::CorpusSource source(corpus);
+  const x2vec::embed::StreamStats stats = x2vec::embed::CountStream(
+      source, options.sgns.window, /*skipgram_window=*/true,
+      csr.NumVertices());
+  const std::vector<double> noise = x2vec::embed::NoiseFromCounts(
+      stats.token_counts, csr.NumVertices(), options.sgns.noise_power,
+      /*base_count=*/1);
+  Budget budget;
+  auto model = x2vec::embed::TrainSgnsShardedStreaming(
+      source, stats, noise, options.sgns, MixSeed(kSeed, 1), budget);
+  run.seconds = watch.Seconds();
+  run.peak_rss_kb = PeakRssKb();
+  if (!model.ok()) {
+    std::fprintf(stderr, "materialized run failed: %s\n",
+                 model.status().ToString().c_str());
+    std::exit(1);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool rss_resets = ResetPeakRss();
+
+  const x2vec::trace::StopWatch build_watch;
+  const CsrGraph csr = BuildGraph(kVertices);
+  const double build_seconds = build_watch.Seconds();
+  const x2vec::embed::Node2VecOptions options = Workload(smoke);
+  // The ring keeps every walk at full length, so the token volume is
+  // exact without a counting pass here.
+  const double tokens = static_cast<double>(kVertices) *
+                        options.walks.walks_per_node *
+                        options.walks.walk_length;
+
+  const PhaseRun streaming = StreamingPhase(csr, options);
+  if (smoke) {
+    std::printf(
+        "perf_stream --smoke: streamed DeepWalk over %lld vertices / %lld "
+        "edges in %.1fs (%.0f tokens/s, peak RSS %lld KiB), corpus never "
+        "materialized\n",
+        static_cast<long long>(csr.NumVertices()),
+        static_cast<long long>(csr.NumEdges()), streaming.seconds,
+        tokens / streaming.seconds,
+        static_cast<long long>(streaming.peak_rss_kb));
+    return 0;
+  }
+
+  const PhaseRun materialized = MaterializedPhase(csr, options);
+
+  std::printf("{\"bench\": \"perf_stream\",\n");
+  std::printf(
+      " \"graph\": {\"vertices\": %lld, \"edges\": %lld, \"entries\": %lld, "
+      "\"build_seconds\": %.2f},\n",
+      static_cast<long long>(csr.NumVertices()),
+      static_cast<long long>(csr.NumEdges()),
+      static_cast<long long>(csr.NumEntries()), build_seconds);
+  std::printf(
+      " \"workload\": {\"walks_per_node\": %d, \"walk_length\": %d, "
+      "\"window\": %d, \"negatives\": %d, \"dimension\": %d, \"epochs\": %d, "
+      "\"rss_resets\": %s},\n",
+      options.walks.walks_per_node, options.walks.walk_length,
+      options.sgns.window, options.sgns.negatives, options.sgns.dimension,
+      options.sgns.epochs, rss_resets ? "true" : "false");
+  std::printf(
+      " \"streaming\": {\"seconds\": %.2f, \"tokens_per_sec\": %.0f, "
+      "\"peak_rss_kb\": %lld},\n",
+      streaming.seconds, tokens / streaming.seconds,
+      static_cast<long long>(streaming.peak_rss_kb));
+  std::printf(
+      " \"materialized\": {\"seconds\": %.2f, \"tokens_per_sec\": %.0f, "
+      "\"peak_rss_kb\": %lld, \"corpus_bytes\": %lld},\n",
+      materialized.seconds, tokens / materialized.seconds,
+      static_cast<long long>(materialized.peak_rss_kb),
+      static_cast<long long>(materialized.corpus_bytes));
+  std::printf(
+      " \"peak_rss_reduction\": %.3f,\n",
+      1.0 - static_cast<double>(streaming.peak_rss_kb) /
+                static_cast<double>(materialized.peak_rss_kb));
+  std::printf(" \"meta\": %s}\n", x2vec::bench::MetaJson().c_str());
+  return 0;
+}

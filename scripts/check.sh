@@ -18,12 +18,17 @@
 #      engine, admission control, batch-replay determinism) followed by a
 #      tab_serving smoke replay, which must report every batch
 #      bit-identical and write run_report.json
-#   9. x2vec_lint over src/ tests/ bench/ tools/ examples/ — per-file
+#   9. ctest -L stream (out-of-core CSR backend + streaming walk-corpus
+#      pipeline suite, re-run on its own so a streaming regression is
+#      called out by name) followed by a perf_stream --smoke run, which
+#      must stream a DeepWalk training pass over a generated 10M-edge CSR
+#      graph without materialising the walk corpus
+#  10. x2vec_lint over src/ tests/ bench/ tools/ examples/ — per-file
 #      rules plus the whole-program passes (include cycles, layering
 #      against tools/lint/layers.txt, metric registry); also exports the
 #      module dependency DAG to $BUILD_DIR/deps.json and fails if the
 #      checked-in docs/metrics.md is stale
-#  10. clang-tidy over src/ — skipped with a notice when not installed
+#  11. clang-tidy over src/ — skipped with a notice when not installed
 #
 # Usage:
 #   scripts/check.sh [--sanitize=asan|tsan|ubsan] [--build-dir=DIR] [-j N]
@@ -110,6 +115,12 @@ if [[ ! -f "$SERVE_SMOKE_DIR/run_report.json" ]]; then
   echo "check.sh: tab_serving did not write run_report.json" >&2
   exit 1
 fi
+
+step "ctest -L stream (out-of-core CSR + streaming walk pipeline)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L stream
+
+step "perf_stream smoke (10M-edge streaming DeepWalk, no corpus)"
+"$BUILD_DIR/bench/perf_stream" --smoke
 
 step "x2vec_lint src/ tests/ bench/ tools/ examples/"
 "$BUILD_DIR/tools/lint/x2vec_lint" --graph="$BUILD_DIR/deps.json" \

@@ -26,11 +26,13 @@
 #include "embed/graph2vec.h"       // IWYU pragma: export
 #include "embed/node_embeddings.h" // IWYU pragma: export
 #include "embed/sgns.h"            // IWYU pragma: export
+#include "embed/stream.h"          // IWYU pragma: export
 #include "embed/walks.h"           // IWYU pragma: export
 #include "gnn/gcn.h"               // IWYU pragma: export
 #include "gnn/higher_order.h"      // IWYU pragma: export
 #include "gnn/layers.h"            // IWYU pragma: export
 #include "graph/algorithms.h"      // IWYU pragma: export
+#include "graph/csr.h"             // IWYU pragma: export
 #include "graph/enumeration.h"     // IWYU pragma: export
 #include "graph/generators.h"      // IWYU pragma: export
 #include "graph/graph.h"           // IWYU pragma: export

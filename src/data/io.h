@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "base/status.h"
@@ -15,11 +16,26 @@ namespace x2vec::data {
 /// suites).
 [[nodiscard]] StatusOr<std::string> SerializeDataset(const GraphDataset& dataset);
 
-/// Parses the format above.
+/// Parses the format above. Implemented over the same incremental
+/// line-fed parser as LoadDatasetChunked, so both paths produce identical
+/// datasets and identical error messages for identical content.
 [[nodiscard]] StatusOr<GraphDataset> ParseDataset(const std::string& text);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. SaveDataset writes atomically via base/fs;
+/// LoadDataset reads in bounded chunks (see LoadDatasetChunked) rather
+/// than slurping the whole file.
 [[nodiscard]] Status SaveDataset(const GraphDataset& dataset, const std::string& path);
 [[nodiscard]] StatusOr<GraphDataset> LoadDataset(const std::string& path);
+
+/// Reads and parses a dataset file in bounded chunks of `chunk_bytes`:
+/// resident memory is one chunk plus the line straddling its boundary
+/// (plus the parsed graphs), never the whole file. Line splitting matches
+/// std::getline — '\n' terminates a line and a trailing newline does not
+/// produce a final empty line — so errors carry the same line numbers and
+/// messages as ParseDataset on the same content, wherever the chunk
+/// boundaries fall. kNotFound for a missing path; kIoError on read
+/// failures or when the file exceeds the 1 GiB Fs read bound.
+[[nodiscard]] StatusOr<GraphDataset> LoadDatasetChunked(
+    const std::string& path, int64_t chunk_bytes = 256 * 1024);
 
 }  // namespace x2vec::data

@@ -68,8 +68,13 @@ StatusOr<linalg::Matrix> Graph2VecEmbeddingBudgeted(
     return budget.ExhaustedError("graph2vec embedding");
   }
   const WlDocuments wl = BuildWlDocuments(graphs, options.wl_rounds);
-  StatusOr<SgnsModel> model = TrainPvDbowBudgeted(wl.documents, wl.vocab_size,
-                                                  options.sgns, rng, budget);
+  // The WL documents feed the trainer through the stream interface: the
+  // adapter replays them verbatim, so the embedding is bit-identical to
+  // the historical materialised path while exercising the same trainer
+  // code an out-of-core document source would.
+  CorpusSource source(wl.documents);
+  StatusOr<SgnsModel> model =
+      TrainPvDbowStreaming(source, wl.vocab_size, options.sgns, rng, budget);
   if (!model.ok()) return model.status();
   return std::move(model->input);
 }
@@ -85,8 +90,9 @@ StatusOr<linalg::Matrix> Graph2VecEmbeddingParallel(
     return budget.ExhaustedError("graph2vec embedding");
   }
   const WlDocuments wl = BuildWlDocuments(graphs, options.wl_rounds);
-  StatusOr<SgnsModel> model = TrainPvDbowSharded(wl.documents, wl.vocab_size,
-                                                 options.sgns, seed, budget);
+  CorpusSource source(wl.documents);
+  StatusOr<SgnsModel> model = TrainPvDbowShardedStreaming(
+      source, wl.vocab_size, options.sgns, seed, budget);
   if (!model.ok()) return model.status();
   return std::move(model->input);
 }

@@ -151,6 +151,51 @@ StatusOr<linalg::Matrix> WalkSkipGramParallel(const graph::Graph& g,
   return std::move(model->input);
 }
 
+StatusOr<linalg::Matrix> WalkSkipGramStreaming(const graph::GraphView& g,
+                                               const Node2VecOptions& options,
+                                               uint64_t seed, Budget& budget,
+                                               int64_t shuffle_buffer) {
+  if (budget.Exhausted()) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
+  const int n = g.NumVertices();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "SGNS training needs a non-empty vocabulary");
+  }
+  // Streams 0 and 1 of the seed are reserved for walks and training, as in
+  // the materialised parallel path; stream 2 drives the optional shuffle.
+  WalkSource walks(g, options.walks, MixSeed(seed, 0));
+  if (!budget.Spend(walks.NumSentences())) {
+    return budget.ExhaustedError("walk + skip-gram embedding");
+  }
+  // The single streaming counting pass: per-vertex occurrence counts for
+  // the noise table plus the pair-schedule totals, replacing the
+  // materialised WalkCorpus. base_count 1 reproduces its convention of
+  // seeding every vertex with one count before the walk occurrences, so
+  // the table — and hence every negative draw — matches the in-memory path
+  // value for value.
+  const StreamStats stats =
+      CountStream(walks, options.sgns.window, /*skipgram_window=*/true, n);
+  const std::vector<double> noise = NoiseFromCounts(
+      stats.token_counts, n, options.sgns.noise_power, /*base_count=*/1);
+  // `stats` stays valid under the shuffle: every total it carries is
+  // order-independent, so the permuted stream needs no second pass.
+  StatusOr<SgnsModel> model =
+      shuffle_buffer > 0
+          ? [&] {
+              ShuffleBufferSource shuffled(walks, shuffle_buffer,
+                                           MixSeed(seed, 2));
+              return TrainSgnsShardedStreaming(shuffled, stats, noise,
+                                               options.sgns, MixSeed(seed, 1),
+                                               budget);
+            }()
+          : TrainSgnsShardedStreaming(walks, stats, noise, options.sgns,
+                                      MixSeed(seed, 1), budget);
+  if (!model.ok()) return model.status();
+  return std::move(model->input);
+}
+
 }  // namespace
 
 linalg::Matrix DeepWalkEmbedding(const graph::Graph& g,
@@ -193,6 +238,21 @@ StatusOr<linalg::Matrix> Node2VecEmbeddingParallel(
     const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
     Budget& budget) {
   return WalkSkipGramParallel(g, options, seed, budget);
+}
+
+StatusOr<linalg::Matrix> DeepWalkEmbeddingStreaming(
+    const graph::GraphView& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget, int64_t shuffle_buffer) {
+  Node2VecOptions uniform = options;
+  uniform.walks.p = 1.0;
+  uniform.walks.q = 1.0;
+  return WalkSkipGramStreaming(g, uniform, seed, budget, shuffle_buffer);
+}
+
+StatusOr<linalg::Matrix> Node2VecEmbeddingStreaming(
+    const graph::GraphView& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget, int64_t shuffle_buffer) {
+  return WalkSkipGramStreaming(g, options, seed, budget, shuffle_buffer);
 }
 
 double ReconstructionError(const linalg::Matrix& embedding,

@@ -78,6 +78,30 @@ linalg::Matrix Node2VecEmbedding(const graph::Graph& g,
     const graph::Graph& g, const Node2VecOptions& options, uint64_t seed,
     Budget& budget);
 
+/// Out-of-core variants (DESIGN.md §13): a WalkSource over either graph
+/// backend — adjacency-list Graph or CsrGraph, possibly mmap-backed — feeds
+/// the sharded streaming trainer, so the walk corpus is never materialised;
+/// resident state is one walk, one start permutation, the model and the
+/// noise table. One streaming counting pass builds the noise table (the
+/// WalkCorpus convention: every vertex counts once plus its walk
+/// occurrences) and the pair-schedule totals.
+///
+/// With shuffle_buffer == 0 the result is bit-identical to the Parallel
+/// variants above on the same graph, options and seed — same walk streams
+/// (MixSeed(seed, 0)), same trainer streams (MixSeed(seed, 1)), same noise
+/// table, same schedule. shuffle_buffer > 0 inserts a deterministic
+/// bounded shuffle stage (seeded MixSeed(seed, 2)) between the walks and
+/// the trainer: sentence order changes — so the model differs numerically
+/// from the unshuffled run — but is itself a pure function of (graph,
+/// options, seed, capacity), bit-identical at any thread count.
+[[nodiscard]] StatusOr<linalg::Matrix> DeepWalkEmbeddingStreaming(
+    const graph::GraphView& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget, int64_t shuffle_buffer = 0);
+
+[[nodiscard]] StatusOr<linalg::Matrix> Node2VecEmbeddingStreaming(
+    const graph::GraphView& g, const Node2VecOptions& options, uint64_t seed,
+    Budget& budget, int64_t shuffle_buffer = 0);
+
 /// Encoder-decoder objective value ||X X^T - S||_F of Section 2.1, for
 /// comparing factorisation embeddings against a target similarity.
 double ReconstructionError(const linalg::Matrix& embedding,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "base/metrics.h"
 #include "base/parallel.h"
@@ -21,9 +22,13 @@ constexpr std::string_view kOperation = "SGNS training";
 // Binds a checkpoint to one exact run: options (recovery included, since
 // it shapes the retry path), data shape and content, noise table and seed.
 // Any difference means "resuming would not reproduce the uninterrupted
-// run", so LoadLatestCheckpoint skips the file.
-uint64_t SgnsFingerprint(CheckpointKind kind,
-                         const std::vector<std::vector<int>>& sequences,
+// run", so LoadLatestCheckpoint skips the file. The sentence content is
+// hashed by replaying the source — one dedicated pass, only paid when
+// checkpointing is enabled — in the exact field order the materialised
+// fingerprint always used, so digests (and therefore existing checkpoint
+// files) stay valid across the streaming refactor.
+uint64_t SgnsFingerprint(CheckpointKind kind, SentenceSource& source,
+                         int64_t num_sentences,
                          const std::vector<double>& noise_weights, int rows_in,
                          int rows_out, bool skipgram_window,
                          const SgnsOptions& options, uint64_t seed) {
@@ -44,14 +49,32 @@ uint64_t SgnsFingerprint(CheckpointKind kind,
   hasher.UpdateDouble(options.recovery.clip_backoff);
   hasher.UpdateDouble(options.recovery.max_abs);
   hasher.UpdateU64(seed);
-  hasher.UpdateU64(sequences.size());
-  for (const std::vector<int>& seq : sequences) {
+  hasher.UpdateU64(static_cast<uint64_t>(num_sentences));
+  source.Reset();
+  std::vector<int> seq;
+  while (source.Next(seq)) {
     hasher.UpdateU64(seq.size());
     for (int token : seq) hasher.UpdateU64(static_cast<uint64_t>(token));
   }
   hasher.UpdateU64(noise_weights.size());
   for (double w : noise_weights) hasher.UpdateDouble(w);
   return hasher.digest();
+}
+
+// Positive pairs contributed by one sequence — the per-sequence term of
+// PositivePairPrefix, shared so the streaming batch loop prices sequences
+// identically to the materialised prefix sums.
+int64_t SequencePairs(const std::vector<int>& seq, int window,
+                      bool skipgram_window) {
+  if (!skipgram_window) return static_cast<int64_t>(seq.size());
+  const int len = static_cast<int>(seq.size());
+  int64_t pairs = 0;
+  for (int pos = 0; pos < len; ++pos) {
+    const int lo = std::max(0, pos - window);
+    const int hi = std::min(len - 1, pos + window);
+    pairs += hi - lo;  // Excludes the centre itself.
+  }
+  return pairs;
 }
 
 // Everything beyond the model needed to make a resumed run bit-identical:
@@ -154,7 +177,7 @@ double UpdatePair(linalg::Matrix& input, linalg::Matrix& output, int center,
                                center_gradient);
 }
 
-StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
+StatusOr<SgnsModel> Train(SentenceSource& source, const StreamStats& stats,
                           const std::vector<double>& noise_weights,
                           int rows_in, int rows_out, bool skipgram_window,
                           const SgnsOptions& options, Rng& rng,
@@ -175,8 +198,9 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
   constexpr CheckpointKind kKind = CheckpointKind::kSgnsSequential;
   const uint64_t fingerprint =
       ckpt.enabled()
-          ? SgnsFingerprint(kKind, sequences, noise_weights, rows_in, rows_out,
-                            skipgram_window, options, /*seed=*/0)
+          ? SgnsFingerprint(kKind, source, stats.num_sentences, noise_weights,
+                            rows_in, rows_out, skipgram_window, options,
+                            /*seed=*/0)
           : 0;
 
   SgnsModel model;
@@ -233,20 +257,21 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
 
   // Exact window-clipped positive pairs per epoch, for the linear LR
   // decay — the same accounting TrainSharded uses, so both trainers see
-  // one schedule (the old 2*window*|seq| upper bound kept the sequential
-  // decay from ever reaching its floor).
-  const int64_t pairs_per_epoch =
-      PositivePairPrefix(sequences, options.window, skipgram_window).back();
+  // one schedule. The caller's single streaming counting pass supplies the
+  // total; each epoch is one fresh pass over the source.
+  const int64_t pairs_per_epoch = stats.pairs_per_epoch;
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
 
   trace::Span train_span("sgns.train");
   std::vector<double> center_gradient(options.dimension);
+  std::vector<int> seq;
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     trace::Span epoch_span("sgns.epoch");
     double epoch_loss = 0.0;
-    for (size_t s = 0; s < sequences.size(); ++s) {
-      const std::vector<int>& seq = sequences[s];
+    source.Reset();
+    int64_t s = 0;
+    while (source.Next(seq)) {
       for (size_t pos = 0; pos < seq.size(); ++pos) {
         const double progress = static_cast<double>(seen) / total_pairs;
         const double lr = options.learning_rate * lr_scale *
@@ -295,6 +320,7 @@ StatusOr<SgnsModel> Train(const std::vector<std::vector<int>>& sequences,
           ++seen;
         }
       }
+      ++s;
     }
 
     epoch_span.AddWork(pairs_per_epoch);
@@ -383,7 +409,8 @@ double ShardPair(const linalg::Matrix& input, const linalg::Matrix& output,
       center_gradient, delta.output_rows.Accumulator(context));
 }
 
-StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
+StatusOr<SgnsModel> TrainSharded(SentenceSource& source,
+                                 const StreamStats& stats,
                                  const std::vector<double>& noise_weights,
                                  int rows_in, int rows_out,
                                  bool skipgram_window,
@@ -406,8 +433,8 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   constexpr CheckpointKind kKind = CheckpointKind::kSgnsSharded;
   const uint64_t fingerprint =
       ckpt.enabled()
-          ? SgnsFingerprint(kKind, sequences, noise_weights, rows_in, rows_out,
-                            skipgram_window, options, seed)
+          ? SgnsFingerprint(kKind, source, stats.num_sentences, noise_weights,
+                            rows_in, rows_out, skipgram_window, options, seed)
           : 0;
 
   SgnsModel model;
@@ -466,15 +493,14 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   }
 
   const AliasTable noise(noise_weights);
-  const int64_t num_sequences = static_cast<int64_t>(sequences.size());
 
-  // Exact positive-pair counts per sequence and their prefix sums: every
-  // pair's slot in the global learning-rate schedule is known up front, so
-  // shards agree on the schedule without a shared counter. The sequential
-  // trainer derives its schedule from the same prefix sums.
-  const std::vector<int64_t> pair_prefix =
-      PositivePairPrefix(sequences, options.window, skipgram_window);
-  const int64_t pairs_per_epoch = pair_prefix[num_sequences];
+  // The exact pairs-per-epoch total from the caller's streaming counting
+  // pass: every pair's slot in the global learning-rate schedule is still
+  // known up front — within a batch from the per-batch prefix sums below,
+  // across batches from the running pair_base — so shards agree on the
+  // schedule without a shared counter and without materialising the
+  // corpus-wide prefix array.
+  const int64_t pairs_per_epoch = stats.pairs_per_epoch;
   const int64_t total_pairs =
       std::max<int64_t>(1, pairs_per_epoch * options.epochs);
 
@@ -482,32 +508,54 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
   trace::Span train_span("sgns.train_sharded");
   // Shard storage reused across batches and epochs: Reset() keeps each
   // buffer's capacity, so steady-state training allocates nothing per
-  // sequence.
+  // sequence. The batch window is the only materialised slice of the
+  // stream; Next() refills each slot in place, reusing its capacity.
   std::vector<ShardDelta> deltas(kShardBatchSequences);
+  std::vector<std::vector<int>> batch(kShardBatchSequences);
+  std::vector<int64_t> batch_prefix(kShardBatchSequences + 1, 0);
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch, ++attempt) {
     trace::Span epoch_span("sgns.epoch");
     const uint64_t epoch_base = MixSeed(seed, 1 + static_cast<uint64_t>(attempt));
     const int64_t seen_base = attempt * pairs_per_epoch;
     double epoch_loss = 0.0;
     Status epoch_status = Status::Ok();
-    for (int64_t batch_lo = 0; batch_lo < num_sequences && epoch_status.ok();
-         batch_lo += kShardBatchSequences) {
-      const int64_t batch_hi =
-          std::min(num_sequences, batch_lo + kShardBatchSequences);
+    source.Reset();
+    int64_t batch_lo = 0;   // Global index of the batch's first sequence.
+    int64_t pair_base = 0;  // Positive pairs in sequences [0, batch_lo).
+    bool more = true;
+    while (more && epoch_status.ok()) {
+      // Pull the next synchronous mini-batch. Batch boundaries fall at the
+      // same sequence indices as the historical indexed loop: [0, 32),
+      // [32, 64), ...
+      int64_t batch_size = 0;
+      while (batch_size < kShardBatchSequences &&
+             source.Next(batch[batch_size])) {
+        ++batch_size;
+      }
+      more = batch_size == kShardBatchSequences;
+      if (batch_size == 0) break;
+      // Per-batch positive-pair prefix: the global schedule slot of
+      // sequence batch_lo + b is seen_base + pair_base + batch_prefix[b],
+      // exactly the value the corpus-wide PositivePairPrefix used to give.
+      for (int64_t b = 0; b < batch_size; ++b) {
+        batch_prefix[b + 1] =
+            batch_prefix[b] +
+            SequencePairs(batch[b], options.window, skipgram_window);
+      }
       epoch_status = ParallelFor(
-          batch_hi - batch_lo, 0, [&](int64_t lo, int64_t hi) {
+          batch_size, 0, [&](int64_t lo, int64_t hi) {
             std::vector<double> center_gradient(dim);
             for (int64_t b = lo; b < hi; ++b) {
               const int64_t s = batch_lo + b;
-              const std::vector<int>& seq = sequences[s];
-              const int64_t seq_pairs = pair_prefix[s + 1] - pair_prefix[s];
+              const std::vector<int>& seq = batch[b];
+              const int64_t seq_pairs = batch_prefix[b + 1] - batch_prefix[b];
               if (seq_pairs > 0 && !gate.Spend(seq_pairs)) {
                 return gate.ExhaustedError(kShardOperation);
               }
               ShardDelta& delta = deltas[b];
               delta.Reset(rows_in, rows_out, dim);
               Rng rng = Rng::Fork(epoch_base, static_cast<uint64_t>(s));
-              int64_t seen = seen_base + pair_prefix[s];
+              int64_t seen = seen_base + pair_base + batch_prefix[b];
               const int len = static_cast<int>(seq.size());
               for (int pos = 0; pos < len; ++pos) {
                 if (skipgram_window) {
@@ -572,7 +620,7 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
       if (!epoch_status.ok()) break;
       // Serial apply in sequence order: the fold order is fixed by the
       // data, not by which worker produced which shard.
-      for (int64_t b = 0; b < batch_hi - batch_lo; ++b) {
+      for (int64_t b = 0; b < batch_size; ++b) {
         ShardDelta& d = deltas[b];
         epoch_loss += d.loss;
         const std::vector<int>& in_rows = d.input_rows.touched();
@@ -586,6 +634,8 @@ StatusOr<SgnsModel> TrainSharded(const std::vector<std::vector<int>>& sequences,
                        model.output.RowSpan(out_rows[t]));
         }
       }
+      batch_lo += batch_size;
+      pair_base += batch_prefix[batch_size];
     }
     if (!epoch_status.ok()) return epoch_status;
 
@@ -699,7 +749,14 @@ StatusOr<SgnsModel> TrainSgnsBudgeted(const Corpus& corpus,
   if (corpus.vocab.size() == 0) {
     return Status::InvalidArgument("SGNS training needs a non-empty vocabulary");
   }
-  return Train(corpus.sentences,
+  // The adapter replays the materialised corpus verbatim — same sentences,
+  // same order, same draws — so this path stays bit-identical to the
+  // historical in-memory trainer.
+  CorpusSource source(corpus.sentences);
+  const StreamStats stats = CountStream(source, options.window,
+                                        /*skipgram_window=*/true,
+                                        corpus.vocab.size());
+  return Train(source, stats,
                corpus.vocab.NoiseDistribution(options.noise_power),
                corpus.vocab.size(), corpus.vocab.size(),
                /*skipgram_window=*/true, options, rng, budget);
@@ -746,7 +803,10 @@ StatusOr<SgnsModel> TrainPvDbowBudgeted(
   StatusOr<std::vector<double>> counts =
       PvDbowNoiseDistribution(documents, vocab_size, options.noise_power);
   if (!counts.ok()) return counts.status();
-  return Train(documents, *counts, static_cast<int>(documents.size()),
+  CorpusSource source(documents);
+  const StreamStats stats = CountStream(source, options.window,
+                                        /*skipgram_window=*/false, vocab_size);
+  return Train(source, stats, *counts, static_cast<int>(documents.size()),
                vocab_size, /*skipgram_window=*/false, options, rng, budget);
 }
 
@@ -756,7 +816,11 @@ StatusOr<SgnsModel> TrainSgnsSharded(const Corpus& corpus,
   if (corpus.vocab.size() == 0) {
     return Status::InvalidArgument("SGNS training needs a non-empty vocabulary");
   }
-  return TrainSharded(corpus.sentences,
+  CorpusSource source(corpus.sentences);
+  const StreamStats stats = CountStream(source, options.window,
+                                        /*skipgram_window=*/true,
+                                        corpus.vocab.size());
+  return TrainSharded(source, stats,
                       corpus.vocab.NoiseDistribution(options.noise_power),
                       corpus.vocab.size(), corpus.vocab.size(),
                       /*skipgram_window=*/true, options, seed, budget);
@@ -768,9 +832,136 @@ StatusOr<SgnsModel> TrainPvDbowSharded(
   StatusOr<std::vector<double>> counts =
       PvDbowNoiseDistribution(documents, vocab_size, options.noise_power);
   if (!counts.ok()) return counts.status();
-  return TrainSharded(documents, *counts, static_cast<int>(documents.size()),
-                      vocab_size, /*skipgram_window=*/false, options, seed,
-                      budget);
+  CorpusSource source(documents);
+  const StreamStats stats = CountStream(source, options.window,
+                                        /*skipgram_window=*/false, vocab_size);
+  return TrainSharded(source, stats, *counts,
+                      static_cast<int>(documents.size()), vocab_size,
+                      /*skipgram_window=*/false, options, seed, budget);
+}
+
+StatusOr<SgnsModel> TrainSgnsStreaming(SentenceSource& source,
+                                       const StreamStats& stats,
+                                       const std::vector<double>& noise_weights,
+                                       const SgnsOptions& options, Rng& rng,
+                                       Budget& budget) {
+  if (noise_weights.empty()) {
+    return Status::InvalidArgument(
+        "streaming SGNS training needs a non-empty noise table");
+  }
+  const int rows = static_cast<int>(noise_weights.size());
+  if (static_cast<int64_t>(stats.token_counts.size()) > rows) {
+    return Status::InvalidArgument(
+        "streamed token id exceeds the noise-table size");
+  }
+  return Train(source, stats, noise_weights, rows, rows,
+               /*skipgram_window=*/true, options, rng, budget);
+}
+
+StatusOr<SgnsModel> TrainSgnsStreaming(SentenceSource& source,
+                                       const std::vector<double>& noise_weights,
+                                       const SgnsOptions& options, Rng& rng,
+                                       Budget& budget) {
+  if (noise_weights.empty()) {
+    return Status::InvalidArgument(
+        "streaming SGNS training needs a non-empty noise table");
+  }
+  const StreamStats stats =
+      CountStream(source, options.window, /*skipgram_window=*/true,
+                  static_cast<int>(noise_weights.size()));
+  return TrainSgnsStreaming(source, stats, noise_weights, options, rng,
+                            budget);
+}
+
+StatusOr<SgnsModel> TrainSgnsShardedStreaming(
+    SentenceSource& source, const StreamStats& stats,
+    const std::vector<double>& noise_weights, const SgnsOptions& options,
+    uint64_t seed, Budget& budget) {
+  if (noise_weights.empty()) {
+    return Status::InvalidArgument(
+        "streaming SGNS training needs a non-empty noise table");
+  }
+  const int rows = static_cast<int>(noise_weights.size());
+  if (static_cast<int64_t>(stats.token_counts.size()) > rows) {
+    return Status::InvalidArgument(
+        "streamed token id exceeds the noise-table size");
+  }
+  return TrainSharded(source, stats, noise_weights, rows, rows,
+                      /*skipgram_window=*/true, options, seed, budget);
+}
+
+StatusOr<SgnsModel> TrainSgnsShardedStreaming(
+    SentenceSource& source, const std::vector<double>& noise_weights,
+    const SgnsOptions& options, uint64_t seed, Budget& budget) {
+  if (noise_weights.empty()) {
+    return Status::InvalidArgument(
+        "streaming SGNS training needs a non-empty noise table");
+  }
+  const StreamStats stats =
+      CountStream(source, options.window, /*skipgram_window=*/true,
+                  static_cast<int>(noise_weights.size()));
+  return TrainSgnsShardedStreaming(source, stats, noise_weights, options,
+                                   seed, budget);
+}
+
+StatusOr<SgnsModel> TrainPvDbowStreaming(SentenceSource& source,
+                                         int vocab_size,
+                                         const SgnsOptions& options, Rng& rng,
+                                         Budget& budget) {
+  if (vocab_size <= 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs a positive vocab_size");
+  }
+  const StreamStats stats = CountStream(source, options.window,
+                                        /*skipgram_window=*/false, vocab_size);
+  if (stats.num_sentences == 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs at least one document");
+  }
+  if (static_cast<int64_t>(stats.token_counts.size()) > vocab_size) {
+    return Status::InvalidArgument(
+        "streamed PV-DBOW token id exceeds vocab_size");
+  }
+  if (stats.total_tokens == 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs at least one token across the documents");
+  }
+  X2VEC_CHECK_LE(stats.num_sentences, std::numeric_limits<int>::max());
+  return Train(
+      source, stats,
+      NoiseFromCounts(stats.token_counts, vocab_size, options.noise_power),
+      static_cast<int>(stats.num_sentences), vocab_size,
+      /*skipgram_window=*/false, options, rng, budget);
+}
+
+StatusOr<SgnsModel> TrainPvDbowShardedStreaming(SentenceSource& source,
+                                                int vocab_size,
+                                                const SgnsOptions& options,
+                                                uint64_t seed, Budget& budget) {
+  if (vocab_size <= 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs a positive vocab_size");
+  }
+  const StreamStats stats = CountStream(source, options.window,
+                                        /*skipgram_window=*/false, vocab_size);
+  if (stats.num_sentences == 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs at least one document");
+  }
+  if (static_cast<int64_t>(stats.token_counts.size()) > vocab_size) {
+    return Status::InvalidArgument(
+        "streamed PV-DBOW token id exceeds vocab_size");
+  }
+  if (stats.total_tokens == 0) {
+    return Status::InvalidArgument(
+        "PV-DBOW training needs at least one token across the documents");
+  }
+  X2VEC_CHECK_LE(stats.num_sentences, std::numeric_limits<int>::max());
+  return TrainSharded(
+      source, stats,
+      NoiseFromCounts(stats.token_counts, vocab_size, options.noise_power),
+      static_cast<int>(stats.num_sentences), vocab_size,
+      /*skipgram_window=*/false, options, seed, budget);
 }
 
 }  // namespace x2vec::embed

@@ -9,6 +9,7 @@
 #include "base/status.h"
 #include "embed/checkpoint.h"
 #include "embed/corpus.h"
+#include "embed/stream.h"
 #include "linalg/matrix.h"
 
 namespace x2vec::embed {
@@ -134,5 +135,59 @@ SgnsModel TrainPvDbow(const std::vector<std::vector<int>>& documents,
 [[nodiscard]] StatusOr<SgnsModel> TrainPvDbowSharded(
     const std::vector<std::vector<int>>& documents, int vocab_size,
     const SgnsOptions& options, uint64_t seed, Budget& budget);
+
+/// ---- Streaming trainers (DESIGN.md §13). Identical algorithms to the
+/// corpus-based entry points above — in fact those are now thin wrappers
+/// that adapt their in-memory input through CorpusSource — but fed from a
+/// SentenceSource, so the corpus never has to exist in memory at once.
+/// The trainers make one counting pass (sentence/pair/occurrence totals
+/// for the LR schedule), one optional fingerprint pass when checkpointing
+/// is enabled, and one pass per epoch; the source must replay the
+/// identical stream on every Reset(). Feeding the same sentences in the
+/// same order produces bit-identical models to the in-memory paths — a
+/// WalkSource over a graph reproduces exactly what materialising
+/// GenerateWalksParallel and training on it would have.
+///
+/// The SGNS variants take the noise table explicitly (vocab size =
+/// noise_weights.size()); build it from a counting pass via CountStream +
+/// NoiseFromCounts (embed/stream.h) when no materialised vocabulary
+/// exists. The PV-DBOW variants count documents and build their noise
+/// table internally from the same single counting pass. Returns
+/// kInvalidArgument for an empty noise table / non-positive vocab_size /
+/// token ids beyond the table, plus everything the corpus-based trainers
+/// reject.
+
+[[nodiscard]] StatusOr<SgnsModel> TrainSgnsStreaming(
+    SentenceSource& source, const std::vector<double>& noise_weights,
+    const SgnsOptions& options, Rng& rng, Budget& budget);
+
+[[nodiscard]] StatusOr<SgnsModel> TrainSgnsShardedStreaming(
+    SentenceSource& source, const std::vector<double>& noise_weights,
+    const SgnsOptions& options, uint64_t seed, Budget& budget);
+
+/// Overloads taking a precomputed CountStream result, for callers that
+/// already made the counting pass (e.g. to build the noise table from the
+/// same stream): skips the trainers' internal pass. `stats` must come from
+/// CountStream over the same sentences with this options.window in
+/// skip-gram mode — or over any permutation of them, since every total is
+/// order-independent.
+
+[[nodiscard]] StatusOr<SgnsModel> TrainSgnsStreaming(
+    SentenceSource& source, const StreamStats& stats,
+    const std::vector<double>& noise_weights, const SgnsOptions& options,
+    Rng& rng, Budget& budget);
+
+[[nodiscard]] StatusOr<SgnsModel> TrainSgnsShardedStreaming(
+    SentenceSource& source, const StreamStats& stats,
+    const std::vector<double>& noise_weights, const SgnsOptions& options,
+    uint64_t seed, Budget& budget);
+
+[[nodiscard]] StatusOr<SgnsModel> TrainPvDbowStreaming(
+    SentenceSource& source, int vocab_size, const SgnsOptions& options,
+    Rng& rng, Budget& budget);
+
+[[nodiscard]] StatusOr<SgnsModel> TrainPvDbowShardedStreaming(
+    SentenceSource& source, int vocab_size, const SgnsOptions& options,
+    uint64_t seed, Budget& budget);
 
 }  // namespace x2vec::embed

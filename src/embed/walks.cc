@@ -8,26 +8,68 @@ namespace x2vec::embed {
 namespace {
 
 using graph::Graph;
-using graph::Neighbor;
+using graph::GraphView;
+using graph::NeighborSpan;
 
 // The unnormalised node2vec weight of stepping current -> candidate given
 // the walk arrived from `previous`.
-double StepWeight(const Graph& g, int previous, const Neighbor& nb,
+double StepWeight(const GraphView& g, int previous, int to, double weight,
                   const WalkOptions& options) {
   double w;
-  if (nb.to == previous) {
+  if (to == previous) {
     w = 1.0 / options.p;
-  } else if (g.HasEdge(nb.to, previous)) {
+  } else if (g.HasEdge(to, previous)) {
     w = 1.0;
   } else {
     w = 1.0 / options.q;
   }
-  return w * nb.weight;
+  return w * weight;
 }
 
-// One truncated walk from `start`, drawing every step from `rng`.
-std::vector<int> WalkFrom(const Graph& g, int start,
-                          const WalkOptions& options, Rng& rng) {
+}  // namespace
+
+void CheckWalkOptions(const WalkOptions& options) {
+  X2VEC_CHECK_GE(options.walk_length, 1);
+  X2VEC_CHECK_GT(options.p, 0.0);
+  X2VEC_CHECK_GT(options.q, 0.0);
+}
+
+int Node2VecStep(const GraphView& g, int previous, int current,
+                 const WalkOptions& options, Rng& rng) {
+  const NeighborSpan neighbors = g.Neighbors(current);
+  if (neighbors.empty()) return -1;
+  if (previous < 0 || (options.p == 1.0 && options.q == 1.0)) {
+    return neighbors.To(UniformInt(rng, 0, neighbors.size() - 1));
+  }
+  // Cumulative-weight roulette: one pass to total the weights, one draw,
+  // one pass to find the drawn neighbor. Weights are recomputed in the
+  // second pass instead of stored — two multiplies and a neighbour probe
+  // per candidate beat a heap allocation (let alone the alias-table build
+  // the previous implementation paid) for the neighborhood sizes walks
+  // see.
+  double total = 0.0;
+  for (int64_t i = 0; i < neighbors.size(); ++i) {
+    total += StepWeight(g, previous, neighbors.To(i), neighbors.Weight(i),
+                        options);
+  }
+  double remaining = UniformReal(rng, 0.0, total);
+  for (int64_t i = 0; i < neighbors.size(); ++i) {
+    remaining -= StepWeight(g, previous, neighbors.To(i), neighbors.Weight(i),
+                            options);
+    if (remaining <= 0.0) return neighbors.To(i);
+  }
+  // Floating-point slack can leave `remaining` marginally positive after
+  // the last subtraction; the draw belongs to the final neighbor.
+  return neighbors.To(neighbors.size() - 1);
+}
+
+int Node2VecStep(const Graph& g, int previous, int current,
+                 const WalkOptions& options, Rng& rng) {
+  return Node2VecStep(GraphView(g), previous, current, options, rng);
+}
+
+std::vector<int> GenerateWalk(const GraphView& g, int start,
+                              const WalkOptions& options, Rng& rng) {
   std::vector<int> walk = {start};
   int previous = -1;
   while (static_cast<int>(walk.size()) < options.walk_length) {
@@ -46,41 +88,7 @@ std::vector<int> WalkFrom(const Graph& g, int start,
   return walk;
 }
 
-void CheckWalkOptions(const WalkOptions& options) {
-  X2VEC_CHECK_GE(options.walk_length, 1);
-  X2VEC_CHECK_GT(options.p, 0.0);
-  X2VEC_CHECK_GT(options.q, 0.0);
-}
-
-}  // namespace
-
-int Node2VecStep(const Graph& g, int previous, int current,
-                 const WalkOptions& options, Rng& rng) {
-  const std::vector<Neighbor>& neighbors = g.Neighbors(current);
-  if (neighbors.empty()) return -1;
-  if (previous < 0 || (options.p == 1.0 && options.q == 1.0)) {
-    return neighbors[UniformInt(rng, 0, neighbors.size() - 1)].to;
-  }
-  // Cumulative-weight roulette: one pass to total the weights, one draw,
-  // one pass to find the drawn neighbor. Weights are recomputed in the
-  // second pass instead of stored — two multiplies and a hash probe per
-  // neighbor beat a heap allocation (let alone the alias-table build the
-  // previous implementation paid) for the neighborhood sizes walks see.
-  double total = 0.0;
-  for (const Neighbor& nb : neighbors) {
-    total += StepWeight(g, previous, nb, options);
-  }
-  double remaining = UniformReal(rng, 0.0, total);
-  for (const Neighbor& nb : neighbors) {
-    remaining -= StepWeight(g, previous, nb, options);
-    if (remaining <= 0.0) return nb.to;
-  }
-  // Floating-point slack can leave `remaining` marginally positive after
-  // the last subtraction; the draw belongs to the final neighbor.
-  return neighbors.back().to;
-}
-
-std::vector<std::vector<int>> GenerateWalks(const Graph& g,
+std::vector<std::vector<int>> GenerateWalks(const GraphView& g,
                                             const WalkOptions& options,
                                             Rng& rng) {
   CheckWalkOptions(options);
@@ -90,13 +98,19 @@ std::vector<std::vector<int>> GenerateWalks(const Graph& g,
   // Shuffled start order per pass, as in the reference implementations.
   for (int pass = 0; pass < options.walks_per_node; ++pass) {
     for (int start : RandomPermutation(g.NumVertices(), rng)) {
-      walks.push_back(WalkFrom(g, start, options, rng));
+      walks.push_back(GenerateWalk(g, start, options, rng));
     }
   }
   return walks;
 }
 
-std::vector<std::vector<int>> GenerateWalksParallel(const Graph& g,
+std::vector<std::vector<int>> GenerateWalks(const Graph& g,
+                                            const WalkOptions& options,
+                                            Rng& rng) {
+  return GenerateWalks(GraphView(g), options, rng);
+}
+
+std::vector<std::vector<int>> GenerateWalksParallel(const GraphView& g,
                                                     const WalkOptions& options,
                                                     uint64_t seed) {
   CheckWalkOptions(options);
@@ -119,13 +133,19 @@ std::vector<std::vector<int>> GenerateWalksParallel(const Graph& g,
           const int64_t pass = t / n;
           const int start = starts[pass][t % n];
           Rng rng = Rng::Fork(seed, pass * n + start);
-          walks[t] = WalkFrom(g, start, options, rng);
+          walks[t] = GenerateWalk(g, start, options, rng);
         }
         return Status::Ok();
       });
   X2VEC_CHECK(status.ok()) << status.ToString();
   span.AddWork(passes * n);
   return walks;
+}
+
+std::vector<std::vector<int>> GenerateWalksParallel(const Graph& g,
+                                                    const WalkOptions& options,
+                                                    uint64_t seed) {
+  return GenerateWalksParallel(GraphView(g), options, seed);
 }
 
 linalg::Matrix EmpiricalWalkSimilarity(const Graph& g, int k,

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "base/rng.h"
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "linalg/matrix.h"
 
@@ -27,15 +29,32 @@ struct WalkOptions {
 /// dead end (no neighbors). Draws via a single cumulative-weight roulette
 /// pass — no allocation, exactly one UniformReal draw in the biased case
 /// (one UniformInt in the uniform case) — rather than building a
-/// single-use AliasTable. Exposed for distribution tests.
+/// single-use AliasTable. Runs over a GraphView, so both graph backends
+/// (adjacency-list Graph and out-of-core CsrGraph) take identical steps
+/// from identical draws. Exposed for distribution tests.
+int Node2VecStep(const graph::GraphView& g, int previous, int current,
+                 const WalkOptions& options, Rng& rng);
 int Node2VecStep(const graph::Graph& g, int previous, int current,
                  const WalkOptions& options, Rng& rng);
+
+/// One truncated walk from `start`, drawing every step from `rng`: the
+/// walk unit shared by the materialised generators below and the streaming
+/// WalkSource (embed/stream.h). Stops early at dead ends.
+std::vector<int> GenerateWalk(const graph::GraphView& g, int start,
+                              const WalkOptions& options, Rng& rng);
+
+/// CHECKs walk_length >= 1 and p, q > 0 — the shared option contract of
+/// every walk generator; exposed so streaming sources validate identically.
+void CheckWalkOptions(const WalkOptions& options);
 
 /// Generates `walks_per_node` truncated random walks from every vertex.
 /// With p = q = 1 the walks are uniform first-order (DeepWalk); otherwise
 /// second-order biased node2vec walks. Walks stop early at isolated
 /// vertices. Single-threaded reference path: all draws come from the one
 /// shared generator, in walk order.
+std::vector<std::vector<int>> GenerateWalks(const graph::GraphView& g,
+                                            const WalkOptions& options,
+                                            Rng& rng);
 std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
                                             const WalkOptions& options,
                                             Rng& rng);
@@ -46,7 +65,12 @@ std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
 /// stream Rng::Fork(seed, n * walks_per_node + p), so the corpus — content
 /// and order — is bit-identical at any thread count (including the serial
 /// 1-thread run). Walk distribution matches GenerateWalks; the exact
-/// sample differs because the draws are partitioned differently.
+/// sample differs because the draws are partitioned differently. The
+/// streaming WalkSource (embed/stream.h) replays the same stream scheme,
+/// so it yields this exact corpus without materialising it.
+std::vector<std::vector<int>> GenerateWalksParallel(const graph::GraphView& g,
+                                                    const WalkOptions& options,
+                                                    uint64_t seed);
 std::vector<std::vector<int>> GenerateWalksParallel(const graph::Graph& g,
                                                     const WalkOptions& options,
                                                     uint64_t seed);

@@ -1,0 +1,231 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "base/fs.h"
+#include "base/status.h"
+#include "graph/graph.h"
+
+namespace x2vec::graph {
+
+/// Read-only view over one vertex's neighbourhood that works for both graph
+/// backends: the adjacency-list `Graph` (array-of-structs `Neighbor`
+/// records) and the compact `CsrGraph` below (structure-of-arrays columns,
+/// where the weight/label columns may be absent entirely). Accessors are
+/// index-based so walk code iterates one way over either layout; absent
+/// CSR columns read as the `Neighbor` defaults (weight 1.0, label 0), which
+/// is exactly what `Graph` stores for unweighted/unlabelled edges — the two
+/// backends are therefore bit-identical sources of neighbour data.
+class NeighborSpan {
+ public:
+  NeighborSpan() = default;
+  NeighborSpan(const Neighbor* aos, int64_t size) : aos_(aos), size_(size) {}
+  NeighborSpan(const int32_t* targets, const double* weights,
+               const int32_t* labels, int64_t size)
+      : targets_(targets), weights_(weights), labels_(labels), size_(size) {}
+
+  [[nodiscard]] int64_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] int To(int64_t i) const {
+    X2VEC_DCHECK(i >= 0 && i < size_);
+    return aos_ != nullptr ? aos_[i].to : static_cast<int>(targets_[i]);
+  }
+  [[nodiscard]] double Weight(int64_t i) const {
+    X2VEC_DCHECK(i >= 0 && i < size_);
+    if (aos_ != nullptr) return aos_[i].weight;
+    return weights_ != nullptr ? weights_[i] : 1.0;
+  }
+  [[nodiscard]] int Label(int64_t i) const {
+    X2VEC_DCHECK(i >= 0 && i < size_);
+    if (aos_ != nullptr) return aos_[i].label;
+    return labels_ != nullptr ? static_cast<int>(labels_[i]) : 0;
+  }
+
+ private:
+  const Neighbor* aos_ = nullptr;
+  const int32_t* targets_ = nullptr;
+  const double* weights_ = nullptr;
+  const int32_t* labels_ = nullptr;
+  int64_t size_ = 0;
+};
+
+/// Compact immutable compressed-sparse-row graph: one offsets array plus
+/// flat neighbour/weight/label columns, the out-of-core substrate for
+/// random-walk corpora on graphs that do not fit the vector-of-vectors
+/// `Graph` (DESIGN.md §13). Weight and label columns are stored only when
+/// any entry differs from the default, so an unweighted unlabelled graph
+/// costs 4 bytes per half-edge plus 8 per vertex.
+///
+/// Storage is either owned in memory (FromGraph / FromEdges / Deserialize /
+/// Load) or mapped zero-copy from the versioned checksummed on-disk format
+/// (OpenMapped); the accessors are identical either way. Move-only: the
+/// column spans alias the owning buffers.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  CsrGraph(const CsrGraph&) = delete;
+  CsrGraph& operator=(const CsrGraph&) = delete;
+  CsrGraph(CsrGraph&&) = default;
+  CsrGraph& operator=(CsrGraph&&) = default;
+  ~CsrGraph();
+
+  /// Builds from an adjacency-list graph, preserving the neighbour order
+  /// of every adjacency list exactly — a walk over the CSR backend draws
+  /// the same neighbour indices as one over the original `Graph`, which is
+  /// what the CSR↔adjacency-list equivalence tests pin down.
+  static CsrGraph FromGraph(const Graph& g);
+
+  /// Builds from an edge generator without materialising an edge list or a
+  /// `Graph`: `edge(i)` must return the same (u, v) pair on both internal
+  /// passes (degree count, then fill). Undirected edges append v to u's
+  /// list and u to v's, in edge order — the order `Graph::FromEdges` would
+  /// produce. Edges are unweighted/unlabelled; endpoints are CHECKed into
+  /// [0, n). The builder trusts the generator on simplicity (no dedup);
+  /// duplicate edges double their sampling weight in walks.
+  static CsrGraph FromEdgeGenerator(
+      int64_t n, int64_t num_edges,
+      const std::function<std::pair<int, int>(int64_t)>& edge,
+      bool directed = false);
+
+  /// Convenience wrapper over FromEdgeGenerator for an explicit edge list.
+  static CsrGraph FromEdges(int64_t n,
+                            const std::vector<std::pair<int, int>>& edges,
+                            bool directed = false);
+
+  [[nodiscard]] int NumVertices() const {
+    return static_cast<int>(num_vertices_);
+  }
+  /// Logical edge count (each undirected edge counted once).
+  [[nodiscard]] int64_t NumEdges() const { return num_edges_; }
+  /// Adjacency entries (2 * NumEdges() for undirected graphs).
+  [[nodiscard]] int64_t NumEntries() const { return num_entries_; }
+  [[nodiscard]] bool directed() const { return directed_; }
+  [[nodiscard]] bool mapped() const { return mapping_ != nullptr; }
+
+  [[nodiscard]] NeighborSpan Neighbors(int v) const {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    const int64_t lo = offsets_[v];
+    return {targets_.empty() ? nullptr : targets_.data() + lo,
+            weights_.empty() ? nullptr : weights_.data() + lo,
+            edge_labels_.empty() ? nullptr : edge_labels_.data() + lo,
+            offsets_[v + 1] - lo};
+  }
+  [[nodiscard]] int64_t Degree(int v) const {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    return offsets_[v + 1] - offsets_[v];
+  }
+  /// Linear scan of u's list, the same lookup contract as Graph::HasEdge.
+  [[nodiscard]] bool HasEdge(int u, int v) const;
+  [[nodiscard]] int VertexLabel(int v) const {
+    X2VEC_DCHECK(v >= 0 && v < NumVertices());
+    return vertex_labels_.empty() ? 0
+                                  : static_cast<int>(vertex_labels_[v]);
+  }
+
+  /// The versioned on-disk format: fixed header (magic, version, flags,
+  /// counts), 8-byte-aligned column arrays, and a trailing FNV-1a checksum
+  /// over everything before it. Serialize/Deserialize expose the format
+  /// for tests and for callers that ship bytes elsewhere.
+  [[nodiscard]] std::string Serialize() const;
+  static StatusOr<CsrGraph> Deserialize(const std::string& bytes);
+
+  /// Durable save through the injected filesystem (atomic rename, as every
+  /// persistent artifact in the tree).
+  [[nodiscard]] Status Save(const std::string& path, Fs& fs) const;
+  [[nodiscard]] Status Save(const std::string& path) const {
+    return Save(path, DefaultFs());
+  }
+
+  /// Whole-file load through `fs` (bounded read + checksum), for callers
+  /// that want an owned in-memory copy or an injected/fault-scripted Fs.
+  static StatusOr<CsrGraph> Load(const std::string& path, Fs& fs);
+  static StatusOr<CsrGraph> Load(const std::string& path) {
+    return Load(path, DefaultFs());
+  }
+
+  /// Zero-copy load: maps the file read-only and points the column spans
+  /// into the mapping, so a multi-gigabyte graph costs page-cache only.
+  /// The checksum is still verified (one sequential pass over the mapping)
+  /// before any accessor can observe corrupt bytes. kNotFound for a
+  /// missing path, kIoError on open/map failures, kCorruptedData on a bad
+  /// magic/version/checksum — the same error contract as Load.
+  static StatusOr<CsrGraph> OpenMapped(const std::string& path);
+
+ private:
+  struct Mapping;  // munmap-on-destroy owner for the OpenMapped path.
+
+  // Points the column spans into an 8-byte-aligned serialized image
+  // (owned buffer or mapping). Validates counts/flags; does not checksum.
+  static StatusOr<CsrGraph> FromImage(const char* data, int64_t size);
+
+  bool directed_ = false;
+  int64_t num_vertices_ = 0;
+  int64_t num_entries_ = 0;
+  int64_t num_edges_ = 0;
+
+  // Column views. Exactly one owner below backs them (or none for an
+  // empty default-constructed graph).
+  std::span<const int64_t> offsets_;
+  std::span<const int32_t> targets_;
+  std::span<const double> weights_;          // Empty when unweighted.
+  std::span<const int32_t> edge_labels_;     // Empty when unlabelled.
+  std::span<const int32_t> vertex_labels_;   // Empty when unlabelled.
+
+  // Owned-columns backing (FromGraph / FromEdges).
+  std::vector<int64_t> own_offsets_;
+  std::vector<int32_t> own_targets_;
+  std::vector<double> own_weights_;
+  std::vector<int32_t> own_edge_labels_;
+  std::vector<int32_t> own_vertex_labels_;
+  // Owned serialized-image backing (Deserialize / Load), 8-byte aligned.
+  std::shared_ptr<std::vector<uint64_t>> image_;
+  // Mapped backing (OpenMapped).
+  std::shared_ptr<Mapping> mapping_;
+};
+
+/// Backend-neutral handle over either graph representation: walk and
+/// embedding code takes a GraphView and runs unchanged (and bit-identically,
+/// given equal neighbour data) over an in-memory `Graph` or an out-of-core
+/// `CsrGraph`. Non-owning; the viewed graph must outlive the view.
+class GraphView {
+ public:
+  explicit GraphView(const Graph& g) : graph_(&g) {}
+  explicit GraphView(const CsrGraph& g) : csr_(&g) {}
+
+  [[nodiscard]] int NumVertices() const {
+    return graph_ != nullptr ? graph_->NumVertices() : csr_->NumVertices();
+  }
+  [[nodiscard]] bool directed() const {
+    return graph_ != nullptr ? graph_->directed() : csr_->directed();
+  }
+  [[nodiscard]] NeighborSpan Neighbors(int v) const {
+    if (graph_ != nullptr) {
+      const std::vector<Neighbor>& nbrs = graph_->Neighbors(v);
+      return {nbrs.data(), static_cast<int64_t>(nbrs.size())};
+    }
+    return csr_->Neighbors(v);
+  }
+  [[nodiscard]] int64_t Degree(int v) const {
+    return graph_ != nullptr ? graph_->Degree(v) : csr_->Degree(v);
+  }
+  [[nodiscard]] bool HasEdge(int u, int v) const {
+    return graph_ != nullptr ? graph_->HasEdge(u, v) : csr_->HasEdge(u, v);
+  }
+  [[nodiscard]] int VertexLabel(int v) const {
+    return graph_ != nullptr ? graph_->VertexLabel(v) : csr_->VertexLabel(v);
+  }
+
+ private:
+  const Graph* graph_ = nullptr;
+  const CsrGraph* csr_ = nullptr;
+};
+
+}  // namespace x2vec::graph

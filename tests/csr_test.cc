@@ -1,0 +1,201 @@
+// Compact CSR graph backend: builder fidelity against the adjacency-list
+// Graph, the versioned checksummed on-disk format (round-trip, corruption,
+// truncation), and the zero-copy mmap load path.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/fs.h"
+#include "base/rng.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+
+namespace x2vec::graph {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/x2vec_csr_" + name;
+  EXPECT_TRUE(DefaultFs().RemoveTree(dir).ok());
+  EXPECT_TRUE(DefaultFs().CreateDirs(dir).ok());
+  return dir;
+}
+
+// Every vertex's neighbourhood — order included — plus degrees, labels and
+// edge membership must agree between the two backends.
+void ExpectBackendsAgree(const Graph& g, const CsrGraph& csr) {
+  ASSERT_EQ(csr.NumVertices(), g.NumVertices());
+  EXPECT_EQ(csr.directed(), g.directed());
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    const std::vector<Neighbor>& expected = g.Neighbors(v);
+    const NeighborSpan got = csr.Neighbors(v);
+    ASSERT_EQ(got.size(), static_cast<int64_t>(expected.size())) << "v=" << v;
+    EXPECT_EQ(csr.Degree(v), g.Degree(v));
+    EXPECT_EQ(csr.VertexLabel(v), g.VertexLabel(v));
+    for (int64_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.To(i), expected[i].to) << "v=" << v << " i=" << i;
+      EXPECT_DOUBLE_EQ(got.Weight(i), expected[i].weight);
+      EXPECT_EQ(got.Label(i), expected[i].label);
+    }
+  }
+  for (int u = 0; u < g.NumVertices(); ++u) {
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(csr.HasEdge(u, v), g.HasEdge(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(CsrTest, FromGraphPreservesUnweightedAdjacency) {
+  Rng rng = MakeRng(7);
+  const Graph g = ErdosRenyiGnp(40, 0.15, rng);
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.NumEdges(), g.NumEdges());
+  EXPECT_EQ(csr.NumEntries(), 2 * g.NumEdges());
+  EXPECT_FALSE(csr.mapped());
+  ExpectBackendsAgree(g, csr);
+}
+
+TEST(CsrTest, FromGraphPreservesWeightsAndLabels) {
+  Graph g(5);
+  g.AddEdge(0, 1, 2.5, /*label=*/3);
+  g.AddEdge(1, 2, 0.25, /*label=*/1);
+  g.AddEdge(0, 4, 1.0, /*label=*/0);
+  g.SetVertexLabel(2, 9);
+  g.SetVertexLabel(4, 1);
+  ExpectBackendsAgree(g, CsrGraph::FromGraph(g));
+}
+
+TEST(CsrTest, FromGraphPreservesDirectedAdjacency) {
+  Graph g(4, /*directed=*/true);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 0);
+  g.AddEdge(3, 0);
+  ExpectBackendsAgree(g, CsrGraph::FromGraph(g));
+}
+
+TEST(CsrTest, FromEdgeGeneratorMatchesFromGraph) {
+  // The generator path must lay out adjacency exactly as AddEdge in edge
+  // order does, since walk equivalence rides on the neighbour order.
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {3, 1}};
+  Graph g(4);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  const CsrGraph from_graph = CsrGraph::FromGraph(g);
+  const CsrGraph from_edges = CsrGraph::FromEdges(4, edges);
+  EXPECT_EQ(from_edges.Serialize(), from_graph.Serialize());
+  ExpectBackendsAgree(g, from_edges);
+}
+
+TEST(CsrTest, SerializeRoundTripIsExact) {
+  Rng rng = MakeRng(11);
+  Graph g = ErdosRenyiGnp(25, 0.2, rng);
+  g.SetVertexLabel(3, 7);
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  const std::string bytes = csr.Serialize();
+  StatusOr<CsrGraph> restored = CsrGraph::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectBackendsAgree(g, *restored);
+  EXPECT_EQ(restored->Serialize(), bytes);
+}
+
+TEST(CsrTest, EmptyGraphRoundTrips) {
+  const CsrGraph empty = CsrGraph::FromGraph(Graph(0));
+  StatusOr<CsrGraph> restored = CsrGraph::Deserialize(empty.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumVertices(), 0);
+  EXPECT_EQ(restored->NumEntries(), 0);
+}
+
+TEST(CsrTest, DeserializeRejectsCorruption) {
+  Rng rng = MakeRng(3);
+  const CsrGraph csr = CsrGraph::FromGraph(ErdosRenyiGnp(20, 0.3, rng));
+  const std::string bytes = csr.Serialize();
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x40;
+  EXPECT_EQ(CsrGraph::Deserialize(bad_magic).status().code(),
+            StatusCode::kCorruptedData);
+
+  // A flipped payload byte must fail the trailing checksum.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x01;
+  EXPECT_EQ(CsrGraph::Deserialize(flipped).status().code(),
+            StatusCode::kCorruptedData);
+
+  // Truncation at every structurally interesting prefix.
+  for (const size_t len : {size_t{0}, size_t{7}, size_t{39},
+                           bytes.size() - 8, bytes.size() - 1}) {
+    EXPECT_EQ(CsrGraph::Deserialize(bytes.substr(0, len)).status().code(),
+              StatusCode::kCorruptedData)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CsrTest, SaveLoadAndOpenMappedAgree) {
+  const std::string dir = TestDir("roundtrip");
+  const std::string path = dir + "/g.csr";
+  Rng rng = MakeRng(19);
+  Graph g = ErdosRenyiGnp(30, 0.2, rng);
+  g.SetVertexLabel(0, 2);
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  ASSERT_TRUE(csr.Save(path).ok());
+
+  StatusOr<CsrGraph> loaded = CsrGraph::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->mapped());
+  ExpectBackendsAgree(g, *loaded);
+
+  StatusOr<CsrGraph> mapped = CsrGraph::OpenMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped());
+  ExpectBackendsAgree(g, *mapped);
+  EXPECT_EQ(mapped->Serialize(), csr.Serialize());
+}
+
+TEST(CsrTest, LoadErrorsAreTyped) {
+  const std::string dir = TestDir("errors");
+  EXPECT_EQ(CsrGraph::Load(dir + "/absent.csr").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(CsrGraph::OpenMapped(dir + "/absent.csr").status().code(),
+            StatusCode::kNotFound);
+
+  // A corrupt file must be rejected by both load paths.
+  Rng rng = MakeRng(5);
+  const CsrGraph csr = CsrGraph::FromGraph(ErdosRenyiGnp(10, 0.4, rng));
+  std::string bytes = csr.Serialize();
+  bytes[bytes.size() - 3] ^= 0x10;  // Damage the stored checksum.
+  const std::string path = dir + "/corrupt.csr";
+  ASSERT_TRUE(DefaultFs().WriteFileAtomic(path, bytes).ok());
+  EXPECT_EQ(CsrGraph::Load(path).status().code(),
+            StatusCode::kCorruptedData);
+  EXPECT_EQ(CsrGraph::OpenMapped(path).status().code(),
+            StatusCode::kCorruptedData);
+}
+
+TEST(CsrTest, GraphViewDispatchesToBothBackends) {
+  Graph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2);
+  g.SetVertexLabel(1, 4);
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  const GraphView views[] = {GraphView(g), GraphView(csr)};
+  for (const GraphView& view : views) {
+    EXPECT_EQ(view.NumVertices(), 3);
+    EXPECT_FALSE(view.directed());
+    EXPECT_EQ(view.Degree(1), 2);
+    EXPECT_TRUE(view.HasEdge(2, 1));
+    EXPECT_FALSE(view.HasEdge(0, 2));
+    EXPECT_EQ(view.VertexLabel(1), 4);
+    const NeighborSpan nbrs = view.Neighbors(0);
+    ASSERT_EQ(nbrs.size(), 1);
+    EXPECT_EQ(nbrs.To(0), 1);
+    EXPECT_DOUBLE_EQ(nbrs.Weight(0), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace x2vec::graph

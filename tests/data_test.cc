@@ -1,7 +1,10 @@
+#include <cstdint>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "base/fs.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "data/datasets.h"
@@ -169,6 +172,97 @@ TEST(DatasetIoTest, MalformedInputsAreRejectedWithContext) {
               std::string::npos)
         << test_case.name << ": got '" << parsed.status().message() << "'";
   }
+}
+
+std::string WriteTempDataset(const std::string& name,
+                             const std::string& text) {
+  const std::string dir = ::testing::TempDir() + "/x2vec_data_" + name;
+  EXPECT_TRUE(DefaultFs().RemoveTree(dir).ok());
+  EXPECT_TRUE(DefaultFs().CreateDirs(dir).ok());
+  const std::string path = dir + "/dataset.txt";
+  EXPECT_TRUE(DefaultFs().WriteFileAtomic(path, text).ok());
+  return path;
+}
+
+TEST(DatasetIoTest, ChunkedLoadMatchesWholeTextParseAtEveryChunkSize) {
+  GraphDataset dataset;
+  dataset.name = "chunked";
+  dataset.graphs = {graph::Graph::Cycle(5), graph::Graph::Path(4),
+                    graph::Graph::Complete(3)};
+  dataset.labels = {1, 0, 2};
+  dataset.graphs[1].SetVertexLabel(0, 3);
+  const StatusOr<std::string> text = SerializeDataset(dataset);
+  ASSERT_TRUE(text.ok());
+  const std::string path = WriteTempDataset("valid", *text);
+
+  const StatusOr<GraphDataset> reference = ParseDataset(*text);
+  ASSERT_TRUE(reference.ok());
+  // Chunk sizes chosen to land boundaries inside the header, inside graph
+  // lines, and exactly on newlines; all must parse identically.
+  for (const int64_t chunk_bytes : {1, 2, 3, 5, 7, 11, 64, 1 << 20}) {
+    const StatusOr<GraphDataset> loaded =
+        LoadDatasetChunked(path, chunk_bytes);
+    ASSERT_TRUE(loaded.ok())
+        << "chunk_bytes=" << chunk_bytes << ": " << loaded.status().ToString();
+    ASSERT_EQ(loaded->graphs.size(), reference->graphs.size());
+    EXPECT_EQ(loaded->name, reference->name);
+    EXPECT_EQ(loaded->labels, reference->labels);
+    for (size_t i = 0; i < reference->graphs.size(); ++i) {
+      EXPECT_EQ(loaded->graphs[i].NumEdges(), reference->graphs[i].NumEdges());
+      EXPECT_EQ(loaded->graphs[i].VertexLabel(0),
+                reference->graphs[i].VertexLabel(0));
+    }
+  }
+}
+
+// The regression this pins: a malformed line straddling a chunk boundary
+// must surface the identical error — same line number, same message — as
+// parsing the whole text at once, for every possible boundary placement.
+TEST(DatasetIoTest, ChunkedLoadErrorsMatchWholeTextAtEveryBoundary) {
+  const std::string kMalformed[] = {
+      "x2vec-dataset v1 x 2\nD?? 0\nD?? one\n",   // Bad label on line 3.
+      "x2vec-dataset v1 x 1\nD?? 0 junk\n",       // Trailing garbage.
+      "x2vec-dataset v1 x 2\nD?? 0\n",            // Truncated body.
+      "x2vec-dataset v1 x 1 surprise\nD?? 0\n",   // Header garbage.
+      "x2vec-dataset v1 x 1\nD?? 0\nD?? 0",       // Extra graph, no final \n.
+  };
+  for (size_t t = 0; t < std::size(kMalformed); ++t) {
+    const std::string& text = kMalformed[t];
+    const Status want = ParseDataset(text).status();
+    ASSERT_FALSE(want.ok());
+    const std::string path =
+        WriteTempDataset("malformed" + std::to_string(t), text);
+    for (int64_t chunk_bytes = 1;
+         chunk_bytes <= static_cast<int64_t>(text.size()) + 1; ++chunk_bytes) {
+      const Status got = LoadDatasetChunked(path, chunk_bytes).status();
+      EXPECT_EQ(got.code(), want.code())
+          << "case " << t << " chunk_bytes=" << chunk_bytes;
+      EXPECT_EQ(got.message(), want.message())
+          << "case " << t << " chunk_bytes=" << chunk_bytes;
+    }
+  }
+}
+
+TEST(DatasetIoTest, ChunkedLoadHandlesMissingTrailingNewline) {
+  // getline parity: the last line parses whether or not the file ends in
+  // '\n', and a trailing '\n' does not produce a phantom empty line.
+  for (const char* text : {"x2vec-dataset v1 x 1\nD?? 0",
+                           "x2vec-dataset v1 x 1\nD?? 0\n"}) {
+    const std::string path = WriteTempDataset("newline", text);
+    for (const int64_t chunk_bytes : {1, 4, 1024}) {
+      const StatusOr<GraphDataset> loaded =
+          LoadDatasetChunked(path, chunk_bytes);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_EQ(loaded->graphs.size(), 1u);
+    }
+  }
+}
+
+TEST(DatasetIoTest, ChunkedLoadMissingFileIsNotFound) {
+  const Status status =
+      LoadDatasetChunked(::testing::TempDir() + "/x2vec_data_absent.txt")
+          .status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+// Planted mmap violations: the raw-file-io rule's mmap clause must fire
+// once for the header include, once for the mmap call and once for the
+// munmap call when this fixture is linted anywhere outside graph/csr*.
+// The identifier `remap` at the end is the counter-example — only the
+// real mmap/munmap calls (and <sys/mman.h>) count.
+
+#include <sys/mman.h>  // raw-file-io (mmap clause)
+
+void MapThingsRawly(int fd, unsigned long n) {
+  void* p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);  // raw-file-io
+  munmap(p, n);                                               // raw-file-io
+}
+
+void remap(int unrelated) { (void)unrelated; }  // legal: not mmap

@@ -252,6 +252,47 @@ TEST(LintSuppressionTest, AllowRawFileIoSilencesTheLine) {
   EXPECT_TRUE(LintFile("src/data/io.cc", code).empty());
 }
 
+TEST(LintRuleTest, PlantedMmapIsReported) {
+  // The <sys/mman.h> include, the mmap call and the munmap call each fire
+  // once under the raw-file-io rule; the `remap` identifier must not.
+  const auto diags = LintFixture("bad_mmap.cc");
+  ASSERT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "raw-file-io") << FormatDiagnostic(d);
+    EXPECT_NE(d.message.find("graph/csr"), std::string::npos);
+  }
+}
+
+TEST(LintWhitelistTest, CsrMayUseMmap) {
+  // graph/csr* is the one sanctioned zero-copy mapped loader: the real
+  // files must lint clean, as must a hypothetical sibling.
+  for (const std::string rel : {"src/graph/csr.h", "src/graph/csr.cc"}) {
+    const auto diags = LintFile(rel, ReadFileOrDie(SourcePath(rel)));
+    EXPECT_TRUE(diags.empty())
+        << rel << ": " << FormatDiagnostic(diags.front());
+  }
+  const std::string mapper =
+      "#include <sys/mman.h>\n"
+      "void* M(int fd, unsigned long n) {\n"
+      "  return mmap(nullptr, n, 1, 2, fd, 0);\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/graph/csr_mapped.cc", mapper).empty());
+}
+
+TEST(LintWhitelistTest, MmapFiresOutsideCsr) {
+  const std::string code =
+      ReadFileOrDie(SourcePath("tests/lint_fixtures/bad_mmap.cc"));
+  // The clause holds across src/, tests/ and bench/ — base/fs included:
+  // its bounded read path must never silently grow a mapping.
+  for (const std::string rel :
+       {"src/data/io.cc", "src/base/fs.cc", "bench/perf_stream.cc",
+        "tests/csr_test.cc"}) {
+    const auto diags = LintFile(rel, code);
+    ASSERT_EQ(diags.size(), 3u) << rel;
+    for (const auto& d : diags) EXPECT_EQ(d.rule, "raw-file-io") << rel;
+  }
+}
+
 TEST(LintRuleTest, RowSpanAccessorsDoNotTripRowCopy) {
   const std::string code =
       "void F(linalg::Matrix& m) {\n"

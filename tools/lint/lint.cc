@@ -381,6 +381,26 @@ void CheckRawFileIo(const std::string& path,
   }
 }
 
+void CheckMmap(const std::string& path,
+               const std::vector<std::string>& code_lines,
+               std::vector<Diagnostic>* out) {
+  // Memory mapping is part of the raw-file-io surface: an mmap'd region
+  // bypasses the bounded, fault-injectable Fs read path entirely, so only
+  // the CSR zero-copy loader (graph/csr*) — whose on-disk format carries
+  // its own checksum validation — may open one.
+  static const std::regex kMmap(
+      R"(#\s*include\s*<sys/mman\.h>|(^|[^\w])m(un)?map\s*\()");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kMmap)) {
+      out->push_back(
+          {path, static_cast<int>(i + 1), "raw-file-io",
+           "mmap bypasses the bounded fault-injectable Fs read path; only "
+           "the CSR zero-copy loader (graph/csr*) may map files — read "
+           "through base/fs, or suppress with allow(raw-file-io)"});
+    }
+  }
+}
+
 // -- Rule: intrinsics ---------------------------------------------------------
 
 void CheckIntrinsics(const std::string& path,
@@ -461,6 +481,11 @@ bool IsTimingWhitelisted(std::string_view path) {
 bool IsFileIoWhitelisted(std::string_view path) {
   const std::string p = Normalise(path);
   return p.find("base/fs") != std::string::npos;
+}
+
+bool IsMmapWhitelisted(std::string_view path) {
+  const std::string p = Normalise(path);
+  return p.find("graph/csr") != std::string::npos;
 }
 
 bool IsRawEngineWhitelisted(std::string_view path) {
@@ -661,6 +686,7 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   CheckNondeterminism(path, code_lines, IsRawEngineWhitelisted(path), &found);
   if (!IsTimingWhitelisted(path)) CheckChrono(path, code_lines, &found);
   if (!IsFileIoWhitelisted(path)) CheckRawFileIo(path, code_lines, &found);
+  if (!IsMmapWhitelisted(path)) CheckMmap(path, code_lines, &found);
   if (!IsIntrinsicsWhitelisted(path)) CheckIntrinsics(path, code_lines, &found);
   CheckRngFork(path, code, &found);
   CheckStatusOrDeref(path, code, &found);

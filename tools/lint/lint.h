@@ -40,7 +40,9 @@ struct Diagnostic {
 ///   raw-file-io      write-capable raw file APIs (std::ofstream,
 ///                    std::fstream, fopen, freopen) outside base/fs — the
 ///                    single durable atomic-write layer. std::ifstream
-///                    (read-only) stays legal everywhere.
+///                    (read-only) stays legal everywhere. Also flags
+///                    mmap/munmap (and <sys/mman.h>) outside graph/csr* —
+///                    the one sanctioned zero-copy mapped loader.
 ///   intrinsics       raw SIMD surface (intrinsic headers, _mm*/__m*
 ///                    identifiers, GCC vector_size extensions, CPUID
 ///                    builtins) outside the linalg/kernels_* backend
@@ -76,6 +78,11 @@ bool IsTimingWhitelisted(std::string_view path);
 /// fopen): base/fs only, the sanctioned durable-I/O layer everything else
 /// routes writes through.
 bool IsFileIoWhitelisted(std::string_view path);
+
+/// True when `path` may call mmap/munmap and include <sys/mman.h> (the
+/// mmap clause of the raw-file-io rule): graph/csr* only — the zero-copy
+/// CSR loader whose checksummed on-disk format validates what it maps.
+bool IsMmapWhitelisted(std::string_view path);
 
 /// True when `path` may declare raw std::mt19937 engines: base/rng, the
 /// single sanctioned wrapper around the engine.
